@@ -1,0 +1,45 @@
+package overlaynet_test
+
+import (
+	"testing"
+
+	"overlaynet/internal/exp"
+	"overlaynet/internal/metrics"
+)
+
+// benchExp runs an experiment driver once per iteration in quick mode;
+// `go test -bench .` therefore regenerates (a reduced form of) every
+// experiment. cmd/benchtables produces the full-size tables.
+func benchExp(b *testing.B, f func(exp.Options) *metrics.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl := f(exp.Options{Seed: uint64(i) + 42, Quick: true})
+		if tbl.NumRows() == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkE1RapidSamplingHGraph(b *testing.B) { benchExp(b, exp.E1RapidSamplingHGraph) }
+func BenchmarkE2CommunicationWork(b *testing.B)   { benchExp(b, exp.E2CommunicationWork) }
+func BenchmarkE3RapidSamplingHypercube(b *testing.B) {
+	benchExp(b, exp.E3RapidSamplingHypercube)
+}
+func BenchmarkE4RapidVsWalk(b *testing.B)        { benchExp(b, exp.E4RapidVsWalk) }
+func BenchmarkE5SuccessProbability(b *testing.B) { benchExp(b, exp.E5SuccessProbability) }
+func BenchmarkE6ReconfigChurn(b *testing.B)      { benchExp(b, exp.E6ReconfigChurn) }
+func BenchmarkE7CongestionSegments(b *testing.B) { benchExp(b, exp.E7CongestionSegments) }
+func BenchmarkE8DoSConnectivity(b *testing.B)    { benchExp(b, exp.E8DoSConnectivity) }
+func BenchmarkE9GroupBalance(b *testing.B)       { benchExp(b, exp.E9GroupBalance) }
+func BenchmarkE10ChurnDoS(b *testing.B)          { benchExp(b, exp.E10ChurnDoS) }
+func BenchmarkE11AnonRouting(b *testing.B)       { benchExp(b, exp.E11AnonRouting) }
+func BenchmarkE12RobustDHT(b *testing.B)         { benchExp(b, exp.E12RobustDHT) }
+func BenchmarkE13PubSub(b *testing.B)            { benchExp(b, exp.E13PubSub) }
+func BenchmarkE14PointerDoubling(b *testing.B)   { benchExp(b, exp.E14PointerDoubling) }
+func BenchmarkA1BudgetAblation(b *testing.B)     { benchExp(b, exp.A1BudgetAblation) }
+func BenchmarkA2SyncRule(b *testing.B)           { benchExp(b, exp.A2SyncRule) }
+func BenchmarkA3ExpansionMatters(b *testing.B)   { benchExp(b, exp.A3ExpansionMatters) }
+func BenchmarkX1ChurnRateLimit(b *testing.B)     { benchExp(b, exp.X1ChurnRateLimit) }
+func BenchmarkX2CrashFailures(b *testing.B)      { benchExp(b, exp.X2CrashFailures) }
+func BenchmarkX3KAryRapidSampling(b *testing.B)  { benchExp(b, exp.X3KAryRapidSampling) }
+func BenchmarkX4KAryNetwork(b *testing.B)        { benchExp(b, exp.X4KAryNetwork) }

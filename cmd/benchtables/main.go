@@ -1,0 +1,57 @@
+// Command benchtables regenerates every experiment table of the
+// reproduction (DESIGN.md §3, recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	benchtables [-quick] [-seed N] [-only E8[,E9,…]] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"overlaynet/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced sweeps")
+	seed := flag.Uint64("seed", 42, "random seed")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	experiments := exp.All()
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-4s %s\n", e.ID, e.Claim)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	opts := exp.Options{Seed: *seed, Quick: *quick}
+	ran := 0
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		tbl := e.Run(opts)
+		fmt.Println(tbl.String())
+		fmt.Printf("(%s: %s, %.1fs)\n\n", e.ID, e.Claim, time.Since(start).Seconds())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments matched; use -list")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module overlaynet
+
+go 1.22

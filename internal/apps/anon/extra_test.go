@@ -1,0 +1,78 @@
+package anon
+
+import (
+	"testing"
+
+	"overlaynet/internal/sim"
+)
+
+func TestAllDestinationMembersBlockedFails(t *testing.T) {
+	sy := newSys(t, 10, 128)
+	entry := sim.NodeID(1)
+	x := sy.dest[0]
+	blocked := map[sim.NodeID]bool{}
+	for _, id := range sy.Net.Groups()[x] {
+		blocked[id] = true
+	}
+	delete(blocked, entry) // the entry itself must stay free
+	seq := []map[sim.NodeID]bool{blocked, blocked}
+	res := sy.Request(entry, seq)
+	if res.Delivered {
+		t.Fatal("delivered although the whole destination group was blocked")
+	}
+}
+
+func TestReplyBlockedAfterDelivery(t *testing.T) {
+	sy := newSys(t, 11, 128)
+	entry := sim.NodeID(1)
+	x := sy.dest[0]
+	group := sy.Net.Groups()[x]
+	// Free during the request hops, all blocked during the reply hops.
+	blockAll := map[sim.NodeID]bool{}
+	for _, id := range group {
+		blockAll[id] = true
+	}
+	seq := []map[sim.NodeID]bool{nil, nil, blockAll, blockAll}
+	res := sy.Request(entry, seq)
+	if !res.Delivered {
+		t.Fatal("request should have been delivered")
+	}
+	if res.ReplyDelivered {
+		t.Fatal("reply delivered although the group was blocked for the reply hops")
+	}
+}
+
+func TestResampleChangesDestinations(t *testing.T) {
+	sy := newSys(t, 12, 256)
+	before := append([]int32(nil), sy.dest...)
+	sy.ResampleDestinations()
+	changed := 0
+	for i := range before {
+		if sy.dest[i] != before[i] {
+			changed++
+		}
+	}
+	if changed < 64 {
+		t.Fatalf("resample changed only %d destinations", changed)
+	}
+}
+
+func TestExitBelongsToDestinationGroup(t *testing.T) {
+	sy := newSys(t, 13, 128)
+	for i := 0; i < 50; i++ {
+		entry := sim.NodeID(i%128 + 1)
+		res := sy.Request(entry, nil)
+		if !res.Delivered {
+			t.Fatal("undelivered without blocking")
+		}
+		found := false
+		for _, id := range sy.Net.Groups()[res.DestGroup] {
+			if id == res.Exit {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("exit %d not in destination group %d", res.Exit, res.DestGroup)
+		}
+	}
+}

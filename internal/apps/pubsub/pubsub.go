@@ -1,0 +1,133 @@
+// Package pubsub implements the robust publish-subscribe system of
+// Section 7.3 on top of the robust DHT: every subscriber group is a
+// key k; the DHT stores the publication counter m(k) under k and each
+// publication i under the composite key (k, i). Batches of
+// publications are first aggregated per key — the paper performs this
+// aggregation with Ranade's routing scheme in O(log n / log log n)
+// rounds on the k-ary hypercube — so that m(k) is updated once per key
+// and the publications receive consecutive sequence numbers.
+package pubsub
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"overlaynet/internal/apps/dht"
+	"overlaynet/internal/sim"
+)
+
+// System is the publish-subscribe service.
+type System struct {
+	DHT *dht.DHT
+}
+
+// New wraps a robust DHT.
+func New(d *dht.DHT) *System { return &System{DHT: d} }
+
+func counterKey(topic string) string     { return "m/" + topic }
+func itemKey(topic string, i int) string { return "p/" + topic + "/" + strconv.Itoa(i) }
+
+// Publication is one pending publication.
+type Publication struct {
+	Entry   sim.NodeID
+	Topic   string
+	Payload string
+}
+
+// PublishStats summarizes a publication batch.
+type PublishStats struct {
+	Published, Failed int
+	// Topics is the number of distinct topics in the batch (the
+	// aggregation fan-in).
+	Topics int
+	// Rounds estimates the rounds used: one aggregation phase of
+	// diameter d plus the DHT writes.
+	Rounds int
+}
+
+// PublishBatch aggregates the batch per topic, assigns consecutive
+// sequence numbers m(k)+1 … m(k)+m′(k), stores each publication under
+// its composite key, and updates each counter once. hopBlocked may be
+// nil.
+func (s *System) PublishBatch(batch []Publication, hopBlocked func(i int) map[sim.NodeID]bool) PublishStats {
+	var st PublishStats
+	// Aggregate per topic, deterministically ordered.
+	byTopic := make(map[string][]Publication)
+	for _, p := range batch {
+		byTopic[p.Topic] = append(byTopic[p.Topic], p)
+	}
+	topics := make([]string, 0, len(byTopic))
+	for t := range byTopic {
+		topics = append(topics, t)
+	}
+	sort.Strings(topics)
+	st.Topics = len(topics)
+	st.Rounds = 2 * s.DHT.D() // aggregation sweep over the cube diameter
+
+	for _, topic := range topics {
+		pubs := byTopic[topic]
+		entry := pubs[0].Entry
+		m := s.counter(entry, topic, hopBlocked)
+		published := 0
+		for i, p := range pubs {
+			res := s.DHT.Write(p.Entry, itemKey(topic, m+1+i), p.Payload, hopBlocked)
+			if res.OK {
+				published++
+			} else {
+				st.Failed++
+			}
+			if res.Rounds > 0 {
+				st.Rounds += res.Rounds
+			}
+		}
+		st.Published += published
+		if published > 0 {
+			res := s.DHT.Write(entry, counterKey(topic), strconv.Itoa(m+published), hopBlocked)
+			if !res.OK {
+				st.Failed++
+			}
+		}
+	}
+	return st
+}
+
+// counter reads m(k), defaulting to 0.
+func (s *System) counter(entry sim.NodeID, topic string, hopBlocked func(i int) map[sim.NodeID]bool) int {
+	v, res := s.DHT.Read(entry, counterKey(topic), hopBlocked)
+	if !res.OK || v == "" {
+		return 0
+	}
+	m, err := strconv.Atoi(v)
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// Fetch retrieves all publications for a topic: it reads m(k) and then
+// every (k, i) for i ≤ m(k). It returns the payloads in publication
+// order; an error indicates the counter or an item was unreachable
+// (as opposed to the topic simply having no publications).
+func (s *System) Fetch(entry sim.NodeID, topic string, hopBlocked func(i int) map[sim.NodeID]bool) ([]string, error) {
+	v, res := s.DHT.Read(entry, counterKey(topic), hopBlocked)
+	if !res.OK {
+		return nil, fmt.Errorf("pubsub: counter for %q unreachable", topic)
+	}
+	if !res.Found {
+		return nil, nil // nothing published yet
+	}
+	m, err := strconv.Atoi(v)
+	if err != nil {
+		return nil, fmt.Errorf("pubsub: corrupt counter %q for %q", v, topic)
+	}
+	out := make([]string, 0, m)
+	for i := 1; i <= m; i++ {
+		item, r := s.DHT.Read(entry, itemKey(topic, i), hopBlocked)
+		if !r.OK || !r.Found {
+			return out, fmt.Errorf("pubsub: publication %d of %q unreachable", i, topic)
+		}
+		out = append(out, item)
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package pubsub
+
+import (
+	"fmt"
+	"testing"
+
+	"overlaynet/internal/apps/dht"
+	"overlaynet/internal/rng"
+	"overlaynet/internal/sim"
+)
+
+func newSys(seed uint64, n int) *System {
+	return New(dht.New(dht.Config{Seed: seed, N: n}))
+}
+
+func TestPublishAndFetch(t *testing.T) {
+	ps := newSys(1, 256)
+	batch := []Publication{
+		{Entry: 1, Topic: "go", Payload: "a"},
+		{Entry: 2, Topic: "go", Payload: "b"},
+		{Entry: 3, Topic: "rust", Payload: "c"},
+	}
+	st := ps.PublishBatch(batch, nil)
+	if st.Failed != 0 || st.Published != 3 || st.Topics != 2 {
+		t.Fatalf("publish stats %+v", st)
+	}
+	got, err := ps.Fetch(4, "go", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("fetched %v", got)
+	}
+	got, err = ps.Fetch(5, "rust", nil)
+	if err != nil || len(got) != 1 || got[0] != "c" {
+		t.Fatalf("rust fetch = %v, %v", got, err)
+	}
+}
+
+func TestFetchEmptyTopic(t *testing.T) {
+	ps := newSys(2, 256)
+	got, err := ps.Fetch(1, "nothing", nil)
+	if err != nil || got != nil {
+		t.Fatalf("empty topic fetch = %v, %v", got, err)
+	}
+}
+
+func TestSequenceNumbersAccumulate(t *testing.T) {
+	ps := newSys(3, 256)
+	for round := 0; round < 3; round++ {
+		var batch []Publication
+		for i := 0; i < 4; i++ {
+			batch = append(batch, Publication{
+				Entry:   sim.NodeID(i + 1),
+				Topic:   "t",
+				Payload: fmt.Sprintf("r%d-%d", round, i),
+			})
+		}
+		st := ps.PublishBatch(batch, nil)
+		if st.Failed != 0 {
+			t.Fatalf("round %d publish failed: %+v", round, st)
+		}
+	}
+	got, err := ps.Fetch(9, "t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 12 {
+		t.Fatalf("got %d publications, want 12: %v", len(got), got)
+	}
+	if got[0] != "r0-0" || got[11] != "r2-3" {
+		t.Fatalf("ordering broken: %v", got)
+	}
+}
+
+func TestAggregationCountsTopicsOnce(t *testing.T) {
+	ps := newSys(4, 256)
+	var batch []Publication
+	for i := 0; i < 50; i++ {
+		batch = append(batch, Publication{Entry: sim.NodeID(i + 1), Topic: "hot", Payload: "x"})
+	}
+	st := ps.PublishBatch(batch, nil)
+	if st.Topics != 1 {
+		t.Fatalf("aggregation saw %d topics", st.Topics)
+	}
+	got, err := ps.Fetch(60, "hot", nil)
+	if err != nil || len(got) != 50 {
+		t.Fatalf("fetch after burst: %d items, %v", len(got), err)
+	}
+}
+
+func TestPublishSurvivesLightBlocking(t *testing.T) {
+	ps := newSys(5, 1024)
+	r := rng.New(50)
+	blocked := map[sim.NodeID]bool{}
+	for len(blocked) < 8 {
+		blocked[sim.NodeID(r.Intn(1024)+1)] = true
+	}
+	hop := func(int) map[sim.NodeID]bool { return blocked }
+	var batch []Publication
+	for i := 0; i < 30; i++ {
+		entry := sim.NodeID(i + 100)
+		if blocked[entry] {
+			continue
+		}
+		batch = append(batch, Publication{Entry: entry, Topic: "news", Payload: fmt.Sprintf("p%d", i)})
+	}
+	st := ps.PublishBatch(batch, hop)
+	if st.Failed != 0 {
+		t.Fatalf("publish under light blocking: %+v", st)
+	}
+	got, err := ps.Fetch(500, "news", hop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("fetched %d of %d", len(got), len(batch))
+	}
+}
+
+func TestRebuildDoesNotLosePublications(t *testing.T) {
+	ps := newSys(6, 256)
+	ps.PublishBatch([]Publication{{Entry: 1, Topic: "k", Payload: "v1"}}, nil)
+	ps.DHT.Rebuild()
+	ps.PublishBatch([]Publication{{Entry: 2, Topic: "k", Payload: "v2"}}, nil)
+	ps.DHT.Rebuild()
+	got, err := ps.Fetch(3, "k", nil)
+	if err != nil || len(got) != 2 || got[0] != "v1" || got[1] != "v2" {
+		t.Fatalf("after rebuilds: %v, %v", got, err)
+	}
+}

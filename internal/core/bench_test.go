@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"overlaynet/internal/hgraph"
+	"overlaynet/internal/rng"
+)
+
+func BenchmarkEpoch256(b *testing.B) {
+	nw := NewNetwork(Config{Seed: 1, N0: 256, D: 8, Alpha: 2, Epsilon: 1})
+	defer nw.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, _ := nw.RunEpoch(nil, nil)
+		if !rep.Valid {
+			b.Fatal("invalid epoch")
+		}
+	}
+}
+
+func BenchmarkEpochWithChurn256(b *testing.B) {
+	nw := NewNetwork(Config{Seed: 2, N0: 256, D: 8, Alpha: 2, Epsilon: 1})
+	defer nw.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		members := nw.Members()
+		joins := make([]JoinSpec, 32)
+		for j := range joins {
+			joins[j] = JoinSpec{Sponsor: members[64+j]}
+		}
+		rep, _ := nw.RunEpoch(joins, members[:32])
+		if !rep.Valid {
+			b.Fatal("invalid epoch")
+		}
+	}
+}
+
+func BenchmarkReconfigureRef1024(b *testing.B) {
+	r := rng.New(3)
+	old := hgraph.RandomCycle(r, 1024)
+	placed := make([]int, 1024)
+	for i := range placed {
+		placed[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReconfigureRef(r, old, placed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package core_test
+
+import (
+	"fmt"
+
+	"overlaynet/internal/core"
+)
+
+// ExampleNetwork shows one reconfiguration epoch absorbing churn: the
+// whole topology is replaced by a fresh uniform ℍ-graph while joiners
+// enter and leavers depart, in O(log log n) rounds.
+func ExampleNetwork() {
+	nw := core.NewNetwork(core.Config{Seed: 99, N0: 64, D: 8, Alpha: 2, Epsilon: 1})
+	defer nw.Shutdown()
+
+	members := nw.Members()
+	joins := []core.JoinSpec{{Sponsor: members[10]}, {Sponsor: members[11]}}
+	leaves := []int{members[0], members[1]}
+
+	rep, ids := nw.RunEpoch(joins, leaves)
+	fmt.Println("valid:", rep.Valid)
+	fmt.Println("connected:", rep.Connected)
+	fmt.Println("members:", rep.NOld, "->", rep.NNew)
+	fmt.Println("new ids:", ids)
+	// Output:
+	// valid: true
+	// connected: true
+	// members: 64 -> 64
+	// new ids: [64 65]
+}

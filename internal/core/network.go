@@ -1,0 +1,757 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"overlaynet/internal/graph"
+	"overlaynet/internal/hgraph"
+	"overlaynet/internal/rng"
+	"overlaynet/internal/sampling"
+	"overlaynet/internal/sim"
+)
+
+// Config configures the churn-resistant expander network.
+type Config struct {
+	Seed uint64
+	// N0 is the initial network size (≥ 8).
+	N0 int
+	// D is the ℍ-graph degree (even, ≥ 6; the paper uses d ≥ 8).
+	D int
+	// Alpha is the walk-length constant of Lemma 2 (default 2.5).
+	Alpha float64
+	// Epsilon is the sampling budget slack (default 1).
+	Epsilon float64
+}
+
+// JoinSpec describes a node joining in the next epoch: the new node ID
+// is assigned by the network; Sponsor must be a current member the new
+// node is introduced to.
+type JoinSpec struct {
+	Sponsor int
+}
+
+// EpochReport summarizes one reconfiguration epoch.
+type EpochReport struct {
+	Epoch  int
+	Rounds int
+	// NOld and NNew are the member counts before and after the epoch.
+	NOld, NNew int
+	// Connected reports whether the new topology (restricted to the new
+	// member set) is connected.
+	Connected bool
+	// Valid reports whether every new cycle is a single Hamilton cycle
+	// over the new member set (Theorem 4's structural guarantee).
+	Valid bool
+	// Failures counts protocol failure events (sampling underflow,
+	// unresolved pointer doubling, missing boundaries or assignments);
+	// zero w.h.p. per Lemmas 7, 11, 12.
+	Failures int
+	// FailureKinds breaks Failures down by kind (FailSampling…).
+	FailureKinds [numFailKinds]int
+	// MaxChosen is the maximum number of ids placed at any node in any
+	// cycle (Lemma 11: polylogarithmic w.h.p.).
+	MaxChosen int
+	// MaxEmptySegment is the longest run of inactive nodes along any
+	// old cycle (Lemma 12: polylogarithmic w.h.p.).
+	MaxEmptySegment int
+	// MaxNodeBits is the peak per-node per-round communication work
+	// during the epoch (Theorem 4: polylogarithmic w.h.p.).
+	MaxNodeBits int64
+	// SecondEigenvalue estimates |λ₂| of the new topology when
+	// measured (0 if measurement was skipped).
+	SecondEigenvalue float64
+}
+
+// epochPlan carries the parameters all nodes use for one epoch. The
+// driver writes it between epochs; node goroutines read it during the
+// epoch (the happens-before edge is the round barrier).
+type epochPlan struct {
+	epoch    int
+	params   sampling.HGraphParams
+	doubling int // pointer-doubling steps K
+	rounds   int // total rounds in the epoch
+}
+
+// Failure kinds recorded per epoch (all zero w.h.p. under the
+// prescribed parameters).
+const (
+	// FailSampling counts extraction-from-empty events in the rapid
+	// sampling sub-phase (Lemma 7).
+	FailSampling = iota
+	// FailBudget counts placements that exceeded the sample budget.
+	FailBudget
+	// FailDoubling counts unresolved pointer-doubling searches
+	// (an empty segment longer than 2^K; Lemma 12).
+	FailDoubling
+	// FailBound counts missing or duplicate boundary exchanges.
+	FailBound
+	// FailAssign counts nodes that did not receive an assignment for
+	// every cycle.
+	FailAssign
+	numFailKinds
+)
+
+// slot is the driver's per-node mailbox for results; the owning node
+// writes it during the final round of an epoch.
+type slot struct {
+	pred, succ []int32 // new topology, one entry per cycle
+	active     []bool  // per cycle: was this node active (old role)?
+	placed     []int   // per cycle: ids placed here (congestion)
+	fails      [numFailKinds]int
+	leaving    bool // set by driver before the node's last epoch
+	assigned   int  // cycles for which an assignment arrived
+}
+
+func (st *slot) failTotal() int {
+	t := 0
+	for _, f := range st.fails {
+		t += f
+	}
+	return t
+}
+
+// Message payload types of the reconfiguration protocol.
+type helloMsg struct{ ID int32 }
+type placeMsg struct {
+	Cycle int8
+	ID    int32
+}
+type dblQuery struct{ Cycle int8 }
+type dblResp struct {
+	Cycle  int8
+	Active bool
+	Fwd    int32
+	// FwdActive reports that the responder's jump pointer already
+	// points at its nearest active node, letting the querier adopt the
+	// resolution directly (a node's nearest active successor equals its
+	// inactive jump target's nearest active successor).
+	FwdActive bool
+}
+type boundMsg struct {
+	Cycle int8
+	Last  int32
+}
+type boundReply struct {
+	Cycle int8
+	First int32
+}
+type assignMsg struct {
+	Cycle      int8
+	Pred, Succ int32
+}
+
+// Network is the distributed churn-resistant expander network. All
+// methods must be called from a single driver goroutine.
+type Network struct {
+	cfg     Config
+	net     *sim.Network
+	r       *rng.RNG
+	plan    *epochPlan
+	slots   map[int]*slot
+	members []int // sorted current member ids
+	// oldSucc/oldPred snapshot the topology the epoch started from,
+	// for empty-segment measurement and validation.
+	curSucc map[int][]int32
+	curPred map[int][]int32
+	nextID  int
+	epoch   int
+	// MeasureExpansion, when set, estimates |λ₂| of each new topology
+	// (costs O(n·d·iters) per epoch).
+	MeasureExpansion bool
+}
+
+// EpochRounds returns the number of communication rounds one epoch
+// takes for the given sampling parameters and doubling step count:
+// 2T (sampling) + 2K (pointer doubling) + 6 (hello, placement,
+// boundary exchange, assignment, commit) — O(log log n) in total.
+func EpochRounds(T, K int) int { return 2*T + 2*K + 6 }
+
+// doublingSteps returns K such that 2^K exceeds the longest empty
+// segment w.h.p. (Lemma 12: segments are O(log n), so K = O(log log n)).
+func doublingSteps(n int) int {
+	bound := 6*math.Log(float64(n)) + 32
+	return int(math.Ceil(math.Log2(bound)))
+}
+
+// NewNetwork builds the initial ℍ-graph over cfg.N0 nodes and spawns
+// their protocol goroutines. The initial topology is sampled uniformly
+// from ℍₙ, matching the paper's initial condition.
+func NewNetwork(cfg Config) *Network {
+	if cfg.N0 < 8 {
+		panic(fmt.Sprintf("core: initial size %d too small", cfg.N0))
+	}
+	if cfg.D < 6 || cfg.D%2 != 0 {
+		panic(fmt.Sprintf("core: degree %d must be even and ≥ 6", cfg.D))
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 2.5
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 1
+	}
+	nw := &Network{
+		cfg:     cfg,
+		net:     sim.NewNetwork(sim.Config{Seed: cfg.Seed}),
+		r:       rng.New(cfg.Seed ^ 0xabcdef0123456789),
+		slots:   make(map[int]*slot),
+		curSucc: make(map[int][]int32),
+		curPred: make(map[int][]int32),
+		nextID:  cfg.N0,
+	}
+	h := hgraph.Random(nw.r, cfg.N0, cfg.D)
+	nc := cfg.D / 2
+	for v := 0; v < cfg.N0; v++ {
+		succ := make([]int32, nc)
+		pred := make([]int32, nc)
+		for c := 0; c < nc; c++ {
+			succ[c] = int32(h.Cycle(c).Succ(v))
+			pred[c] = int32(h.Cycle(c).Pred(v))
+		}
+		nw.curSucc[v] = succ
+		nw.curPred[v] = pred
+		nw.members = append(nw.members, v)
+		nw.spawnMember(v, succ, pred)
+	}
+	return nw
+}
+
+// Members returns the current member ids (sorted; do not modify).
+func (nw *Network) Members() []int { return nw.members }
+
+// N returns the current member count.
+func (nw *Network) N() int { return len(nw.members) }
+
+// NextID previews the id the next joiner will receive.
+func (nw *Network) NextID() int { return nw.nextID }
+
+// NeighborsOf returns the current neighbors of a member with
+// multiplicity (predecessor and successor in each Hamilton cycle).
+func (nw *Network) NeighborsOf(id int) []int {
+	succ := nw.curSucc[id]
+	pred := nw.curPred[id]
+	out := make([]int, 0, 2*len(succ))
+	for c := range succ {
+		out = append(out, int(pred[c]), int(succ[c]))
+	}
+	return out
+}
+
+func (nw *Network) idOf(v int) sim.NodeID { return sim.NodeID(v + 1) }
+
+// spawnMember starts the protocol goroutine of a node that is already
+// part of the topology.
+func (nw *Network) spawnMember(id int, succ, pred []int32) {
+	st := &slot{}
+	nw.slots[id] = st
+	nw.net.Spawn(nw.idOf(id), func(ctx *sim.Ctx) {
+		nw.memberLoop(ctx, id, st, succ, pred)
+	})
+}
+
+// spawnJoiner starts a node that is not yet in the topology; it
+// announces itself to its sponsor and waits to be placed.
+func (nw *Network) spawnJoiner(id, sponsor int) {
+	st := &slot{}
+	nw.slots[id] = st
+	nw.net.Spawn(nw.idOf(id), func(ctx *sim.Ctx) {
+		plan := nw.plan
+		idBits := sim.IDBits(plan.params.N)
+		ctx.Send(nw.idOf(sponsor), helloMsg{ID: int32(id)}, idBits)
+		nc := nw.cfg.D / 2
+		succ := make([]int32, nc)
+		pred := make([]int32, nc)
+		st.assigned = 0
+		for r := 1; r < plan.rounds; r++ {
+			inbox := ctx.NextRound()
+			for _, m := range inbox {
+				if a, ok := m.Payload.(assignMsg); ok {
+					succ[a.Cycle] = a.Succ
+					pred[a.Cycle] = a.Pred
+					st.assigned++
+				}
+			}
+		}
+		if st.assigned != nc {
+			st.fails[FailAssign]++
+		}
+		st.succ, st.pred = succ, pred
+		st.active = make([]bool, nc)
+		st.placed = make([]int, nc)
+		ctx.NextRound() // commit: align with the members' final barrier
+		nw.memberLoop(ctx, id, st, succ, pred)
+	})
+}
+
+// memberLoop runs reconfiguration epochs until the node leaves. The
+// departure decision uses the flag captured at the start of the epoch
+// that just ran: the driver may already have marked this node as a
+// leaver for the NEXT epoch while it was parked at the commit barrier,
+// and that epoch must still be participated in.
+func (nw *Network) memberLoop(ctx *sim.Ctx, id int, st *slot, succ, pred []int32) {
+	for {
+		var left bool
+		succ, pred, left = nw.runEpoch(ctx, id, st, succ, pred)
+		if left {
+			return
+		}
+	}
+}
+
+// runEpoch executes one reconfiguration epoch for a member node and
+// returns its new per-cycle successors and predecessors, plus whether
+// the node was a leaver in this epoch (and hence must depart).
+func (nw *Network) runEpoch(ctx *sim.Ctx, id int, st *slot, succ, pred []int32) ([]int32, []int32, bool) {
+	plan := nw.plan
+	p := plan.params
+	nc := nw.cfg.D / 2
+	K := plan.doubling
+	r := ctx.RNG()
+	idBits := sim.IDBits(p.N)
+	leaving := st.leaving
+
+	st.fails = [numFailKinds]int{}
+	st.assigned = 0
+
+	// Round 1: nothing to send (joiners send hellos); collect hellos.
+	var joiners []int32
+	inbox := ctx.NextRound()
+	for _, m := range inbox {
+		if h, ok := m.Payload.(helloMsg); ok {
+			joiners = append(joiners, h.ID)
+		}
+	}
+
+	// Rounds 2..2T+1: rapid node sampling (Algorithm 1) over the
+	// current topology.
+	neighbors := make([]int, 0, nw.cfg.D)
+	for c := 0; c < nc; c++ {
+		neighbors = append(neighbors, int(pred[c]), int(succ[c]))
+	}
+	samples := sampling.RapidHGraphInline(ctx, p, id, neighbors, nw.idOf, nil, &st.fails[FailSampling])
+
+	// Round 2T+2 (Phase 1 of Algorithm 3): place own id (unless
+	// leaving) and every hosted joiner's id at independently sampled
+	// targets, one per cycle.
+	si := 0
+	nextSample := func() int {
+		if si < len(samples) {
+			v := samples[si]
+			si++
+			return v
+		}
+		// Budget exhausted: reuse a random sample (counted failure).
+		st.fails[FailBudget]++
+		return samples[r.Intn(len(samples))]
+	}
+	for c := 0; c < nc; c++ {
+		if !leaving {
+			ctx.Send(nw.idOf(nextSample()), placeMsg{Cycle: int8(c), ID: int32(id)}, idBits)
+		}
+		for _, j := range joiners {
+			ctx.Send(nw.idOf(nextSample()), placeMsg{Cycle: int8(c), ID: j}, idBits)
+		}
+	}
+
+	// Round 2T+3 (Phase 2): collect placements, permute per cycle.
+	seqs := make([][]int32, nc)
+	inbox = ctx.NextRound()
+	for _, m := range inbox {
+		if pm, ok := m.Payload.(placeMsg); ok {
+			seqs[pm.Cycle] = append(seqs[pm.Cycle], pm.ID)
+		}
+	}
+	active := make([]bool, nc)
+	st.placed = make([]int, nc)
+	for c := 0; c < nc; c++ {
+		st.placed[c] = len(seqs[c])
+		if len(seqs[c]) > 0 {
+			active[c] = true
+			r.Shuffle(len(seqs[c]), func(i, j int) {
+				seqs[c][i], seqs[c][j] = seqs[c][j], seqs[c][i]
+			})
+		}
+	}
+	st.active = active
+
+	// Rounds 2T+3 .. 2T+2+2K (Phase 3, pointer doubling): every node
+	// finds the nearest active node in successor direction along each
+	// old cycle; Lemma 12 bounds empty segments polylogarithmically, so
+	// K = O(log log n) steps suffice.
+	fwd := make([]int32, nc)
+	resolved := make([]bool, nc)
+	copy(fwd, succ)
+	for step := 0; step < K; step++ {
+		for c := 0; c < nc; c++ {
+			if !resolved[c] {
+				ctx.Send(nw.idOf(int(fwd[c])), dblQuery{Cycle: int8(c)}, idBits)
+			}
+		}
+		inbox = ctx.NextRound()
+		// Respond with our status and current jump pointer as of the
+		// start of this step.
+		for _, m := range inbox {
+			if q, ok := m.Payload.(dblQuery); ok {
+				ctx.Send(m.From, dblResp{
+					Cycle:     q.Cycle,
+					Active:    active[q.Cycle],
+					Fwd:       fwd[q.Cycle],
+					FwdActive: resolved[q.Cycle],
+				}, 2*idBits)
+			}
+		}
+		inbox = ctx.NextRound()
+		for _, m := range inbox {
+			if resp, ok := m.Payload.(dblResp); ok {
+				c := resp.Cycle
+				if resolved[c] {
+					continue
+				}
+				if resp.Active {
+					resolved[c] = true // fwd[c] already points at the responder
+				} else {
+					fwd[c] = resp.Fwd
+					resolved[c] = resp.FwdActive
+				}
+			}
+		}
+	}
+
+	// Round 2T+3+2K: active nodes send their last sequence element to
+	// their nearest active successor.
+	for c := 0; c < nc; c++ {
+		if active[c] {
+			if !resolved[c] {
+				st.fails[FailDoubling]++
+				continue
+			}
+			ctx.Send(nw.idOf(int(fwd[c])), boundMsg{Cycle: int8(c), Last: seqs[c][len(seqs[c])-1]}, idBits)
+		}
+	}
+
+	// Round 2T+4+2K: active nodes receive the boundary element from
+	// their nearest active predecessor and reply with their first one.
+	u0 := make([]int32, nc)
+	uLast := make([]int32, nc)
+	haveU0 := make([]bool, nc)
+	haveLast := make([]bool, nc)
+	inbox = ctx.NextRound()
+	for _, m := range inbox {
+		if b, ok := m.Payload.(boundMsg); ok {
+			c := b.Cycle
+			if haveU0[c] {
+				st.fails[FailBound]++ // two active predecessors: doubling failure
+				continue
+			}
+			u0[c] = b.Last
+			haveU0[c] = true
+			ctx.Send(m.From, boundReply{Cycle: c, First: seqs[c][0]}, idBits)
+		}
+	}
+
+	// Round 2T+5+2K: collect replies; send Phase 4 assignments.
+	inbox = ctx.NextRound()
+	for _, m := range inbox {
+		if br, ok := m.Payload.(boundReply); ok {
+			uLast[br.Cycle] = br.First
+			haveLast[br.Cycle] = true
+		}
+	}
+	for c := 0; c < nc; c++ {
+		if !active[c] {
+			continue
+		}
+		seq := seqs[c]
+		mLen := len(seq)
+		if !haveU0[c] {
+			st.fails[FailBound]++
+			u0[c] = seq[mLen-1]
+		}
+		if !haveLast[c] {
+			st.fails[FailBound]++
+			uLast[c] = seq[0]
+		}
+		for i := 0; i < mLen; i++ {
+			p0 := u0[c]
+			if i > 0 {
+				p0 = seq[i-1]
+			}
+			s0 := uLast[c]
+			if i < mLen-1 {
+				s0 = seq[i+1]
+			}
+			ctx.Send(nw.idOf(int(seq[i])), assignMsg{Cycle: int8(c), Pred: p0, Succ: s0}, 2*idBits)
+		}
+	}
+
+	// Round 2T+6+2K: receive the new neighbors and commit the result
+	// to the driver's slot.
+	newSucc := make([]int32, nc)
+	newPred := make([]int32, nc)
+	inbox = ctx.NextRound()
+	for _, m := range inbox {
+		if a, ok := m.Payload.(assignMsg); ok {
+			newSucc[a.Cycle] = a.Succ
+			newPred[a.Cycle] = a.Pred
+			st.assigned++
+		}
+	}
+	if !leaving && st.assigned != nc {
+		st.fails[FailAssign]++
+	}
+	st.succ, st.pred = newSucc, newPred
+	if !leaving {
+		// Commit barrier: the epoch ends and the next one begins at the
+		// other side of this call. Leavers skip it so their protocol
+		// goroutine departs at the end of the epoch's final round.
+		ctx.NextRound()
+	}
+	return newSucc, newPred, leaving
+}
+
+// RunEpoch performs one reconfiguration epoch: the given joiners enter
+// and the given members leave, the whole topology is resampled, and
+// the report summarizes validity, connectivity and the congestion
+// quantities of Lemmas 11 and 12. It returns the ids assigned to the
+// joiners along with the report.
+func (nw *Network) RunEpoch(joins []JoinSpec, leaves []int) (EpochReport, []int) {
+	nw.epoch++
+	n := len(nw.members)
+	nc := nw.cfg.D / 2
+
+	// Mark leavers.
+	isMember := make(map[int]bool, n)
+	for _, id := range nw.members {
+		isMember[id] = true
+	}
+	leaving := make(map[int]bool, len(leaves))
+	for _, id := range leaves {
+		if !isMember[id] {
+			panic(fmt.Sprintf("core: leaver %d is not a member", id))
+		}
+		if leaving[id] {
+			panic(fmt.Sprintf("core: duplicate leaver %d", id))
+		}
+		leaving[id] = true
+		nw.slots[id].leaving = true
+	}
+
+	if n-len(leaves)+len(joins) < 3 {
+		panic("core: epoch would leave fewer than 3 members")
+	}
+
+	// Count joiners per sponsor to size the sampling budget.
+	perSponsor := make(map[int]int)
+	maxJoin := 0
+	for _, j := range joins {
+		if !isMember[j.Sponsor] || leaving[j.Sponsor] {
+			panic(fmt.Sprintf("core: sponsor %d not a staying member", j.Sponsor))
+		}
+		perSponsor[j.Sponsor]++
+		if perSponsor[j.Sponsor] > maxJoin {
+			maxJoin = perSponsor[j.Sponsor]
+		}
+	}
+
+	// Sampling parameters: every staying node needs d/2·(1+hosted)
+	// samples; the paper runs polylogarithmically many primitive
+	// instances in parallel, which we realize as one instance with a
+	// proportionally larger budget constant c.
+	need := float64(nc*(1+maxJoin) + 1)
+	c := need/math.Log2(float64(n)) + 1
+	params := sampling.HGraphParams{N: n, D: nw.cfg.D, Alpha: nw.cfg.Alpha, Epsilon: nw.cfg.Epsilon, C: c}
+	K := doublingSteps(n)
+	plan := &epochPlan{
+		epoch:    nw.epoch,
+		params:   params,
+		doubling: K,
+		rounds:   EpochRounds(params.T(), K),
+	}
+	nw.plan = plan
+
+	// Spawn joiners; they announce themselves in round 1.
+	joinerIDs := make([]int, len(joins))
+	for i, j := range joins {
+		id := nw.nextID
+		nw.nextID++
+		joinerIDs[i] = id
+		nw.spawnJoiner(id, j.Sponsor)
+	}
+
+	workStart := len(nw.net.Work())
+	nw.net.Run(plan.rounds)
+
+	// Assemble the new member set.
+	var newMembers []int
+	for _, id := range nw.members {
+		if !leaving[id] {
+			newMembers = append(newMembers, id)
+		}
+	}
+	newMembers = append(newMembers, joinerIDs...)
+	sort.Ints(newMembers)
+
+	rep := EpochReport{
+		Epoch:  nw.epoch,
+		Rounds: plan.rounds,
+		NOld:   n,
+		NNew:   len(newMembers),
+	}
+	for _, w := range nw.net.Work()[workStart:] {
+		if w.MaxNodeBits > rep.MaxNodeBits {
+			rep.MaxNodeBits = w.MaxNodeBits
+		}
+	}
+
+	// Congestion and empty segments are measured on the OLD node set
+	// (the placements landed on old members).
+	for _, id := range nw.members {
+		st := nw.slots[id]
+		rep.Failures += st.failTotal()
+		for k := 0; k < numFailKinds; k++ {
+			rep.FailureKinds[k] += st.fails[k]
+		}
+		for c := 0; c < nc; c++ {
+			if st.placed != nil && st.placed[c] > rep.MaxChosen {
+				rep.MaxChosen = st.placed[c]
+			}
+		}
+	}
+	for _, id := range joinerIDs {
+		rep.Failures += nw.slots[id].failTotal()
+		for k := 0; k < numFailKinds; k++ {
+			rep.FailureKinds[k] += nw.slots[id].fails[k]
+		}
+	}
+	rep.MaxEmptySegment = nw.maxEmptySegment()
+
+	// Adopt the new topology.
+	newSucc := make(map[int][]int32, len(newMembers))
+	newPred := make(map[int][]int32, len(newMembers))
+	for _, id := range newMembers {
+		st := nw.slots[id]
+		newSucc[id] = st.succ
+		newPred[id] = st.pred
+	}
+	for _, id := range leaves {
+		delete(nw.slots, id)
+	}
+	nw.curSucc, nw.curPred = newSucc, newPred
+	nw.members = newMembers
+
+	rep.Valid = nw.validateTopology() == nil
+	g := nw.BuildGraph()
+	rep.Connected = g.IsConnected()
+	if nw.MeasureExpansion && rep.Connected {
+		rep.SecondEigenvalue = g.SecondEigenvalue(nw.r, 100)
+	}
+	return rep, joinerIDs
+}
+
+// maxEmptySegment scans every old cycle for the longest run of
+// inactive nodes (Lemma 12), using the active flags the nodes recorded.
+// Runs that wrap around the cycle's scan origin are merged.
+func (nw *Network) maxEmptySegment() int {
+	nc := nw.cfg.D / 2
+	n := len(nw.members)
+	maxSeg := 0
+	for c := 0; c < nc; c++ {
+		start := nw.members[0]
+		v := start
+		run := 0     // current run of inactive nodes
+		first := -1  // scan index of the first active node
+		leading := 0 // inactive prefix before the first active node
+		for i := 0; i < n; i++ {
+			st := nw.slots[v]
+			isActive := st != nil && c < len(st.active) && st.active[c]
+			if isActive {
+				if first < 0 {
+					first = i
+					leading = run
+				}
+				if run > maxSeg {
+					maxSeg = run
+				}
+				run = 0
+			} else {
+				run++
+			}
+			succ, ok := nw.curSucc[v]
+			if !ok || c >= len(succ) {
+				return maxSeg
+			}
+			v = int(succ[c])
+		}
+		if first < 0 {
+			// No active node at all: the whole cycle is one empty segment.
+			if n > maxSeg {
+				maxSeg = n
+			}
+		} else if run+leading > maxSeg {
+			// Wrap-around: the trailing run continues into the prefix.
+			maxSeg = run + leading
+		}
+	}
+	return maxSeg
+}
+
+// validateTopology checks that every cycle is a single Hamilton cycle
+// over the current member set.
+func (nw *Network) validateTopology() error {
+	nc := nw.cfg.D / 2
+	n := len(nw.members)
+	if n < 3 {
+		return fmt.Errorf("core: too few members (%d)", n)
+	}
+	for c := 0; c < nc; c++ {
+		start := nw.members[0]
+		v := start
+		seen := make(map[int]bool, n)
+		for i := 0; i < n; i++ {
+			succ, ok := nw.curSucc[v]
+			if !ok || c >= len(succ) {
+				return fmt.Errorf("core: member %d has no successor in cycle %d", v, c)
+			}
+			w := int(succ[c])
+			predW, ok := nw.curPred[w]
+			if !ok || int(predW[c]) != v {
+				return fmt.Errorf("core: pred/succ mismatch at %d -> %d in cycle %d", v, w, c)
+			}
+			if seen[v] {
+				return fmt.Errorf("core: cycle %d revisits %d early", c, v)
+			}
+			seen[v] = true
+			v = w
+		}
+		if v != start {
+			return fmt.Errorf("core: cycle %d does not close", c)
+		}
+	}
+	return nil
+}
+
+// BuildGraph materializes the current topology as a multigraph over
+// compacted vertex indices (in Members() order).
+func (nw *Network) BuildGraph() *graph.Graph {
+	idx := make(map[int]int, len(nw.members))
+	for i, id := range nw.members {
+		idx[id] = i
+	}
+	g := graph.New(len(nw.members))
+	nc := nw.cfg.D / 2
+	for _, id := range nw.members {
+		succ := nw.curSucc[id]
+		for c := 0; c < nc; c++ {
+			j, ok := idx[int(succ[c])]
+			if !ok || j == idx[id] {
+				continue // invalid topology; validateTopology reports it
+			}
+			g.AddEdge(idx[id], j)
+		}
+	}
+	return g
+}
+
+// Shutdown stops all node goroutines.
+func (nw *Network) Shutdown() { nw.net.Shutdown() }

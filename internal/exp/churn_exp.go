@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"overlaynet/internal/churn"
+	"overlaynet/internal/core"
+	"overlaynet/internal/metrics"
+	"overlaynet/internal/rng"
+)
+
+// coreConfig returns the expander-network configuration used by the
+// churn experiments.
+func coreConfig(seed uint64, n int) core.Config {
+	return core.Config{Seed: seed, N0: n, D: 8, Alpha: 2, Epsilon: 1}
+}
+
+// E6ReconfigChurn measures Theorems 4 and 5: rounds per reconfiguration
+// (O(log log n)), and validity/connectivity of every epoch under
+// adversarial churn of increasing aggressiveness.
+func E6ReconfigChurn(o Options) *metrics.Table {
+	t := metrics.NewTable("E6  Theorems 4/5 — reconfiguration under adversarial churn (d=8)",
+		"n", "adversary", "epochs", "rounds/epoch", "loglog n", "connected", "valid", "failures")
+	epochs := 4
+	if o.Quick {
+		epochs = 2
+	}
+	for _, n := range o.sizes([]int{64}, []int{64, 256, 1024}) {
+		advs := []struct {
+			name string
+			adv  churn.Adversary
+		}{
+			{"none", nil},
+			{"replace-25%", &churn.Replace{Fraction: 0.25, R: rng.New(o.Seed + 1)}},
+			{"replace-50%", &churn.Replace{Fraction: 0.5, R: rng.New(o.Seed + 2)}},
+			{"target-oldest-25%", &churn.TargetOldest{Fraction: 0.25, R: rng.New(o.Seed + 3)}},
+			{"neighborhood-25%", &churn.TargetNeighborhood{Fraction: 0.25, R: rng.New(o.Seed + 4)}},
+		}
+		if o.Quick {
+			advs = advs[:2]
+		}
+		for _, a := range advs {
+			nw := core.NewNetwork(coreConfig(o.Seed^uint64(n), n))
+			var reports []core.EpochReport
+			if a.adv == nil {
+				for e := 0; e < epochs; e++ {
+					rep, _ := nw.RunEpoch(nil, nil)
+					reports = append(reports, rep)
+				}
+			} else {
+				reports = churn.Run(nw, a.adv, epochs)
+			}
+			nw.Shutdown()
+			connected, valid, failures, rounds := true, true, 0, 0
+			for _, rep := range reports {
+				connected = connected && rep.Connected
+				valid = valid && rep.Valid
+				failures += rep.Failures
+				rounds = rep.Rounds
+			}
+			t.AddRowf(n, a.name, epochs, rounds,
+				fmt.Sprintf("%.2f", math.Log2(math.Log2(float64(n)))),
+				connected, valid, failures)
+		}
+	}
+	return t
+}
+
+// E7CongestionSegments measures Lemmas 11 and 12: the maximum number of
+// placements any node receives per cycle and the longest empty segment
+// along the old cycles, against a polylog envelope.
+func E7CongestionSegments(o Options) *metrics.Table {
+	t := metrics.NewTable("E7  Lemmas 11/12 — congestion and empty segments per reconfiguration",
+		"n", "max chosen", "max empty segment", "log2 n", "polylog env (4 log^2)", "max bits/node-round")
+	for _, n := range o.sizes([]int{64}, []int{64, 256, 1024, 2048}) {
+		nw := core.NewNetwork(coreConfig(o.Seed^uint64(n), n))
+		maxChosen, maxSeg := 0, 0
+		var maxBits int64
+		epochs := 3
+		if o.Quick {
+			epochs = 1
+		}
+		for e := 0; e < epochs; e++ {
+			rep, _ := nw.RunEpoch(nil, nil)
+			if rep.MaxChosen > maxChosen {
+				maxChosen = rep.MaxChosen
+			}
+			if rep.MaxEmptySegment > maxSeg {
+				maxSeg = rep.MaxEmptySegment
+			}
+			if rep.MaxNodeBits > maxBits {
+				maxBits = rep.MaxNodeBits
+			}
+		}
+		nw.Shutdown()
+		t.AddRowf(n, maxChosen, maxSeg, fmt.Sprintf("%.1f", math.Log2(float64(n))),
+			metrics.PolylogEnvelope(n, 2, 4), maxBits)
+	}
+	return t
+}

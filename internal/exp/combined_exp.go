@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"overlaynet/internal/dos"
+	"overlaynet/internal/metrics"
+	"overlaynet/internal/rng"
+	"overlaynet/internal/sim"
+	"overlaynet/internal/splitmerge"
+)
+
+// E10ChurnDoS measures Theorem 7 and Lemma 18: connectivity under
+// simultaneous churn (rate γ per reconfiguration) and a late
+// (1/2−ε)-bounded DoS attack, plus the split/merge health: dimension
+// spread ≤ 2 and Equation (1) maintained.
+func E10ChurnDoS(o Options) *metrics.Table {
+	t := metrics.NewTable("E10  Theorem 7 / Lemma 18 — churn + DoS with split/merge supernodes",
+		"n0", "churn/epoch", "blocked", "epochs", "disc rounds", "dim spread", "eq1 ok", "splits", "merges", "n final")
+	epochs := 4
+	if o.Quick {
+		epochs = 2
+	}
+	for _, n0 := range o.sizes([]int{512}, []int{512, 1024, 2048}) {
+		cases := []struct {
+			churnFrac float64
+			blocked   float64
+		}{
+			{0, 0.4},
+			{0.125, 0},
+			{0.125, 0.4},
+			{0.25, 0.3},
+		}
+		if o.Quick {
+			cases = cases[2:3]
+		}
+		for _, cse := range cases {
+			nw := splitmerge.New(splitmerge.Config{Seed: o.Seed ^ uint64(n0), N0: n0})
+			var adv dos.Adversary
+			if cse.blocked > 0 {
+				adv = &dos.GroupIsolate{Fraction: cse.blocked, R: rng.New(o.Seed + uint64(n0))}
+			}
+			buf := &dos.Buffer{Lateness: 2 * nw.EpochRounds()}
+			r := rng.New(o.Seed + 99)
+			disc := 0
+			for e := 0; e < epochs; e++ {
+				if cse.churnFrac > 0 {
+					members := nw.Members()
+					churn := int(cse.churnFrac * float64(len(members)))
+					gone := map[sim.NodeID]bool{}
+					for len(gone) < churn {
+						id := members[r.Intn(len(members))]
+						if !gone[id] {
+							gone[id] = true
+							nw.Leave(id)
+						}
+					}
+					for i := 0; i < churn; i++ {
+						for {
+							s := members[r.Intn(len(members))]
+							if !gone[s] {
+								nw.Join(s)
+								break
+							}
+						}
+					}
+				}
+				for _, rep := range nw.Run(adv, buf, nw.EpochRounds()) {
+					if rep.Measured && !rep.Connected {
+						disc++
+					}
+				}
+			}
+			st := nw.StatsSnapshot()
+			t.AddRowf(n0, cse.churnFrac, cse.blocked, epochs, disc,
+				st.MaxDimSpread, st.Eq1Violations == 0 && nw.Eq1Holds(),
+				st.Splits, st.Merges+st.ForcedMerges, nw.N())
+		}
+	}
+	return t
+}

@@ -1,0 +1,60 @@
+// Package exp contains one driver per experiment of the reproduction
+// (see DESIGN.md §3): each driver runs a workload sweep against the
+// implemented systems and renders the quantities the corresponding
+// theorem or lemma bounds. The drivers are shared by the testing.B
+// benchmarks in the repository root (bench_test.go) and by
+// cmd/benchtables, which regenerates every table.
+package exp
+
+import "overlaynet/internal/metrics"
+
+// Options scales an experiment.
+type Options struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Quick shrinks the sweeps for use inside unit tests and
+	// short benchmark runs.
+	Quick bool
+}
+
+// sizes returns quick or full sweep sizes.
+func (o Options) sizes(quick, full []int) []int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Experiment couples an id to its driver for enumeration by the CLI.
+type Experiment struct {
+	ID    string
+	Claim string
+	Run   func(Options) *metrics.Table
+}
+
+// All enumerates every experiment in DESIGN.md order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Thm 2: rapid sampling on H-graphs — O(log log n) rounds, almost-uniform", E1RapidSamplingHGraph},
+		{"E2", "Thm 2: communication work per node-round is polylog", E2CommunicationWork},
+		{"E3", "Thm 3: rapid sampling on hypercubes — O(log log n) rounds, uniform", E3RapidSamplingHypercube},
+		{"E4", "§1/§3: exponential speed-up over plain random-walk sampling", E4RapidVsWalk},
+		{"E5", "Lemma 7: budget schedule succeeds w.h.p.; undersized budgets fail", E5SuccessProbability},
+		{"E6", "Thm 4/5: reconfiguration keeps connectivity under constant-rate churn", E6ReconfigChurn},
+		{"E7", "Lemmas 11/12: congestion and empty segments are polylog", E7CongestionSegments},
+		{"E8", "Thm 6: connectivity under (1/2-eps)-bounded late DoS; 0-late disconnects", E8DoSConnectivity},
+		{"E9", "Lemmas 16/17: group sizes concentrate; less than half of each group blocked", E9GroupBalance},
+		{"E10", "Thm 7 + Lemma 18: churn+DoS with split/merge; dim spread <= 2", E10ChurnDoS},
+		{"E11", "Cor 2: anonymous routing delivers in O(1) rounds under attack", E11AnonRouting},
+		{"E12", "Thm 8: robust DHT serves batches under budget blocking", E12RobustDHT},
+		{"E13", "§7.3: publish-subscribe aggregation and retrieval", E13PubSub},
+		{"E14", "Lemma 4: pointer doubling reaches distance D in ~log2 D rounds", E14PointerDoubling},
+		{"A1", "Ablation: geometric vs flat sampling budgets", A1BudgetAblation},
+		{"A2", "Ablation: lowest-id vs rotating synchronization rule", A2SyncRule},
+		{"A3", "Ablation: the sampling primitive needs expansion (torus control)", A3ExpansionMatters},
+		{"X1", "Extension (§8): churn-rate limit of the split/merge network", X1ChurnRateLimit},
+		{"X2", "Extension (§6): permanent crash failures", X2CrashFailures},
+		{"X3", "Extension (§7.2): rapid sampling on k-ary hypercubes", X3KAryRapidSampling},
+		{"X4", "Extension (§7.2): the reconfigured k-ary hypercube network under DoS", X4KAryNetwork},
+	}
+}

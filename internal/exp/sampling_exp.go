@@ -1,0 +1,244 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"overlaynet/internal/hgraph"
+	"overlaynet/internal/metrics"
+	"overlaynet/internal/rng"
+	"overlaynet/internal/sampling"
+	"overlaynet/internal/sim"
+)
+
+// expParams returns the sampling parameters used across the
+// experiments: d = 8, α = 2, ε = 1, c = 2. The slack (2+ε)^{T−i} with
+// ε = 1 and c·log n ≥ 2·log₂ n final budgets keeps the per-node
+// failure probability far below 1/n (Lemma 7) at every sweep size.
+func expParams(n int) sampling.HGraphParams {
+	return sampling.HGraphParams{N: n, D: 8, Alpha: 2, Epsilon: 1, C: 2}
+}
+
+// E1RapidSamplingHGraph measures Theorem 2's claims on ℍ-graphs:
+// rounds (O(log log n)), samples per node (≥ β log n), total-variation
+// distance of the pooled samples to uniform, and protocol failures.
+func E1RapidSamplingHGraph(o Options) *metrics.Table {
+	t := metrics.NewTable("E1  Theorem 2 — rapid node sampling in H-graphs (d=8, alpha=2, eps=1, c=2)",
+		"n", "rounds", "loglog n", "samples/node", "TV", "3x envelope", "failures")
+	r := rng.New(o.Seed)
+	for _, n := range o.sizes([]int{128, 256}, []int{256, 512, 1024, 2048}) {
+		p := expParams(n)
+		h := hgraph.Random(r, n, p.D)
+		res := sampling.RapidHGraph(o.Seed^uint64(n), h, p)
+		counts := make([]int, n)
+		total := 0
+		for _, s := range res.Samples {
+			for _, w := range s {
+				counts[w]++
+				total++
+			}
+		}
+		t.AddRowf(n, res.Rounds, fmt.Sprintf("%.2f", math.Log2(math.Log2(float64(n)))),
+			p.Samples(), metrics.TVDistanceUniform(counts),
+			3*metrics.ExpectedTVUniform(n, total), res.Failures)
+	}
+	return t
+}
+
+// E2CommunicationWork measures Theorem 2's communication-work bound:
+// the peak per-node per-round bits against the paper's
+// O(log^{2+log(2+ε)} n) envelope.
+func E2CommunicationWork(o Options) *metrics.Table {
+	t := metrics.NewTable("E2  Theorem 2 — communication work per node per round",
+		"n", "max bits/node-round", "log^k n envelope", "ratio", "total Mbits")
+	r := rng.New(o.Seed)
+	for _, n := range o.sizes([]int{128, 256}, []int{256, 512, 1024, 2048}) {
+		p := expParams(n)
+		h := hgraph.Random(r, n, p.D)
+		res := sampling.RapidHGraph(o.Seed^uint64(n), h, p)
+		k := 2 + math.Log2(2+p.Epsilon)
+		env := metrics.PolylogEnvelope(n, k, 1)
+		t.AddRowf(n, res.MaxNodeBits, env, float64(res.MaxNodeBits)/env,
+			float64(res.TotalBits)/1e6)
+	}
+	return t
+}
+
+// E3RapidSamplingHypercube measures Theorem 3 on the binary hypercube:
+// rounds, exact uniformity (TV against the envelope), failures.
+func E3RapidSamplingHypercube(o Options) *metrics.Table {
+	t := metrics.NewTable("E3  Theorem 3 — rapid node sampling in the hypercube (eps=1, c=2)",
+		"dim", "n", "rounds", "samples/node", "TV", "3x envelope", "failures")
+	for _, dim := range o.sizes([]int{4}, []int{2, 4, 8}) {
+		p := sampling.HypercubeParams{Dim: dim, Epsilon: 1, C: 2}
+		res := sampling.RapidHypercube(o.Seed^uint64(dim), p)
+		n := 1 << dim
+		counts := make([]int, n)
+		total := 0
+		for _, s := range res.Samples {
+			for _, w := range s {
+				counts[w]++
+				total++
+			}
+		}
+		t.AddRowf(dim, n, res.Rounds, p.Samples(),
+			metrics.TVDistanceUniform(counts), 3*metrics.ExpectedTVUniform(n, total), res.Failures)
+	}
+	return t
+}
+
+// E4RapidVsWalk compares the rapid primitives against the classic
+// distributed random-walk samplers: rounds and the speed-up factor,
+// which must grow like log n / log log n (the paper's exponential
+// improvement over Das Sarma et al.).
+func E4RapidVsWalk(o Options) *metrics.Table {
+	t := metrics.NewTable("E4  Rapid sampling vs plain random walks (who wins, by what factor)",
+		"topology", "n", "walk rounds", "rapid rounds", "speed-up", "walk TV", "rapid TV")
+	r := rng.New(o.Seed)
+	for _, n := range o.sizes([]int{128}, []int{256, 1024, 2048}) {
+		p := expParams(n)
+		h := hgraph.Random(r, n, p.D)
+		steps := p.WalkTarget()
+		base := sampling.BaselineWalkHGraph(o.Seed^uint64(n), h, 4, steps)
+		rapid := sampling.RapidHGraph(o.Seed^uint64(n)+1, h, p)
+		t.AddRowf("H-graph", n, base.Rounds, rapid.Rounds,
+			fmt.Sprintf("%.1fx", float64(base.Rounds)/float64(rapid.Rounds)),
+			tvOf(base.Samples, n), tvOf(rapid.Samples, n))
+	}
+	for _, dim := range o.sizes([]int{4}, []int{4, 8}) {
+		p := sampling.DefaultHypercubeParams(dim)
+		base := sampling.BaselineWalkHypercube(o.Seed^uint64(dim), dim, 4)
+		rapid := sampling.RapidHypercube(o.Seed^uint64(dim)+1, p)
+		n := 1 << dim
+		t.AddRowf("hypercube", n, base.Rounds, rapid.Rounds,
+			fmt.Sprintf("%.1fx", float64(base.Rounds)/float64(rapid.Rounds)),
+			tvOf(base.Samples, n), tvOf(rapid.Samples, n))
+	}
+	return t
+}
+
+func tvOf(samples [][]int, n int) float64 {
+	counts := make([]int, n)
+	for _, s := range samples {
+		for _, w := range s {
+			counts[w]++
+		}
+	}
+	return metrics.TVDistanceUniform(counts)
+}
+
+// E5SuccessProbability sweeps the budget constant c downward and the
+// slack ε toward zero: Lemma 7 predicts zero failures for healthy
+// budgets and rising extraction failures as the headroom vanishes.
+func E5SuccessProbability(o Options) *metrics.Table {
+	t := metrics.NewTable("E5  Lemma 7 — failure injection by budget undersizing (n=256, d=8)",
+		"epsilon", "c", "m_0", "failures", "fail/node")
+	n := 256
+	r := rng.New(o.Seed)
+	h := hgraph.Random(r, n, 8)
+	cases := []struct{ eps, c float64 }{
+		{1, 1}, {0.5, 1}, {0.25, 0.5}, {0.05, 0.2}, {0.01, 0.05},
+	}
+	if o.Quick {
+		cases = cases[:3]
+	}
+	for _, cse := range cases {
+		p := sampling.HGraphParams{N: n, D: 8, Alpha: 2, Epsilon: cse.eps, C: cse.c}
+		res := sampling.RapidHGraph(o.Seed, h, p)
+		t.AddRowf(cse.eps, cse.c, p.M(0), res.Failures, float64(res.Failures)/float64(n))
+	}
+	return t
+}
+
+// A1BudgetAblation contrasts the geometric budget schedule of Lemma 7
+// with a flat schedule holding the same final sample count: the flat
+// schedule starves the serve phase and fails, at lower communication.
+func A1BudgetAblation(o Options) *metrics.Table {
+	t := metrics.NewTable("A1  Ablation — geometric vs flat sampling budgets (n=512, d=8)",
+		"schedule", "epsilon", "m_0", "failures", "max bits/node-round")
+	n := 512
+	r := rng.New(o.Seed)
+	h := hgraph.Random(r, n, 8)
+	for _, eps := range o.sizes([]int{1}, []int{1, 2, 4}) {
+		epsilon := float64(eps) / 4
+		if epsilon > 1 {
+			epsilon = 1
+		}
+		for _, flat := range []bool{false, true} {
+			p := sampling.HGraphParams{N: n, D: 8, Alpha: 2, Epsilon: epsilon, C: 1, FlatBudget: flat}
+			res := sampling.RapidHGraph(o.Seed^uint64(eps), h, p)
+			name := "geometric"
+			if flat {
+				name = "flat"
+			}
+			t.AddRowf(name, epsilon, p.M(0), res.Failures, res.MaxNodeBits)
+		}
+	}
+	return t
+}
+
+// E14PointerDoubling demonstrates the mechanism behind Lemma 4's lower
+// bound: nodes on a cycle repeatedly introduce their known contacts to
+// each other; the farthest node (distance n/2) becomes known after
+// ≈ log₂(n/2) rounds — and no algorithm can beat that. The sweep stops
+// at n = 256 because the protocol's final rounds are inherently
+// quadratic in communication (the paper: "the communication work per
+// round when using message passing is huge towards the end").
+func E14PointerDoubling(o Options) *metrics.Table {
+	t := metrics.NewTable("E14  Lemma 4 — pointer doubling across a cycle",
+		"n", "distance", "rounds to know antipode", "log2(distance)")
+	for _, n := range o.sizes([]int{64}, []int{64, 128, 256}) {
+		rounds := pointerDoublingRounds(o.Seed, n)
+		t.AddRowf(n, n/2, rounds, fmt.Sprintf("%.1f", math.Log2(float64(n/2))))
+	}
+	return t
+}
+
+// pointerDoublingRounds runs the introduce-all-contacts protocol on an
+// n-cycle until node 0 knows its antipode, returning the round count.
+// The horizon ⌈log₂ n⌉+2 always suffices: the knowledge radius doubles
+// every round.
+func pointerDoublingRounds(seed uint64, n int) int {
+	net := sim.NewNetwork(sim.Config{Seed: seed})
+	type intro struct{ IDs []int32 }
+	found := make([]int, n)
+	antipode := int32(n / 2)
+	idBits := sim.IDBits(n)
+	horizon := int(math.Ceil(math.Log2(float64(n)))) + 2
+	for v := 0; v < n; v++ {
+		v := v
+		net.Spawn(sim.NodeID(v+1), func(ctx *sim.Ctx) {
+			known := map[int32]bool{int32((v + 1) % n): true, int32((v + n - 1) % n): true}
+			for round := 1; round <= horizon; round++ {
+				// Send the full contact list to every contact; once
+				// everything is known nothing new can be learned, so
+				// stop contributing to the quadratic blow-up.
+				if len(known) < n-1 {
+					list := make([]int32, 0, len(known))
+					for w := range known {
+						list = append(list, w)
+					}
+					for w := range known {
+						ctx.Send(sim.NodeID(int(w)+1), intro{IDs: list}, len(list)*idBits)
+					}
+				}
+				inbox := ctx.NextRound()
+				for _, m := range inbox {
+					if in, ok := m.Payload.(intro); ok {
+						for _, w := range in.IDs {
+							if int(w) != v {
+								known[w] = true
+							}
+						}
+					}
+				}
+				if v == 0 && found[0] == 0 && known[antipode] {
+					found[0] = round
+				}
+			}
+		})
+	}
+	net.Run(horizon + 1)
+	net.Shutdown()
+	return found[0]
+}

@@ -1,0 +1,75 @@
+package graph
+
+import (
+	"math"
+
+	"overlaynet/internal/rng"
+)
+
+// SecondEigenvalue estimates |λ₂|, the largest absolute eigenvalue of
+// the adjacency matrix orthogonal to the all-ones vector, via power
+// iteration with deflation. For a d-regular graph this certifies
+// expansion: the paper's Corollary 1 states that a random H-graph has
+// |λ_i| ≤ 2√d for all i > 1, w.h.p.
+//
+// The estimate is a lower bound that converges from below; iters on the
+// order of a few hundred suffices for the λ₂/λ₁ gaps seen here.
+func (g *Graph) SecondEigenvalue(r *rng.RNG, iters int) float64 {
+	if g.n < 2 {
+		return 0
+	}
+	x := make([]float64, g.n)
+	y := make([]float64, g.n)
+	for i := range x {
+		x[i] = r.Float64() - 0.5
+	}
+	deflate(x)
+	normalize(x)
+	est := 0.0
+	for it := 0; it < iters; it++ {
+		// y = A·x (adjacency including parallel edges).
+		for i := range y {
+			y[i] = 0
+		}
+		for v := 0; v < g.n; v++ {
+			xv := x[v]
+			for _, w := range g.adj[v] {
+				y[w] += xv
+			}
+		}
+		deflate(y)
+		norm := normalize(y)
+		x, y = y, x
+		est = norm
+	}
+	return est
+}
+
+// deflate removes the component along the all-ones vector, the top
+// eigenvector of a regular graph.
+func deflate(x []float64) {
+	mean := 0.0
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	for i := range x {
+		x[i] -= mean
+	}
+}
+
+// normalize scales x to unit Euclidean norm and returns the prior norm.
+func normalize(x []float64) float64 {
+	ss := 0.0
+	for _, v := range x {
+		ss += v * v
+	}
+	norm := math.Sqrt(ss)
+	if norm == 0 {
+		return 0
+	}
+	for i := range x {
+		x[i] /= norm
+	}
+	return norm
+}

@@ -1,0 +1,138 @@
+// Package hypercube implements the hypercube topologies of the paper:
+// the binary d-dimensional hypercube of Section 2.2 (the supernode
+// topology of Section 5), the d-dimensional k-ary hypercube of
+// Definition 1 (used by the robust DHT of Section 7.2), and the
+// variable-length supernode labels needed for the split/merge scheme of
+// Section 6.
+package hypercube
+
+import (
+	"fmt"
+
+	"overlaynet/internal/graph"
+)
+
+// Vertex is a binary hypercube vertex: the d-tuple (b₁,…,b_d) encoded
+// with b_i in bit i-1.
+type Vertex uint64
+
+// N returns the number of vertices of the d-dimensional binary cube.
+func N(d int) int { return 1 << d }
+
+// Neighbor returns n_i(v): v with coordinate i (1-indexed, as in the
+// paper) flipped.
+func Neighbor(v Vertex, i int) Vertex {
+	return v ^ (1 << (i - 1))
+}
+
+// Neighbors returns all d neighbors of v in dimension order.
+func Neighbors(v Vertex, d int) []Vertex {
+	out := make([]Vertex, d)
+	for i := 1; i <= d; i++ {
+		out[i-1] = Neighbor(v, i)
+	}
+	return out
+}
+
+// Bit returns coordinate i (1-indexed) of v.
+func Bit(v Vertex, i int) int { return int(v>>(i-1)) & 1 }
+
+// Graph materializes the binary d-cube.
+func Graph(d int) *graph.Graph {
+	n := N(d)
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for i := 1; i <= d; i++ {
+			w := int(Neighbor(Vertex(v), i))
+			if v < w {
+				g.AddEdge(v, w)
+			}
+		}
+	}
+	return g
+}
+
+// Dist returns the Hamming distance between two vertices.
+func Dist(a, b Vertex) int {
+	x := a ^ b
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// KAry is the d-dimensional k-ary hypercube of Definition 1:
+// V = {0,…,k−1}^d, with an edge between tuples that differ in exactly
+// one coordinate. It has k^d vertices, degree (k−1)·d, and diameter d.
+type KAry struct {
+	K, D int
+	pow  []int // pow[i] = k^i
+}
+
+// NewKAry returns the d-dimensional k-ary hypercube descriptor.
+func NewKAry(k, d int) *KAry {
+	if k < 2 || d < 1 {
+		panic(fmt.Sprintf("hypercube: invalid k-ary cube k=%d d=%d", k, d))
+	}
+	pow := make([]int, d+1)
+	pow[0] = 1
+	for i := 1; i <= d; i++ {
+		pow[i] = pow[i-1] * k
+	}
+	return &KAry{K: k, D: d, pow: pow}
+}
+
+// N returns k^d.
+func (c *KAry) N() int { return c.pow[c.D] }
+
+// Degree returns (k−1)·d.
+func (c *KAry) Degree() int { return (c.K - 1) * c.D }
+
+// Coord returns coordinate i (0-indexed) of vertex v.
+func (c *KAry) Coord(v, i int) int { return v / c.pow[i] % c.K }
+
+// WithCoord returns v with coordinate i set to val.
+func (c *KAry) WithCoord(v, i, val int) int {
+	old := c.Coord(v, i)
+	return v + (val-old)*c.pow[i]
+}
+
+// Neighbors returns all (k−1)·d neighbors of v.
+func (c *KAry) Neighbors(v int) []int {
+	out := make([]int, 0, c.Degree())
+	for i := 0; i < c.D; i++ {
+		cur := c.Coord(v, i)
+		for val := 0; val < c.K; val++ {
+			if val != cur {
+				out = append(out, c.WithCoord(v, i, val))
+			}
+		}
+	}
+	return out
+}
+
+// Graph materializes the k-ary cube.
+func (c *KAry) Graph() *graph.Graph {
+	g := graph.New(c.N())
+	for v := 0; v < c.N(); v++ {
+		for _, w := range c.Neighbors(v) {
+			if v < w {
+				g.AddEdge(v, w)
+			}
+		}
+	}
+	return g
+}
+
+// Dist returns the number of differing coordinates (graph distance).
+func (c *KAry) Dist(a, b int) int {
+	d := 0
+	for i := 0; i < c.D; i++ {
+		if c.Coord(a, i) != c.Coord(b, i) {
+			d++
+		}
+	}
+	return d
+}

@@ -1,0 +1,137 @@
+// Package rng provides a small, fast, deterministic random number
+// generator used throughout the simulator.
+//
+// All randomness in overlaynet flows through this package so that every
+// experiment is exactly reproducible from a single 64-bit seed. The
+// generator is xoshiro256** (Blackman & Vigna), seeded via splitmix64.
+// It is not safe for concurrent use; the simulator gives every node its
+// own generator derived deterministically from (network seed, node id)
+// via Split, which keeps parallel execution reproducible.
+package rng
+
+import "math/bits"
+
+// RNG is a deterministic pseudo-random number generator.
+// The zero value is not valid; use New or Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// splitmix64 advances x and returns the next splitmix64 output.
+// It is used to expand seeds into full xoshiro state.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	// xoshiro must not start from the all-zero state; splitmix64 of any
+	// seed never yields four zeros, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives a new independent generator from this one and the given
+// stream identifier. Two Splits with different ids yield generators with
+// unrelated streams; Split does not advance the parent.
+func (r *RNG) Split(id uint64) *RNG {
+	x := r.s[0] ^ bits.RotateLeft64(r.s[2], 17) ^ (id * 0xd1342543de82ef95)
+	n := &RNG{}
+	for i := range n.s {
+		n.s[i] = splitmix64(&x)
+	}
+	if n.s[0]|n.s[1]|n.s[2]|n.s[3] == 0 {
+		n.s[0] = 0x9e3779b97f4a7c15
+	}
+	return n
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's
+// nearly-divisionless method. It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Coin returns true with probability 1/2.
+func (r *RNG) Coin() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts permutes p uniformly at random in place.
+func (r *RNG) ShuffleInts(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Shuffle permutes n elements in place using the given swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

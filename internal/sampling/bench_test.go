@@ -1,0 +1,50 @@
+package sampling
+
+import (
+	"testing"
+
+	"overlaynet/internal/hgraph"
+	"overlaynet/internal/rng"
+)
+
+func BenchmarkRapidHGraph1024(b *testing.B) {
+	h := hgraph.Random(rng.New(1), 1024, 8)
+	p := HGraphParams{N: 1024, D: 8, Alpha: 2, Epsilon: 1, C: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RapidHGraph(uint64(i)+1, h, p)
+	}
+}
+
+func BenchmarkRapidHypercubeDim8(b *testing.B) {
+	p := DefaultHypercubeParams(8)
+	for i := 0; i < b.N; i++ {
+		RapidHypercube(uint64(i)+1, p)
+	}
+}
+
+func BenchmarkRapidKAry3x4(b *testing.B) {
+	p := KAryParams{K: 3, Dim: 4, Epsilon: 1, C: 2}
+	for i := 0; i < b.N; i++ {
+		RapidKAry(uint64(i)+1, p)
+	}
+}
+
+func BenchmarkBaselineWalkHGraph256(b *testing.B) {
+	h := hgraph.Random(rng.New(1), 256, 8)
+	p := DefaultHGraphParams(256, 8)
+	steps := p.WalkTarget()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BaselineWalkHGraph(uint64(i)+1, h, 4, steps)
+	}
+}
+
+func BenchmarkCentralWalkHGraph(b *testing.B) {
+	r := rng.New(1)
+	h := hgraph.Random(r, 1024, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WalkHGraph(r, h, i%1024, 44)
+	}
+}

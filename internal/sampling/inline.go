@@ -1,0 +1,109 @@
+package sampling
+
+import (
+	"sort"
+
+	"overlaynet/internal/sim"
+)
+
+// RapidHGraphInline runs the per-node part of Algorithm 1 inside an
+// existing node protocol, so that longer-lived protocols (the
+// reconfiguration network of Section 4) can use rapid node sampling as
+// a sub-phase. All nodes of the network must call it in the same round
+// with the same parameters.
+//
+// The call sends its first requests in the current round and performs
+// exactly 2·T() NextRound calls, returning the samples with the caller
+// positioned at the start of round start+2T. neighbors is the node's
+// multigraph neighbor list with multiplicity (length p.D); idOf maps
+// graph vertices to sim ids; onOther (optional) receives messages that
+// do not belong to the sampling protocol; fail (optional) counts
+// extraction-from-empty events.
+func RapidHGraphInline(ctx *sim.Ctx, p HGraphParams, self int, neighbors []int,
+	idOf func(int) sim.NodeID, onOther func(sim.Message), fail *int) []int {
+
+	r := ctx.RNG()
+	T := p.T()
+	idBits := sim.IDBits(p.N)
+	var M Multiset[int32]
+
+	extract := func() int32 {
+		w, ok := M.Extract(r)
+		if !ok {
+			if fail != nil {
+				*fail++
+			}
+			return int32(self)
+		}
+		return w
+	}
+
+	sendRequests := func(i int) {
+		mi := p.M(i)
+		targets := make([]int32, mi)
+		for j := 0; j < mi; j++ {
+			targets[j] = extract()
+		}
+		sort.Slice(targets, func(a, b int) bool { return targets[a] < targets[b] })
+		for j := 0; j < mi; {
+			k := j
+			for k < mi && targets[k] == targets[j] {
+				k++
+			}
+			count := k - j
+			ctx.Send(idOf(int(targets[j])), reqBatch{Count: int32(count)}, count*idBits)
+			j = k
+		}
+	}
+
+	// Phase 1 (local): walks of length 1.
+	m0 := p.M(0)
+	for j := 0; j < m0; j++ {
+		M.Add(int32(neighbors[r.Intn(len(neighbors))]))
+	}
+	sendRequests(1)
+
+	for i := 1; i <= T; i++ {
+		inbox := ctx.NextRound()
+		for _, m := range inbox {
+			rb, ok := m.Payload.(reqBatch)
+			if !ok {
+				if onOther != nil {
+					onOther(m)
+				}
+				continue
+			}
+			ids := make([]int32, rb.Count)
+			for k := range ids {
+				ids[k] = extract()
+			}
+			ctx.Send(m.From, respBatch{IDs: ids}, len(ids)*idBits)
+		}
+		inbox = ctx.NextRound()
+		collected := make([]int32, 0, p.M(i))
+		for _, m := range inbox {
+			rb, ok := m.Payload.(respBatch)
+			if !ok {
+				if onOther != nil {
+					onOther(m)
+				}
+				continue
+			}
+			collected = append(collected, rb.IDs...)
+		}
+		M.Reset(collected)
+		if i < T {
+			sendRequests(i + 1)
+		}
+	}
+
+	out := make([]int, M.Len())
+	for k, w := range M.Items() {
+		out[k] = int(w)
+	}
+	return out
+}
+
+// InlineRounds returns the number of NextRound calls RapidHGraphInline
+// performs: 2·T().
+func (p HGraphParams) InlineRounds() int { return 2 * p.T() }

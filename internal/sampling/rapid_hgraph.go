@@ -1,0 +1,67 @@
+package sampling
+
+import (
+	"overlaynet/internal/hgraph"
+	"overlaynet/internal/sim"
+)
+
+// RapidResult is the outcome of a rapid node sampling run.
+type RapidResult struct {
+	// Samples[v] holds the vertices sampled by node v (length m_T).
+	Samples [][]int
+	// Failures counts extraction-from-empty-multiset events across all
+	// nodes and iterations; Lemma 7/9 make this zero w.h.p. for the
+	// prescribed budgets.
+	Failures int
+	// Rounds is the number of communication rounds used.
+	Rounds int
+	// MaxNodeBits is the largest sent+received bits of any node in any
+	// round (Theorem 2/3 bound this polylogarithmically).
+	MaxNodeBits int64
+	// TotalBits is the total communication volume.
+	TotalBits int64
+}
+
+type reqBatch struct {
+	Count int32
+}
+
+type respBatch struct {
+	IDs []int32
+}
+
+// RapidHGraph runs Algorithm 1 (rapid node sampling in ℍ-graphs) as a
+// distributed protocol: every node samples p.Samples() vertices, each
+// the endpoint of an independent simple random walk of length 2^T,
+// which by Lemma 2 is almost uniform over V. The run takes
+// p.Rounds() = O(log log n) communication rounds.
+func RapidHGraph(seed uint64, h *hgraph.HGraph, p HGraphParams) *RapidResult {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	n := h.N()
+	net := sim.NewNetwork(sim.Config{Seed: seed})
+	res := &RapidResult{Samples: make([][]int, n), Rounds: p.Rounds()}
+	failures := make([]int, n)
+
+	idOf := func(v int) sim.NodeID { return sim.NodeID(v + 1) }
+
+	for v := 0; v < n; v++ {
+		v := v
+		net.Spawn(idOf(v), func(ctx *sim.Ctx) {
+			res.Samples[v] = RapidHGraphInline(ctx, p, v, h.Neighbors(v), idOf, nil, &failures[v])
+		})
+	}
+	net.Run(p.Rounds())
+	net.Shutdown()
+	for _, w := range net.Work() {
+		if w.MaxNodeBits > res.MaxNodeBits {
+			res.MaxNodeBits = w.MaxNodeBits
+		}
+		res.TotalBits += w.TotalBits
+	}
+	for _, f := range failures {
+		res.Failures += f
+	}
+	return res
+}

@@ -1,0 +1,341 @@
+// Package sim implements the synchronous message-passing model of
+// Section 1.1 of the paper: all nodes operate in synchronized rounds,
+// each consisting of a receive step, a local-computation step, and a
+// send step. Every node may send a distinct message to any node whose
+// identifier it knows (the overlay-network assumption the sampling
+// primitives exploit).
+//
+// Each node runs its protocol as straight-line Go code in its own
+// goroutine; Ctx.NextRound is the round barrier. All randomness is
+// deterministic: node v's generator is derived from (network seed, v),
+// node goroutines touch only their own state, and inboxes are sorted
+// canonically, so concurrent execution is exactly reproducible.
+//
+// DoS semantics follow the paper: a message sent from v to w at round i
+// is received iff v is non-blocked in round i and w is non-blocked in
+// rounds i and i+1. A blocked node still performs local computation but
+// its sends are dropped and it receives nothing.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"overlaynet/internal/rng"
+)
+
+// NodeID identifies a node. The paper's ids have O(log n) bits; we use
+// 64-bit ids and account message sizes explicitly via Message.Bits.
+type NodeID uint64
+
+// Message is a single point-to-point message delivered one round after
+// it is sent.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Payload any
+	// Bits is the size used for communication-work accounting
+	// (the paper counts bits sent plus bits received per round).
+	Bits int
+
+	seq uint64 // per-sender send sequence, for canonical inbox order
+}
+
+// Proc is a node protocol. It is invoked in the node's first round; it
+// may compute, call Ctx.Send any number of times, and must call
+// Ctx.NextRound to end its round. Returning ends the node's life (it
+// leaves the network after its final sends are delivered).
+type Proc func(ctx *Ctx)
+
+// Config configures a Network.
+type Config struct {
+	// Seed determines all randomness in the network.
+	Seed uint64
+}
+
+// RoundWork summarizes the communication work of one round.
+type RoundWork struct {
+	Round       int
+	Messages    int   // messages actually sent (sender non-blocked)
+	TotalBits   int64 // sum over nodes of sent+received bits
+	MaxNodeBits int64 // maximum over nodes of sent+received bits
+}
+
+type haltSignal struct{}
+
+type nodeState struct {
+	id     NodeID
+	resume chan []Message
+	outbox []Message
+	halted bool // proc returned or was killed; set before done signal
+	halt   bool // request the node to stop at its next barrier
+	seq    uint64
+	bits   int64 // sent+received bits in the current round
+}
+
+// Network coordinates the synchronous rounds. It is not safe for
+// concurrent use; Spawn, SetBlocked, Step and the accessors must all be
+// called from a single driver goroutine, between rounds.
+type Network struct {
+	root    *rng.RNG
+	round   int
+	nodes   map[NodeID]*nodeState
+	order   []*nodeState // spawn order; determines scheduling
+	mailbox map[NodeID][]Message
+
+	pendingBlocked map[NodeID]bool // applies to the next Step
+	blockedNow     map[NodeID]bool // blocked set of the round in progress
+
+	doneCh chan *nodeState
+
+	work       []RoundWork
+	recordWork bool
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork(cfg Config) *Network {
+	return &Network{
+		root:       rng.New(cfg.Seed),
+		nodes:      make(map[NodeID]*nodeState),
+		mailbox:    make(map[NodeID][]Message),
+		doneCh:     make(chan *nodeState, 256),
+		recordWork: true,
+	}
+}
+
+// DisableWorkLog turns off per-round work summaries (useful for very
+// long runs where the slice would grow without bound).
+func (n *Network) DisableWorkLog() { n.recordWork = false }
+
+// Round returns the number of completed rounds.
+func (n *Network) Round() int { return n.round }
+
+// NumAlive returns the number of live nodes.
+func (n *Network) NumAlive() int { return len(n.order) }
+
+// Alive returns the ids of live nodes in spawn order.
+func (n *Network) Alive() []NodeID {
+	ids := make([]NodeID, len(n.order))
+	for i, st := range n.order {
+		ids[i] = st.id
+	}
+	return ids
+}
+
+// Exists reports whether a node with the given id is currently alive.
+func (n *Network) Exists(id NodeID) bool {
+	_, ok := n.nodes[id]
+	return ok
+}
+
+// Work returns the per-round communication-work log.
+func (n *Network) Work() []RoundWork { return n.work }
+
+// Spawn adds a node running proc. The node takes part starting with the
+// next Step. Ids must be unique across the lifetime of the network
+// (the paper assumes every id is used at most once).
+func (n *Network) Spawn(id NodeID, proc Proc) {
+	if _, ok := n.nodes[id]; ok {
+		panic(fmt.Sprintf("sim: duplicate node id %d", id))
+	}
+	st := &nodeState{
+		id:     id,
+		resume: make(chan []Message, 1),
+	}
+	n.nodes[id] = st
+	n.order = append(n.order, st)
+	ctx := &Ctx{net: n, st: st, rng: n.root.Split(uint64(id))}
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(haltSignal); !ok {
+					panic(r)
+				}
+			}
+			st.halted = true
+			n.doneCh <- st
+		}()
+		first := <-st.resume
+		if st.halt {
+			panic(haltSignal{})
+		}
+		ctx.pendingFirst = first
+		proc(ctx)
+	}()
+}
+
+// Kill forces the node to stop at its next round barrier (a crash: its
+// current-round sends still go out, then it vanishes).
+func (n *Network) Kill(id NodeID) {
+	if st, ok := n.nodes[id]; ok {
+		st.halt = true
+	}
+}
+
+// SetBlocked sets the DoS-blocked node set for the next Step only.
+func (n *Network) SetBlocked(blocked map[NodeID]bool) {
+	n.pendingBlocked = blocked
+}
+
+// Step executes one synchronous round: deliver, compute, collect sends.
+func (n *Network) Step() {
+	blocked := n.pendingBlocked
+	n.pendingBlocked = nil
+	n.blockedNow = blocked
+	n.round++
+
+	// Receive step: hand each node its inbox (empty if blocked in this
+	// round — the "receiver non-blocked in round i+1" half of the rule;
+	// the other half was enforced at send time).
+	resumed := 0
+	for _, st := range n.order {
+		var inbox []Message
+		if !blocked[st.id] {
+			inbox = n.mailbox[st.id]
+		}
+		st.bits = 0
+		for _, m := range inbox {
+			st.bits += int64(m.Bits)
+		}
+		delete(n.mailbox, st.id)
+		st.resume <- inbox
+		resumed++
+	}
+	// Undelivered leftovers (to blocked or vanished nodes) are dropped.
+	for id := range n.mailbox {
+		delete(n.mailbox, id)
+	}
+
+	// Compute step: wait for every resumed node to finish its round.
+	for i := 0; i < resumed; i++ {
+		<-n.doneCh
+	}
+
+	// Send step: collect outboxes in deterministic (spawn) order.
+	messages := 0
+	var totalBits, maxBits int64
+	alive := n.order[:0]
+	for _, st := range n.order {
+		out := st.outbox
+		st.outbox = nil
+		if !blocked[st.id] {
+			for i := range out {
+				m := &out[i]
+				st.bits += int64(m.Bits)
+				messages++
+				// Receiver must exist and be non-blocked in the send
+				// round; the i+1 half is checked at delivery.
+				if _, ok := n.nodes[m.To]; ok && !blocked[m.To] {
+					n.mailbox[m.To] = append(n.mailbox[m.To], *m)
+				}
+			}
+		}
+		totalBits += st.bits
+		if st.bits > maxBits {
+			maxBits = st.bits
+		}
+		if st.halted {
+			delete(n.nodes, st.id)
+		} else {
+			alive = append(alive, st)
+		}
+	}
+	// Zero out the tail so halted node states can be collected.
+	for i := len(alive); i < len(n.order); i++ {
+		n.order[i] = nil
+	}
+	n.order = alive
+
+	// Canonical inbox order: by sender id, then send sequence.
+	for _, box := range n.mailbox {
+		sort.Slice(box, func(i, j int) bool {
+			if box[i].From != box[j].From {
+				return box[i].From < box[j].From
+			}
+			return box[i].seq < box[j].seq
+		})
+	}
+
+	if n.recordWork {
+		n.work = append(n.work, RoundWork{
+			Round:       n.round,
+			Messages:    messages,
+			TotalBits:   totalBits,
+			MaxNodeBits: maxBits,
+		})
+	}
+}
+
+// Run executes the given number of rounds.
+func (n *Network) Run(rounds int) {
+	for i := 0; i < rounds; i++ {
+		n.Step()
+	}
+}
+
+// Shutdown halts all remaining nodes and reaps their goroutines.
+func (n *Network) Shutdown() {
+	for _, st := range n.order {
+		st.halt = true
+	}
+	n.Step()
+}
+
+// Ctx is a node's handle to the network. It must only be used from the
+// node's own goroutine.
+type Ctx struct {
+	net          *Network
+	st           *nodeState
+	rng          *rng.RNG
+	pendingFirst []Message
+}
+
+// ID returns the node's identifier.
+func (c *Ctx) ID() NodeID { return c.st.id }
+
+// Round returns the round currently being executed.
+func (c *Ctx) Round() int { return c.net.round }
+
+// RNG returns the node's private deterministic generator.
+func (c *Ctx) RNG() *rng.RNG { return c.rng }
+
+// FirstInbox returns the messages delivered in the node's first round.
+// It is empty for freshly spawned nodes (nothing can have been sent to
+// an id before it existed) but exposed for completeness.
+func (c *Ctx) FirstInbox() []Message { return c.pendingFirst }
+
+// Send queues a message for delivery in the next round. bits is the
+// message size for communication-work accounting.
+func (c *Ctx) Send(to NodeID, payload any, bits int) {
+	c.st.seq++
+	c.st.outbox = append(c.st.outbox, Message{
+		From:    c.st.id,
+		To:      to,
+		Payload: payload,
+		Bits:    bits,
+		seq:     c.st.seq,
+	})
+}
+
+// NextRound ends the node's current round and blocks until the next one
+// begins, returning the messages delivered to the node.
+func (c *Ctx) NextRound() []Message {
+	st := c.st
+	c.net.doneCh <- st
+	inbox := <-st.resume
+	if st.halt {
+		panic(haltSignal{})
+	}
+	return inbox
+}
+
+// IDBits returns the size in bits of a node identifier in a network of
+// n nodes, the unit the paper uses for communication work (ids have
+// O(log n) bits).
+func IDBits(n int) int {
+	bits := 1
+	for v := 1; v < n; v <<= 1 {
+		bits++
+	}
+	return bits
+}

@@ -1,0 +1,46 @@
+package splitmerge
+
+import (
+	"testing"
+
+	"overlaynet/internal/dos"
+	"overlaynet/internal/rng"
+	"overlaynet/internal/sim"
+)
+
+func BenchmarkEpoch1024(b *testing.B) {
+	nw := New(Config{Seed: 1, N0: 1024, MeasureEvery: -1})
+	buf := &dos.Buffer{Lateness: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Run(nil, buf, nw.EpochRounds())
+	}
+}
+
+func BenchmarkEpochWithChurn1024(b *testing.B) {
+	nw := New(Config{Seed: 2, N0: 1024, MeasureEvery: -1})
+	buf := &dos.Buffer{Lateness: 1}
+	r := rng.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		members := nw.Members()
+		gone := map[sim.NodeID]bool{}
+		for len(gone) < len(members)/8 {
+			id := members[r.Intn(len(members))]
+			if !gone[id] {
+				gone[id] = true
+				nw.Leave(id)
+			}
+		}
+		for j := 0; j < len(members)/8; j++ {
+			for {
+				s := members[r.Intn(len(members))]
+				if !gone[s] {
+					nw.Join(s)
+					break
+				}
+			}
+		}
+		nw.Run(nil, buf, nw.EpochRounds())
+	}
+}

@@ -1,0 +1,31 @@
+package splitmerge_test
+
+import (
+	"fmt"
+
+	"overlaynet/internal/dos"
+	"overlaynet/internal/splitmerge"
+)
+
+// ExampleNetwork grows the churn+DoS-resistant network by 50% in one
+// reconfiguration: supernodes split to keep every group size inside
+// Equation (1) and the dimension spread stays within Lemma 18's bound.
+func ExampleNetwork() {
+	nw := splitmerge.New(splitmerge.Config{Seed: 4, N0: 256, MeasureEvery: -1})
+	members := nw.Members()
+	for i := 0; i < 128; i++ {
+		nw.Join(members[i%len(members)])
+	}
+	nw.Run(nil, &dos.Buffer{Lateness: 1}, nw.EpochRounds())
+
+	min, max := nw.DimRange()
+	fmt.Println("members:", nw.N())
+	fmt.Println("equation 1 holds:", nw.Eq1Holds())
+	fmt.Println("dimension spread ok:", max-min <= 2)
+	fmt.Println("splits happened:", nw.StatsSnapshot().Splits > 0)
+	// Output:
+	// members: 384
+	// equation 1 holds: true
+	// dimension spread ok: true
+	// splits happened: true
+}

@@ -1,0 +1,892 @@
+// Package splitmerge implements the churn- and DoS-resistant overlay of
+// Section 6: the supernode hypercube of Section 5 extended with
+// variable-length supernode labels. Supernodes split and merge to keep
+// every group size within Equation (1), c·d(x) − c < |R(x)| < 2c·d(x),
+// under churn; Lemma 18 keeps the dimension spread |d(x) − d(y)| ≤ 2.
+//
+// The sampling primitive is modified as the paper prescribes — each
+// supernode is chosen with probability 2^{−d(x)} — by running the
+// hypercube primitive over VIRTUAL vertices: every supernode simulates
+// the 2^{Dmax−d(x)} leaves of its label subtree in the Dmax-cube, where
+// Dmax is the maximum current dimension. A uniform Dmax-bit sample then
+// lands on supernode x with probability exactly 2^{−d(x)}. Since Dmax
+// need not be a power of two, the pointer-doubling runs the ragged
+// variant: a list whose extension block would exceed Dmax simply
+// carries over, already complete.
+//
+// As in package supernode, the replicated group-state machine is
+// executed semantically: the group's adopted state is computed with the
+// randomness of its lowest-id available member, groups with no
+// available member stall, and per-node staleness feeds the
+// connectivity measurement.
+package splitmerge
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"overlaynet/internal/dos"
+	"overlaynet/internal/graph"
+	"overlaynet/internal/hypercube"
+	"overlaynet/internal/rng"
+	"overlaynet/internal/sim"
+)
+
+// Config configures the Section 6 network.
+type Config struct {
+	Seed uint64
+	// N0 is the initial node count.
+	N0 int
+	// C is Equation (1)'s constant c (default 4).
+	C int
+	// Epsilon is the sampling budget slack (default 1).
+	Epsilon float64
+	// MeasureEvery controls connectivity measurement (1 = every round,
+	// negative = never).
+	MeasureEvery int
+}
+
+// Stats aggregates protocol health counters.
+type Stats struct {
+	Rounds       int
+	Epochs       int
+	Stalls       int // group-without-available-member events
+	SampleFails  int // multiset underflow in the simulated primitive
+	AssignFails  int // members beyond the sample budget
+	Splits       int
+	Merges       int
+	ForcedMerges int // subtree merges forced by a missing sibling
+	Disconnected int
+	Measured     int
+	// MaxDimSpread is the largest observed max−min dimension
+	// difference (Lemma 18: ≤ 2).
+	MaxDimSpread int
+	// Eq1Violations counts supernodes violating Equation (1) after a
+	// completed split/merge normalization.
+	Eq1Violations int
+}
+
+// RoundReport summarizes one round.
+type RoundReport struct {
+	Round     int
+	Epoch     int
+	Blocked   int
+	Connected bool
+	Measured  bool
+	Stalls    int
+}
+
+type vReq struct {
+	from uint32 // requesting virtual vertex label
+	j    int16
+}
+
+type vResp struct {
+	v uint32 // walk endpoint (virtual vertex label)
+	j int16
+}
+
+type virtState struct {
+	w       uint32 // virtual vertex label (dmax bits)
+	M       [][]uint32
+	samples []uint32
+	reqs    []vReq
+	resps   []vResp
+}
+
+type super struct {
+	label   hypercube.Label
+	members []sim.NodeID // committed members, sorted
+	pending []sim.NodeID // joiners waiting for the next commit
+	leaving map[sim.NodeID]bool
+	virt    []*virtState
+}
+
+type delivery struct {
+	reqs  []vReq
+	resps []vResp
+}
+
+type histEntry struct {
+	groups    [][]sim.NodeID
+	adj       [][]int32
+	nodeGroup map[sim.NodeID]int32
+}
+
+// Network is the Section 6 overlay.
+type Network struct {
+	cfg    Config
+	r      *rng.RNG
+	nodeR  map[sim.NodeID]*rng.RNG
+	supers []*super // sorted by label
+
+	nodeSuper map[sim.NodeID]int32 // committed member -> supers index
+
+	viewEpoch map[sim.NodeID]int
+	history   []histEntry
+
+	dmax   int
+	T      int
+	mi     []int
+	phase  int
+	round  int
+	epoch  int
+	nextID sim.NodeID
+
+	blockedHist   [3]map[sim.NodeID]bool
+	pendingAssign [][]sim.NodeID
+	stats         Stats
+}
+
+// New builds the initial network: the label tree starts at the unique
+// dimension d with 2^d·2cd < n ≤ 2^{d+1}·2c(d+1) (Lemma 18), nodes are
+// assigned uniformly, and a split/merge normalization enforces
+// Equation (1).
+func New(cfg Config) *Network {
+	if cfg.C == 0 {
+		cfg.C = 4
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 1
+	}
+	if cfg.MeasureEvery == 0 {
+		cfg.MeasureEvery = 1
+	}
+	if cfg.N0 < 8*cfg.C {
+		panic(fmt.Sprintf("splitmerge: n0 = %d too small for c = %d", cfg.N0, cfg.C))
+	}
+	nw := &Network{
+		cfg:       cfg,
+		r:         rng.New(cfg.Seed),
+		nodeR:     make(map[sim.NodeID]*rng.RNG),
+		nodeSuper: make(map[sim.NodeID]int32),
+		viewEpoch: make(map[sim.NodeID]int),
+	}
+	d := 1
+	for (1<<(d+1))*2*cfg.C*(d+1) < cfg.N0 {
+		d++
+	}
+	for x := 0; x < 1<<d; x++ {
+		nw.supers = append(nw.supers, &super{
+			label:   hypercube.MakeLabel(uint64(x), d),
+			leaving: make(map[sim.NodeID]bool),
+		})
+	}
+	for v := 0; v < cfg.N0; v++ {
+		id := sim.NodeID(v + 1)
+		nw.nodeR[id] = nw.r.Split(uint64(id))
+		x := nw.r.Intn(len(nw.supers))
+		nw.supers[x].members = append(nw.supers[x].members, id)
+	}
+	nw.nextID = sim.NodeID(cfg.N0 + 1)
+	nw.normalize()
+	nw.indexMembers()
+	nw.commitHistory()
+	nw.prepareEpoch()
+	return nw
+}
+
+// N returns the committed member count.
+func (nw *Network) N() int {
+	n := 0
+	for _, s := range nw.supers {
+		n += len(s.members)
+	}
+	return n
+}
+
+// NumSupers returns the current supernode count.
+func (nw *Network) NumSupers() int { return len(nw.supers) }
+
+// Epoch returns the number of completed reorganizations.
+func (nw *Network) Epoch() int { return nw.epoch }
+
+// Round returns the number of completed rounds.
+func (nw *Network) Round() int { return nw.round }
+
+// StatsSnapshot returns the health counters.
+func (nw *Network) StatsSnapshot() Stats { return nw.stats }
+
+// DimRange returns the minimum and maximum supernode dimensions.
+func (nw *Network) DimRange() (min, max int) {
+	min, max = 64, 0
+	for _, s := range nw.supers {
+		d := s.label.Dim()
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return
+}
+
+// GroupSizes returns the committed group sizes.
+func (nw *Network) GroupSizes() []int {
+	out := make([]int, len(nw.supers))
+	for i, s := range nw.supers {
+		out[i] = len(s.members)
+	}
+	return out
+}
+
+// Labels returns the current supernode labels (sorted).
+func (nw *Network) Labels() []hypercube.Label {
+	out := make([]hypercube.Label, len(nw.supers))
+	for i, s := range nw.supers {
+		out[i] = s.label
+	}
+	return out
+}
+
+// EpochRounds returns rounds per epoch: the simulated primitive (two
+// real rounds per primitive round) plus four reorganization rounds and
+// two organized split/merge rounds — Θ(log log n).
+func (nw *Network) EpochRounds() int { return 2*(2*nw.T+1) + 6 }
+
+// Eq1Holds reports whether every supernode's size lies in the band the
+// split/merge triggers maintain: c·d(x)−c ≤ |R(x)| ≤ 2c·d(x) (the
+// closure of Equation (1); the paper splits only when the size exceeds
+// the upper bound and merges only below the lower one).
+func (nw *Network) Eq1Holds() bool {
+	c := nw.cfg.C
+	for _, s := range nw.supers {
+		d := s.label.Dim()
+		if len(s.members) < c*d-c || len(s.members) > 2*c*d {
+			return false
+		}
+	}
+	return true
+}
+
+// Join introduces a new node through the given sponsor and returns its
+// id; the node becomes a full member at the next commit (the paper's
+// O(log log n)-round join).
+func (nw *Network) Join(sponsor sim.NodeID) sim.NodeID {
+	x, ok := nw.nodeSuper[sponsor]
+	if !ok {
+		panic(fmt.Sprintf("splitmerge: sponsor %d is not a member", sponsor))
+	}
+	id := nw.nextID
+	nw.nextID++
+	nw.nodeR[id] = nw.r.Split(uint64(id))
+	nw.viewEpoch[id] = nw.epoch
+	nw.supers[x].pending = append(nw.supers[x].pending, id)
+	return id
+}
+
+// Leave marks a member as leaving; it departs at the next commit (the
+// paper's O(log log n)-round leave).
+func (nw *Network) Leave(id sim.NodeID) {
+	x, ok := nw.nodeSuper[id]
+	if !ok {
+		panic(fmt.Sprintf("splitmerge: leaver %d is not a member", id))
+	}
+	nw.supers[x].leaving[id] = true
+}
+
+// Members returns the committed member ids, sorted.
+func (nw *Network) Members() []sim.NodeID {
+	var out []sim.NodeID
+	for _, s := range nw.supers {
+		out = append(out, s.members...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (nw *Network) indexMembers() {
+	nw.nodeSuper = make(map[sim.NodeID]int32, len(nw.nodeSuper))
+	for x, s := range nw.supers {
+		sort.Slice(s.members, func(i, j int) bool { return s.members[i] < s.members[j] })
+		for _, id := range s.members {
+			nw.nodeSuper[id] = int32(x)
+		}
+	}
+}
+
+// sortSupers keeps the label order invariant used by findLabel.
+func (nw *Network) sortSupers() {
+	sort.Slice(nw.supers, func(i, j int) bool { return nw.supers[i].label.Less(nw.supers[j].label) })
+}
+
+func (nw *Network) findLabel(l hypercube.Label) int {
+	lo, hi := 0, len(nw.supers)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nw.supers[mid].label.Less(l) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(nw.supers) && nw.supers[lo].label.Equal(l) {
+		return lo
+	}
+	return -1
+}
+
+// ownerOf returns the supernode whose label is a prefix of the
+// dmax-bit virtual label w, or -1.
+func (nw *Network) ownerOf(w uint32) int {
+	for d := nw.dmax; d >= 0; d-- {
+		if i := nw.findLabel(hypercube.MakeLabel(uint64(w), d)); i >= 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// prepareEpoch sets up the virtual-vertex sampling state.
+func (nw *Network) prepareEpoch() {
+	_, nw.dmax = nw.DimRange()
+	nw.T = 0
+	for v := 1; v < nw.dmax; v <<= 1 {
+		nw.T++
+	}
+	// The final per-virtual-vertex sample count times the owned virtual
+	// vertices must cover the group (plus joiners) with slack.
+	maxNeed := 1
+	for _, s := range nw.supers {
+		need := len(s.members) + len(s.pending)
+		own := 1 << (nw.dmax - s.label.Dim())
+		if per := (need + own - 1) / own; per > maxNeed {
+			maxNeed = per
+		}
+	}
+	cSamp := float64(2*maxNeed) / float64(nw.dmax)
+	if cSamp < 1 {
+		cSamp = 1
+	}
+	nw.mi = make([]int, nw.T+1)
+	for i := 0; i <= nw.T; i++ {
+		nw.mi[i] = int(math.Ceil(math.Pow(1+nw.cfg.Epsilon, float64(nw.T-i)) * cSamp * float64(nw.dmax)))
+	}
+	for _, s := range nw.supers {
+		own := 1 << (nw.dmax - s.label.Dim())
+		s.virt = make([]*virtState, own)
+		for k := 0; k < own; k++ {
+			s.virt[k] = &virtState{
+				w: uint32(s.label.Bits()) | uint32(k)<<s.label.Dim(),
+				M: make([][]uint32, nw.dmax),
+			}
+		}
+	}
+	nw.phase = 0
+}
+
+func (nw *Network) blocked(id sim.NodeID, ago int) bool {
+	m := nw.blockedHist[ago]
+	return m != nil && m[id]
+}
+
+// leader returns the lowest-id available member of s, or 0.
+func (nw *Network) leader(s *super) sim.NodeID {
+	for _, id := range s.members {
+		if !nw.blocked(id, 0) && !nw.blocked(id, 1) {
+			return id
+		}
+	}
+	return 0
+}
+
+// Step executes one round under the given blocked set.
+func (nw *Network) Step(blocked map[sim.NodeID]bool) RoundReport {
+	nw.round++
+	nw.blockedHist[2] = nw.blockedHist[1]
+	nw.blockedHist[1] = nw.blockedHist[0]
+	nw.blockedHist[0] = blocked
+
+	rep := RoundReport{Round: nw.round, Epoch: nw.epoch, Blocked: len(blocked), Connected: true}
+
+	leaders := make([]sim.NodeID, len(nw.supers))
+	for i, s := range nw.supers {
+		leaders[i] = nw.leader(s)
+		if leaders[i] == 0 {
+			nw.stats.Stalls++
+			rep.Stalls++
+		}
+	}
+
+	samplingRounds := 2 * (2*nw.T + 1)
+	advance := true
+	switch {
+	case nw.phase < samplingRounds:
+		if nw.phase%2 == 0 {
+			nw.simulationRound(nw.phase/2, leaders)
+		}
+	case nw.phase == samplingRounds:
+		nw.assignRound(leaders)
+	case nw.phase == samplingRounds+5:
+		// Phases +1..+4 are the reorganization's gather/share and
+		// distribute rounds plus the organized split/merge (O(1)
+		// rounds, Lemma 18); the new topology takes effect atomically
+		// in the epoch's final round, when the distribute messages
+		// have reached every available node.
+		nw.commitRound()
+		nw.normalize()
+		nw.indexMembers()
+		nw.commitHistory()
+		nw.prepareEpoch()
+		advance = false
+	}
+
+	// Every-round S(x) broadcast: an available node with an available
+	// group peer is up to date.
+	for _, s := range nw.supers {
+		for _, id := range s.members {
+			if nw.blocked(id, 0) || nw.blocked(id, 1) {
+				continue
+			}
+			if nw.viewEpoch[id] == nw.epoch {
+				continue
+			}
+			for _, u := range s.members {
+				if u != id && !nw.blocked(u, 1) && !nw.blocked(u, 2) {
+					nw.viewEpoch[id] = nw.epoch
+					break
+				}
+			}
+		}
+	}
+
+	if advance {
+		nw.phase++
+	}
+	nw.stats.Rounds++
+
+	if nw.cfg.MeasureEvery > 0 && nw.round%nw.cfg.MeasureEvery == 0 {
+		rep.Measured = true
+		rep.Connected = nw.ConnectedNow()
+		nw.stats.Measured++
+		if !rep.Connected {
+			nw.stats.Disconnected++
+		}
+	}
+	return rep
+}
+
+// simulationRound advances primitive round pr of the modified
+// Algorithm 2 for every virtual vertex of every supernode with an
+// available leader.
+func (nw *Network) simulationRound(pr int, leaders []sim.NodeID) {
+	out := make(map[uint32]*delivery)
+	get := func(w uint32) *delivery {
+		dv := out[w]
+		if dv == nil {
+			dv = &delivery{}
+			out[w] = dv
+		}
+		return dv
+	}
+	for si, s := range nw.supers {
+		if leaders[si] == 0 {
+			for _, vs := range s.virt {
+				vs.reqs = nil
+				vs.resps = nil
+			}
+			continue
+		}
+		r := nw.nodeR[leaders[si]]
+		for _, vs := range s.virt {
+			nw.virtRound(vs, pr, r, get)
+		}
+	}
+	for w, dv := range out {
+		oi := nw.ownerOf(w)
+		if oi < 0 {
+			continue
+		}
+		for _, vs := range nw.supers[oi].virt {
+			if vs.w == w {
+				vs.reqs = append(vs.reqs, dv.reqs...)
+				vs.resps = append(vs.resps, dv.resps...)
+			}
+		}
+	}
+}
+
+// virtRound advances one virtual vertex through primitive round pr.
+// Ragged variant: at iteration i, list j (j ≡ 1 mod 2^i, 1-indexed) is
+// extended from list j+2^{i-1} when that index is ≤ dmax; otherwise
+// the block is already complete and the list carries over untouched.
+func (nw *Network) virtRound(vs *virtState, pr int, r *rng.RNG, get func(uint32) *delivery) {
+	d := nw.dmax
+	extract := func(j int) uint32 {
+		list := vs.M[j-1]
+		if len(list) == 0 {
+			nw.stats.SampleFails++
+			return vs.w
+		}
+		i := r.Intn(len(list))
+		v := list[i]
+		list[i] = list[len(list)-1]
+		vs.M[j-1] = list[:len(list)-1]
+		return v
+	}
+	sendRequests := func(i int) {
+		step := 1 << i
+		half := step / 2
+		for j := 1; j <= d; j += step {
+			if j+half > d {
+				continue // block complete; list carries over
+			}
+			for k := 0; k < nw.mi[i]; k++ {
+				target := extract(j)
+				get(target).reqs = append(get(target).reqs, vReq{from: vs.w, j: int16(j)})
+			}
+		}
+	}
+	switch {
+	case pr == 0:
+		for j := 1; j <= d; j++ {
+			list := make([]uint32, 0, nw.mi[0])
+			for k := 0; k < nw.mi[0]; k++ {
+				if r.Coin() {
+					list = append(list, vs.w^(1<<(j-1)))
+				} else {
+					list = append(list, vs.w)
+				}
+			}
+			vs.M[j-1] = list
+		}
+		sendRequests(1)
+	case pr%2 == 1:
+		i := (pr + 1) / 2
+		half := 1 << (i - 1)
+		for _, rq := range vs.reqs {
+			v := extract(int(rq.j) + half)
+			get(rq.from).resps = append(get(rq.from).resps, vResp{v: v, j: rq.j})
+		}
+		vs.reqs = nil
+	default:
+		i := pr / 2
+		step := 1 << i
+		half := step / 2
+		// Refill exactly the lists that sent requests this iteration.
+		for j := 1; j <= d; j += step {
+			if j+half <= d {
+				vs.M[j-1] = vs.M[j-1][:0]
+			}
+		}
+		for _, rp := range vs.resps {
+			vs.M[rp.j-1] = append(vs.M[rp.j-1], rp.v)
+		}
+		vs.resps = nil
+		if i < nw.T {
+			sendRequests(i + 1)
+		} else {
+			final := vs.M[0]
+			r.Shuffle(len(final), func(a, b int) {
+				final[a], final[b] = final[b], final[a]
+			})
+			vs.samples = final
+		}
+	}
+}
+
+// assignRound reorganizes: each group's members (stayers plus pending
+// joiners, sorted by id) are assigned to the owners of the sampled
+// virtual vertices, i.e. to supernode y with probability 2^{−d(y)}.
+func (nw *Network) assignRound(leaders []sim.NodeID) {
+	newGroups := make([][]sim.NodeID, len(nw.supers))
+	for si, s := range nw.supers {
+		assignees := make([]sim.NodeID, 0, len(s.members)+len(s.pending))
+		for _, id := range s.members {
+			if !s.leaving[id] {
+				assignees = append(assignees, id)
+			}
+		}
+		assignees = append(assignees, s.pending...)
+		if leaders[si] == 0 {
+			// Stalled group: cannot reorganize; everyone stays
+			// (already counted as a stall).
+			newGroups[si] = append(newGroups[si], assignees...)
+			continue
+		}
+		r := nw.nodeR[leaders[si]]
+		var samples []uint32
+		for _, vs := range s.virt {
+			samples = append(samples, vs.samples...)
+		}
+		r.Shuffle(len(samples), func(a, b int) {
+			samples[a], samples[b] = samples[b], samples[a]
+		})
+		for i, id := range assignees {
+			var w uint32
+			switch {
+			case len(samples) == 0:
+				nw.stats.AssignFails++
+				w = uint32(s.label.Bits())
+			case i < len(samples):
+				w = samples[i]
+			default:
+				nw.stats.AssignFails++
+				w = samples[i%len(samples)]
+			}
+			oi := nw.ownerOf(w)
+			if oi < 0 {
+				nw.stats.AssignFails++
+				oi = si
+			}
+			newGroups[oi] = append(newGroups[oi], id)
+		}
+	}
+	nw.pendingAssign = newGroups
+}
+
+// commitRound installs the reorganized groups; joiners become members
+// and leavers depart.
+func (nw *Network) commitRound() {
+	if nw.pendingAssign == nil {
+		return
+	}
+	for si, s := range nw.supers {
+		// Remove departed leavers' bookkeeping.
+		for id := range s.leaving {
+			delete(nw.nodeR, id)
+			delete(nw.viewEpoch, id)
+		}
+		s.members = nw.pendingAssign[si]
+		s.pending = nil
+		s.leaving = make(map[sim.NodeID]bool)
+	}
+	nw.pendingAssign = nil
+	nw.epoch++
+	nw.stats.Epochs++
+	nw.indexMembers()
+}
+
+// normalize enforces Equation (1) by splitting oversized and merging
+// undersized supernodes (the organized O(1)-round procedure of
+// Lemma 18). It also updates the dimension-spread and violation stats.
+func (nw *Network) normalize() {
+	c := nw.cfg.C
+	for iter := 0; iter < 256; iter++ {
+		changed := false
+		// Splits first: |R(x)| > 2c·d(x) -> two children. Members are
+		// shuffled and halved so each child receives a uniformly random
+		// half; the even sizes guarantee neither child falls below the
+		// merge trigger, which makes the normalization terminate.
+		var next []*super
+		for _, s := range nw.supers {
+			d := s.label.Dim()
+			if len(s.members)+len(s.pending) > 2*c*d && d < 60 {
+				nw.stats.Splits++
+				changed = true
+				a := &super{label: s.label.Child(0), leaving: make(map[sim.NodeID]bool)}
+				b := &super{label: s.label.Child(1), leaving: make(map[sim.NodeID]bool)}
+				var r *rng.RNG
+				if len(s.members) > 0 {
+					r = nw.nodeR[s.members[0]]
+				} else {
+					r = nw.r
+				}
+				ms := append([]sim.NodeID(nil), s.members...)
+				r.Shuffle(len(ms), func(x, y int) { ms[x], ms[y] = ms[y], ms[x] })
+				a.members = append(a.members, ms[:len(ms)/2]...)
+				b.members = append(b.members, ms[len(ms)/2:]...)
+				ps := append([]sim.NodeID(nil), s.pending...)
+				r.Shuffle(len(ps), func(x, y int) { ps[x], ps[y] = ps[y], ps[x] })
+				a.pending = append(a.pending, ps[:len(ps)/2]...)
+				b.pending = append(b.pending, ps[len(ps)/2:]...)
+				for id := range s.leaving {
+					a.leaving[id] = true
+					b.leaving[id] = true
+				}
+				next = append(next, a, b)
+			} else {
+				next = append(next, s)
+			}
+		}
+		nw.supers = next
+		nw.sortSupers()
+
+		// Merges: |R(x)| ≤ c·d(x) − c -> absorb the sibling (forcing
+		// the sibling's subtree to merge first if it was split).
+		merged := false
+		for i := 0; i < len(nw.supers); i++ {
+			s := nw.supers[i]
+			d := s.label.Dim()
+			if d == 0 || len(s.members)+len(s.pending) >= c*d-c {
+				continue
+			}
+			sib := s.label.Sibling()
+			j := nw.findLabel(sib)
+			if j < 0 {
+				// The sibling was split: merge its whole subtree.
+				nw.mergeSubtree(sib)
+				nw.stats.ForcedMerges++
+			} else {
+				nw.mergeInto(i, j)
+				nw.stats.Merges++
+			}
+			merged = true
+			break // indices shifted; restart the scan
+		}
+		if merged {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	min, max := nw.DimRange()
+	if spread := max - min; spread > nw.stats.MaxDimSpread {
+		nw.stats.MaxDimSpread = spread
+	}
+	if !nw.Eq1Holds() {
+		nw.stats.Eq1Violations++
+	}
+}
+
+// mergeInto merges supers[i] and supers[j] (siblings) into their parent.
+func (nw *Network) mergeInto(i, j int) {
+	a, b := nw.supers[i], nw.supers[j]
+	parent := &super{
+		label:   a.label.Parent(),
+		members: append(append([]sim.NodeID(nil), a.members...), b.members...),
+		pending: append(append([]sim.NodeID(nil), a.pending...), b.pending...),
+		leaving: make(map[sim.NodeID]bool),
+	}
+	for id := range a.leaving {
+		parent.leaving[id] = true
+	}
+	for id := range b.leaving {
+		parent.leaving[id] = true
+	}
+	var next []*super
+	for k, s := range nw.supers {
+		if k != i && k != j {
+			next = append(next, s)
+		}
+	}
+	nw.supers = append(next, parent)
+	nw.sortSupers()
+}
+
+// mergeSubtree collapses every supernode whose label has the given
+// prefix into a single supernode with that label.
+func (nw *Network) mergeSubtree(prefix hypercube.Label) {
+	acc := &super{label: prefix, leaving: make(map[sim.NodeID]bool)}
+	var next []*super
+	for _, s := range nw.supers {
+		if prefix.IsAncestorOf(s.label) || prefix.Equal(s.label) {
+			acc.members = append(acc.members, s.members...)
+			acc.pending = append(acc.pending, s.pending...)
+			for id := range s.leaving {
+				acc.leaving[id] = true
+			}
+		} else {
+			next = append(next, s)
+		}
+	}
+	nw.supers = append(next, acc)
+	nw.sortSupers()
+}
+
+// commitHistory records the committed topology for the connectivity
+// measurement and the adversary snapshots.
+func (nw *Network) commitHistory() {
+	groups := make([][]sim.NodeID, len(nw.supers))
+	nodeGroup := make(map[sim.NodeID]int32, len(nw.nodeSuper))
+	for x, s := range nw.supers {
+		groups[x] = append([]sim.NodeID(nil), s.members...)
+		for _, id := range s.members {
+			nodeGroup[id] = int32(x)
+		}
+	}
+	adj := make([][]int32, len(nw.supers))
+	for i := range nw.supers {
+		for j := range nw.supers {
+			if i != j && hypercube.Connected(nw.supers[i].label, nw.supers[j].label) {
+				adj[i] = append(adj[i], int32(j))
+			}
+		}
+	}
+	nw.history = append(nw.history, histEntry{groups: groups, adj: adj, nodeGroup: nodeGroup})
+	for id := range nw.nodeSuper {
+		if _, ok := nw.viewEpoch[id]; !ok {
+			nw.viewEpoch[id] = nw.epoch
+		}
+	}
+}
+
+// Snapshot publishes the current topology at supernode granularity.
+func (nw *Network) Snapshot() *dos.Snapshot {
+	h := nw.history[len(nw.history)-1]
+	groups := make([][]sim.NodeID, len(h.groups))
+	for i, g := range h.groups {
+		groups[i] = append([]sim.NodeID(nil), g...)
+	}
+	return &dos.Snapshot{Round: nw.round, Groups: groups, Adj: h.adj}
+}
+
+// ConnectedNow reports whether the non-blocked committed members form a
+// connected graph under each node's (possibly stale) knowledge.
+func (nw *Network) ConnectedNow() bool {
+	members := nw.Members()
+	idx := make(map[sim.NodeID]int, len(members))
+	for i, id := range members {
+		idx[id] = i
+	}
+	alive := make([]bool, len(members))
+	for i, id := range members {
+		alive[i] = !nw.blocked(id, 0)
+	}
+	g := graph.New(len(members))
+	seen := make(map[int64]bool)
+	addEdge := func(a, b int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := int64(a)<<32 | int64(b)
+		if !seen[key] {
+			seen[key] = true
+			g.AddEdge(a, b)
+		}
+	}
+	for i, id := range members {
+		e := nw.viewEpoch[id]
+		if e >= len(nw.history) {
+			e = len(nw.history) - 1
+		}
+		h := nw.history[e]
+		x, ok := h.nodeGroup[id]
+		if !ok {
+			continue
+		}
+		link := func(group int32) {
+			for _, w := range h.groups[group] {
+				if wi, ok := idx[w]; ok {
+					addEdge(i, wi)
+				}
+			}
+		}
+		link(x)
+		for _, y := range h.adj[x] {
+			link(y)
+		}
+	}
+	return g.IsConnectedRestricted(alive)
+}
+
+// Run drives the network under the adversary for the given rounds,
+// publishing snapshots and enforcing the buffer's lateness.
+func (nw *Network) Run(adv dos.Adversary, buf *dos.Buffer, rounds int) []RoundReport {
+	reports := make([]RoundReport, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		buf.Publish(nw.Snapshot())
+		var blocked map[sim.NodeID]bool
+		if adv != nil {
+			blocked = adv.SelectBlocked(nw.round+1, nw.N(), buf.View(nw.round+1))
+		}
+		reports = append(reports, nw.Step(blocked))
+	}
+	return reports
+}

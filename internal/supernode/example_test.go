@@ -1,0 +1,33 @@
+package supernode_test
+
+import (
+	"fmt"
+
+	"overlaynet/internal/dos"
+	"overlaynet/internal/rng"
+	"overlaynet/internal/supernode"
+)
+
+// ExampleNetwork shows the DoS-resistant network surviving a massive
+// attack that would disconnect any static topology: the adversary
+// blocks 45% of all nodes every round but only sees topology that is
+// two reorganizations old.
+func ExampleNetwork() {
+	nw := supernode.New(supernode.Config{Seed: 5, N: 512})
+	adv := &dos.GroupIsolate{Fraction: 0.45, R: rng.New(7)}
+	buf := &dos.Buffer{Lateness: 2 * nw.EpochRounds()}
+
+	disconnected := 0
+	for _, rep := range nw.Run(adv, buf, 3*nw.EpochRounds()) {
+		if rep.Measured && !rep.Connected {
+			disconnected++
+		}
+	}
+	fmt.Println("supernodes:", nw.NSuper())
+	fmt.Println("rounds per reorganization:", nw.EpochRounds())
+	fmt.Println("disconnected rounds:", disconnected)
+	// Output:
+	// supernodes: 16
+	// rounds per reorganization: 14
+	// disconnected rounds: 0
+}

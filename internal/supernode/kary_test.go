@@ -1,0 +1,103 @@
+package supernode
+
+import (
+	"testing"
+
+	"overlaynet/internal/dos"
+	"overlaynet/internal/metrics"
+	"overlaynet/internal/rng"
+)
+
+func TestKAryNetworkStructure(t *testing.T) {
+	nw := New(Config{Seed: 1, N: 512, K: 3, MeasureEvery: -1})
+	if nw.NSuper() != 9 { // 3^2
+		t.Fatalf("3-ary network has %d supernodes", nw.NSuper())
+	}
+	// Degree of each supernode is (k-1)*d = 4.
+	for x, a := range nw.adj {
+		if len(a) != 4 {
+			t.Fatalf("supernode %d has %d neighbors", x, len(a))
+		}
+	}
+}
+
+func TestKAryEpochNoAdversary(t *testing.T) {
+	nw := New(Config{Seed: 2, N: 512, K: 3})
+	for _, rep := range nw.Run(nil, &dos.Buffer{Lateness: 1}, 2*nw.EpochRounds()) {
+		if rep.Measured && !rep.Connected {
+			t.Fatalf("k-ary network disconnected with no adversary at round %d", rep.Round)
+		}
+	}
+	st := nw.StatsSnapshot()
+	if st.SampleFails != 0 || st.EmptyGroups != 0 || st.Stalls != 0 {
+		t.Fatalf("k-ary protocol failures: %+v", st)
+	}
+	if nw.Epoch() != 2 {
+		t.Fatalf("epoch = %d", nw.Epoch())
+	}
+}
+
+func TestKAryRebuildUniform(t *testing.T) {
+	// After a rebuild the group sizes must concentrate around n/k^d,
+	// which requires the k-ary coordinate randomization to be uniform.
+	nw := New(Config{Seed: 3, N: 1024, K: 3, MeasureEvery: -1})
+	nw.Run(nil, &dos.Buffer{Lateness: 1}, 2*nw.EpochRounds())
+	sizes := nw.GroupSizes()
+	// Sizes are Binomial(n, 1/k^d); check no group is empty and the
+	// empirical distribution sits at the multinomial noise floor.
+	for x, s := range sizes {
+		if s == 0 {
+			t.Fatalf("3-ary group %d empty after rebuild (%v)", x, sizes)
+		}
+	}
+	tv := metrics.TVDistanceUniform(sizes)
+	env := metrics.ExpectedTVUniform(nw.NSuper(), 1024)
+	if tv > 2*env {
+		t.Fatalf("3-ary group sizes skewed: TV %.3f vs envelope %.3f (%v)", tv, env, sizes)
+	}
+}
+
+func TestKAryUnderLateDoS(t *testing.T) {
+	// The Section 7.2 claim: the k-ary reconfigured network keeps the
+	// Theorem 6 guarantee.
+	nw := New(Config{Seed: 4, N: 512, K: 3})
+	adv := &dos.GroupIsolate{Fraction: 0.4, R: rng.New(40)}
+	buf := &dos.Buffer{Lateness: 2 * nw.EpochRounds()}
+	for _, rep := range nw.Run(adv, buf, 3*nw.EpochRounds()) {
+		if rep.Measured && !rep.Connected {
+			t.Fatalf("3-ary network disconnected under late attack at round %d", rep.Round)
+		}
+	}
+}
+
+func TestKAryZeroLateDisconnects(t *testing.T) {
+	// n = 1024 with k = 3 gives d = 4 (81 supernodes, groups of ~13),
+	// so isolating a victim group costs (k−1)·d·|R| ≈ 104 nodes —
+	// well inside the 0-late adversary's budget. (At n = 512 the 3-ary
+	// cube has only 9 giant groups and the same attack cannot afford
+	// all 4 neighbor groups — blunt-force isolation fails there.)
+	nw := New(Config{Seed: 5, N: 1024, K: 3})
+	if nw.NSuper() != 81 {
+		t.Fatalf("expected 81 supernodes, got %d", nw.NSuper())
+	}
+	adv := &dos.GroupIsolate{Fraction: 0.4, R: rng.New(50)}
+	buf := &dos.Buffer{Lateness: 0}
+	disc := 0
+	for _, rep := range nw.Run(adv, buf, 2*nw.EpochRounds()) {
+		if rep.Measured && !rep.Connected {
+			disc++
+		}
+	}
+	if disc == 0 {
+		t.Fatal("0-late adversary failed to cut the 3-ary network")
+	}
+}
+
+func TestKAryTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized arity did not panic")
+		}
+	}()
+	New(Config{Seed: 6, N: 64, K: 11})
+}

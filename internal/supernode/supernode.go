@@ -1,0 +1,628 @@
+// Package supernode implements the DoS-resistant overlay of Section 5:
+// n nodes organized into the groups R(x) of the 2^d supernodes of a
+// binary hypercube, with group members forming cliques and neighboring
+// groups complete bipartite graphs. Every Θ(log log n) rounds the
+// groups are rebuilt from scratch using the rapid node sampling
+// primitive (Algorithm 2), simulated at the supernode level by the
+// groups, so that an Ω(log log n)-late adversary never knows the
+// current group composition (Theorem 6).
+//
+// Implementation note (documented in DESIGN.md): the paper's
+// replicated-state simulation — every available node simulates the
+// supernode and the group adopts the state of the lowest-id available
+// member — is executed at the semantic level: the adopted state is
+// computed once per group per round, driven by the randomness of the
+// lowest-id available member (exactly the state every available member
+// adopts under the paper's synchronization rule), and per-node
+// staleness is tracked explicitly for the connectivity measurement.
+// Availability follows Section 1.1 verbatim: a node is available in
+// round i iff it is non-blocked in rounds i−1 and i, and a group makes
+// progress in a round only if it has an available member. The implied
+// communication work (full-state broadcasts within groups, supernode
+// messages fanned out to whole target groups) is accounted in bits.
+package supernode
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"overlaynet/internal/dos"
+	"overlaynet/internal/graph"
+	"overlaynet/internal/hypercube"
+	"overlaynet/internal/rng"
+	"overlaynet/internal/sim"
+)
+
+// Config configures the DoS-resistant hypercube network.
+type Config struct {
+	Seed uint64
+	// N is the number of physical nodes (fixed; Section 6 lifts this).
+	N int
+	// K is the hypercube arity (default 2, the binary cube of Section
+	// 5). K > 2 gives the k-ary extension of Section 7.2: supernodes
+	// are the vertices of a d-dimensional k-ary cube (Definition 1)
+	// and coordinate randomization draws a uniform symbol from
+	// {0,…,k−1}, which for k = 2 is exactly the paper's coin flip.
+	K int
+	// C is the group-size constant: the supernode count is the largest
+	// K^d ≤ N/(C·log₂ N) with the dimension d a power of two
+	// (Algorithm 2's d = 2^k assumption). Default 1.
+	C float64
+	// Epsilon is the sampling budget slack (default 1).
+	Epsilon float64
+	// MeasureEvery controls how often Step measures connectivity
+	// (1 = every round; 0 disables except on demand).
+	MeasureEvery int
+	// RandomLeader replaces the paper's lowest-id synchronization rule
+	// with an arbitrary-but-consistent available member (ablation A2:
+	// any deterministic choice keeps the groups consistent).
+	RandomLeader bool
+}
+
+// RoundReport summarizes one communication round.
+type RoundReport struct {
+	Round   int
+	Epoch   int
+	Blocked int
+	// Connected reports whether the non-blocked nodes form a connected
+	// graph under the nodes' current (possibly stale) knowledge; it is
+	// true when measurement was skipped this round.
+	Connected bool
+	// Measured reports whether connectivity was actually computed.
+	Measured bool
+	// Stalls counts groups that had no available member this round.
+	Stalls int
+	// MaxNodeBits is the estimated peak per-node communication work.
+	MaxNodeBits int64
+}
+
+// Stats aggregates protocol health counters.
+type Stats struct {
+	Rounds        int
+	Epochs        int
+	Stalls        int   // group-without-available-member events
+	SampleFails   int   // multiset underflow in the simulated primitive
+	AssignFails   int   // members beyond the sample budget
+	EmptyGroups   int   // rebuilt groups with no members
+	Disconnected  int   // rounds measured disconnected
+	MeasuredTotal int   // rounds where connectivity was measured
+	MaxNodeBits   int64 // peak per-node round work over the run
+}
+
+type supReq struct {
+	from int32
+	j    int16
+}
+
+type supResp struct {
+	v int32
+	j int16
+}
+
+// Network is the Section 5 overlay.
+type Network struct {
+	cfg    Config
+	cube   *hypercube.KAry
+	dim    int // supernode hypercube dimension (power of two)
+	nSuper int
+	r      *rng.RNG
+	nodeR  []*rng.RNG
+
+	groups    [][]sim.NodeID // current committed groups, each sorted
+	nodeGroup []int32        // current supernode of each node
+	adj       [][]int32      // supernode adjacency (fixed hypercube)
+
+	// Per-node knowledge for the connectivity measurement: the epoch
+	// whose group assignment the node last received.
+	viewEpoch     []int32
+	history       [][][]sim.NodeID // groups per epoch
+	histNodeGroup [][]int32        // node -> supernode per epoch
+
+	// Sampling parameters for the simulated primitive.
+	T  int // log₂ dim
+	mi []int
+
+	// Per-supernode simulated primitive state.
+	M       [][][]int32 // M[x][j] multiset of supernode indexes
+	samples [][]int32   // final samples per supernode
+	reqs    [][]supReq  // per-target pending requests
+	resps   [][]supResp // per-target pending responses
+
+	pending      [][]sim.NodeID // reorganized groups awaiting commit
+	round        int
+	epoch        int
+	phase        int // round index within the epoch
+	blockedHist  [3]map[sim.NodeID]bool
+	stats        Stats
+	idBits       int
+	supBits      int
+	groupBitsAvg int
+}
+
+// New builds the network with nodes assigned to groups independently
+// and uniformly at random (the paper's initial condition).
+func New(cfg Config) *Network {
+	if cfg.N < 64 {
+		panic(fmt.Sprintf("supernode: n = %d too small", cfg.N))
+	}
+	if cfg.C == 0 {
+		cfg.C = 1
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 1
+	}
+	if cfg.MeasureEvery == 0 {
+		cfg.MeasureEvery = 1
+	}
+	if cfg.K == 0 {
+		cfg.K = 2
+	}
+	if cfg.K < 2 {
+		panic(fmt.Sprintf("supernode: arity %d < 2", cfg.K))
+	}
+	nw := &Network{cfg: cfg, r: rng.New(cfg.Seed)}
+	// Largest power-of-two dimension d with k^d ≤ n/(C·log₂ n).
+	limit := float64(cfg.N) / (cfg.C * math.Log2(float64(cfg.N)))
+	d := 2
+	for next := d * 2; math.Pow(float64(cfg.K), float64(next)) <= limit; next *= 2 {
+		d = next
+	}
+	if math.Pow(float64(cfg.K), float64(d)) > limit {
+		panic(fmt.Sprintf("supernode: arity %d too large for n = %d", cfg.K, cfg.N))
+	}
+	nw.dim = d
+	nw.cube = hypercube.NewKAry(cfg.K, d)
+	nw.nSuper = nw.cube.N()
+	nw.T = 0
+	for v := 1; v < d; v <<= 1 {
+		nw.T++
+	}
+	// Sample budget: m_T must cover the largest group w.h.p.
+	avg := float64(cfg.N) / float64(nw.nSuper)
+	cSamp := math.Ceil(3*avg) / float64(d)
+	if cSamp < 1 {
+		cSamp = 1
+	}
+	nw.mi = make([]int, nw.T+1)
+	for i := 0; i <= nw.T; i++ {
+		nw.mi[i] = int(math.Ceil(math.Pow(1+cfg.Epsilon, float64(nw.T-i)) * cSamp * float64(d)))
+	}
+
+	nw.nodeR = make([]*rng.RNG, cfg.N)
+	for v := range nw.nodeR {
+		nw.nodeR[v] = nw.r.Split(uint64(v) + 1)
+	}
+	nw.nodeGroup = make([]int32, cfg.N)
+	nw.groups = make([][]sim.NodeID, nw.nSuper)
+	for v := 0; v < cfg.N; v++ {
+		x := nw.r.Intn(nw.nSuper)
+		nw.nodeGroup[v] = int32(x)
+		nw.groups[x] = append(nw.groups[x], sim.NodeID(v+1))
+	}
+	for x := range nw.groups {
+		sortIDs(nw.groups[x])
+	}
+	nw.adj = make([][]int32, nw.nSuper)
+	for x := 0; x < nw.nSuper; x++ {
+		for _, y := range nw.cube.Neighbors(x) {
+			nw.adj[x] = append(nw.adj[x], int32(y))
+		}
+	}
+	nw.viewEpoch = make([]int32, cfg.N)
+	nw.history = [][][]sim.NodeID{cloneGroups(nw.groups)}
+	nw.histNodeGroup = [][]int32{append([]int32(nil), nw.nodeGroup...)}
+	nw.idBits = sim.IDBits(cfg.N)
+	nw.supBits = sim.IDBits(nw.nSuper)
+	nw.groupBitsAvg = int(avg+1) * nw.idBits
+	nw.resetPrimitive()
+	return nw
+}
+
+func sortIDs(ids []sim.NodeID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+func cloneGroups(gs [][]sim.NodeID) [][]sim.NodeID {
+	out := make([][]sim.NodeID, len(gs))
+	for i, g := range gs {
+		out[i] = append([]sim.NodeID(nil), g...)
+	}
+	return out
+}
+
+// Dim returns the supernode hypercube dimension.
+func (nw *Network) Dim() int { return nw.dim }
+
+// NSuper returns the number of supernodes.
+func (nw *Network) NSuper() int { return nw.nSuper }
+
+// Epoch returns the number of completed reorganizations.
+func (nw *Network) Epoch() int { return nw.epoch }
+
+// Round returns the number of completed rounds.
+func (nw *Network) Round() int { return nw.round }
+
+// EpochRounds returns the rounds per reorganization epoch: two real
+// rounds (simulation + synchronization) per primitive round of
+// Algorithm 2, plus four reorganization rounds — Θ(log log n).
+func (nw *Network) EpochRounds() int { return 2*(2*nw.T+1) + 4 }
+
+// GroupSizes returns the current group sizes.
+func (nw *Network) GroupSizes() []int {
+	out := make([]int, nw.nSuper)
+	for x, g := range nw.groups {
+		out[x] = len(g)
+	}
+	return out
+}
+
+// Groups returns the current committed groups (do not modify).
+func (nw *Network) Groups() [][]sim.NodeID { return nw.groups }
+
+// StatsSnapshot returns the accumulated health counters.
+func (nw *Network) StatsSnapshot() Stats { return nw.stats }
+
+// Snapshot publishes the current topology at supernode granularity —
+// exactly the information the paper allows the adversary to see.
+func (nw *Network) Snapshot() *dos.Snapshot {
+	return &dos.Snapshot{Round: nw.round, Groups: cloneGroups(nw.groups), Adj: nw.adj}
+}
+
+// resetPrimitive reinitializes the simulated Algorithm 2 state for a
+// new epoch.
+func (nw *Network) resetPrimitive() {
+	nw.M = make([][][]int32, nw.nSuper)
+	for x := range nw.M {
+		nw.M[x] = make([][]int32, nw.dim+1)
+	}
+	nw.samples = make([][]int32, nw.nSuper)
+	nw.reqs = make([][]supReq, nw.nSuper)
+	nw.resps = make([][]supResp, nw.nSuper)
+}
+
+// blocked reports whether id was blocked in the round `ago` rounds
+// before the current one (0 = the round being executed).
+func (nw *Network) blocked(id sim.NodeID, ago int) bool {
+	m := nw.blockedHist[ago]
+	return m != nil && m[id]
+}
+
+// leader returns the member of group x whose state the group adopts
+// this round: the lowest-id available member (the paper's
+// synchronization rule), or — under the RandomLeader ablation — an
+// available member chosen by a round-dependent rotation. Returns -1 if
+// no member is available.
+func (nw *Network) leader(x int) int {
+	var avail []int
+	for _, id := range nw.groups[x] {
+		if !nw.blocked(id, 0) && !nw.blocked(id, 1) {
+			if !nw.cfg.RandomLeader {
+				return int(id) - 1
+			}
+			avail = append(avail, int(id)-1)
+		}
+	}
+	if len(avail) == 0 {
+		return -1
+	}
+	return avail[(nw.round*31+x)%len(avail)]
+}
+
+// Step executes one communication round under the given blocked set.
+func (nw *Network) Step(blocked map[sim.NodeID]bool) RoundReport {
+	nw.round++
+	nw.blockedHist[2] = nw.blockedHist[1]
+	nw.blockedHist[1] = nw.blockedHist[0]
+	nw.blockedHist[0] = blocked
+
+	rep := RoundReport{Round: nw.round, Epoch: nw.epoch, Blocked: len(blocked), Connected: true}
+
+	// Identify per-group leaders for this round and count stalls.
+	leaders := make([]int, nw.nSuper)
+	for x := range leaders {
+		leaders[x] = nw.leader(x)
+		if leaders[x] < 0 {
+			nw.stats.Stalls++
+			rep.Stalls++
+		}
+	}
+
+	// Advance the epoch protocol.
+	pr := nw.phase / 2 // primitive round index during sampling
+	switch {
+	case nw.phase < 2*(2*nw.T+1):
+		if nw.phase%2 == 0 {
+			nw.simulationRound(pr, leaders)
+		}
+		// The synchronization half-round only moves messages, which the
+		// central queues already represent; availability was enforced
+		// at the simulation half-round via the leader check.
+	case nw.phase == 2*(2*nw.T+1):
+		nw.assignRound(leaders)
+	case nw.phase == 2*(2*nw.T+1)+3:
+		nw.commitRound()
+	}
+
+	// Every-round S(x) broadcast: an available node receives the state
+	// its group peers sent in the previous round, provided some peer
+	// was available to send it (the paper's recovery mechanism for
+	// formerly blocked nodes).
+	cur := int32(nw.epoch)
+	for v := 0; v < nw.cfg.N; v++ {
+		id := sim.NodeID(v + 1)
+		if nw.blocked(id, 0) || nw.blocked(id, 1) {
+			continue
+		}
+		if nw.viewEpoch[v] == cur {
+			continue
+		}
+		x := nw.nodeGroup[v]
+		for _, u := range nw.groups[x] {
+			if u != id && !nw.blocked(u, 1) && !nw.blocked(u, 2) {
+				nw.viewEpoch[v] = cur
+				break
+			}
+		}
+	}
+
+	rep.MaxNodeBits = nw.estimateWork()
+	if rep.MaxNodeBits > nw.stats.MaxNodeBits {
+		nw.stats.MaxNodeBits = rep.MaxNodeBits
+	}
+
+	nw.phase++
+	if nw.phase == nw.EpochRounds() {
+		nw.phase = 0
+	}
+	nw.stats.Rounds++
+
+	if nw.cfg.MeasureEvery > 0 && nw.round%nw.cfg.MeasureEvery == 0 {
+		rep.Measured = true
+		rep.Connected = nw.ConnectedNow()
+		nw.stats.MeasuredTotal++
+		if !rep.Connected {
+			nw.stats.Disconnected++
+		}
+	}
+	return rep
+}
+
+// simulationRound executes primitive round pr of Algorithm 2 for every
+// supernode with an available leader. Supernodes without one are inert:
+// their pending messages are lost, exactly as if the group could not
+// simulate the round.
+func (nw *Network) simulationRound(pr int, leaders []int) {
+	d := nw.dim
+	newReqs := make([][]supReq, nw.nSuper)
+	newResps := make([][]supResp, nw.nSuper)
+
+	extract := func(x, j int, r *rng.RNG) int32 {
+		list := nw.M[x][j]
+		if len(list) == 0 {
+			nw.stats.SampleFails++
+			return int32(x)
+		}
+		i := r.Intn(len(list))
+		v := list[i]
+		list[i] = list[len(list)-1]
+		nw.M[x][j] = list[:len(list)-1]
+		return v
+	}
+
+	sendRequests := func(x, i int, r *rng.RNG) {
+		step := 1 << i
+		for j := 1; j <= d; j += step {
+			for k := 0; k < nw.mi[i]; k++ {
+				target := extract(x, j, r)
+				newReqs[target] = append(newReqs[target], supReq{from: int32(x), j: int16(j)})
+			}
+		}
+	}
+
+	for x := 0; x < nw.nSuper; x++ {
+		ld := leaders[x]
+		if ld < 0 {
+			nw.reqs[x] = nil
+			nw.resps[x] = nil
+			continue
+		}
+		r := nw.nodeR[ld]
+		switch {
+		case pr == 0:
+			// Phase 1: fill every list with m₀ one-coordinate walks
+			// (a uniform symbol per coordinate; for k = 2 this is the
+			// paper's fair coin), then send the first requests.
+			for j := 1; j <= d; j++ {
+				list := make([]int32, 0, nw.mi[0])
+				for k := 0; k < nw.mi[0]; k++ {
+					val := r.Intn(nw.cfg.K)
+					list = append(list, int32(nw.cube.WithCoord(x, j-1, val)))
+				}
+				nw.M[x][j] = list
+			}
+			sendRequests(x, 1, r)
+		case pr%2 == 1:
+			// Serve round of iteration i = (pr+1)/2.
+			i := (pr + 1) / 2
+			half := 1 << (i - 1)
+			for _, rq := range nw.reqs[x] {
+				v := extract(x, int(rq.j)+half, r)
+				newResps[rq.from] = append(newResps[rq.from], supResp{v: v, j: rq.j})
+			}
+			nw.reqs[x] = nil
+		default:
+			// Collect round of iteration i = pr/2; send next requests.
+			i := pr / 2
+			for j := 1; j <= d; j++ {
+				nw.M[x][j] = nil
+			}
+			for _, rp := range nw.resps[x] {
+				nw.M[x][rp.j] = append(nw.M[x][rp.j], rp.v)
+			}
+			nw.resps[x] = nil
+			if i < nw.T {
+				sendRequests(x, i+1, r)
+			} else {
+				// M is a multiset: extraction order is uniform. The
+				// central response queues deliver in sender order, so
+				// shuffle to restore the multiset semantics before the
+				// reorganization consumes the first k samples.
+				final := nw.M[x][1]
+				r.Shuffle(len(final), func(a, b int) {
+					final[a], final[b] = final[b], final[a]
+				})
+				nw.samples[x] = final
+			}
+		}
+	}
+	for x := range newReqs {
+		nw.reqs[x] = append(nw.reqs[x], newReqs[x]...)
+		nw.resps[x] = append(nw.resps[x], newResps[x]...)
+	}
+}
+
+// assignRound performs the reorganization: the members of each group
+// (sorted by id) are assigned to the first k sampled supernodes.
+func (nw *Network) assignRound(leaders []int) {
+	newGroups := make([][]sim.NodeID, nw.nSuper)
+	for x := 0; x < nw.nSuper; x++ {
+		if leaders[x] < 0 {
+			// No available member: the group cannot reorganize; its
+			// members stay put (counted as stalls already).
+			for _, id := range nw.groups[x] {
+				newGroups[x] = append(newGroups[x], id)
+			}
+			continue
+		}
+		samples := nw.samples[x]
+		for i, id := range nw.groups[x] {
+			var target int32
+			if len(samples) == 0 {
+				nw.stats.AssignFails++
+				target = int32(x)
+			} else if i < len(samples) {
+				target = samples[i]
+			} else {
+				nw.stats.AssignFails++
+				target = samples[i%len(samples)]
+			}
+			newGroups[target] = append(newGroups[target], id)
+		}
+	}
+	for x := range newGroups {
+		sortIDs(newGroups[x])
+		if len(newGroups[x]) == 0 {
+			nw.stats.EmptyGroups++
+		}
+	}
+	// Stash the pending assignment until the commit round.
+	nw.pending = newGroups
+}
+
+// commitRound installs the new groups.
+func (nw *Network) commitRound() {
+	if nw.pending == nil {
+		return
+	}
+	nw.groups = nw.pending
+	nw.pending = nil
+	for x, g := range nw.groups {
+		for _, id := range g {
+			nw.nodeGroup[int(id)-1] = int32(x)
+		}
+	}
+	nw.epoch++
+	nw.stats.Epochs++
+	nw.history = append(nw.history, cloneGroups(nw.groups))
+	nw.histNodeGroup = append(nw.histNodeGroup, append([]int32(nil), nw.nodeGroup...))
+	nw.resetPrimitive()
+}
+
+// estimateWork returns the implied per-node communication bits for the
+// current round: the every-round state broadcast within each group plus
+// the supernode message fan-out.
+func (nw *Network) estimateWork() int64 {
+	var maxBits int64
+	stateBits := int64(0)
+	for x := 0; x < nw.nSuper; x++ {
+		entries := 0
+		for j := 1; j <= nw.dim; j++ {
+			entries += len(nw.M[x][j])
+		}
+		b := int64(entries) * int64(nw.supBits+nw.groupBitsAvg)
+		if b > stateBits {
+			stateBits = b
+		}
+	}
+	for x := 0; x < nw.nSuper; x++ {
+		g := int64(len(nw.groups[x]))
+		if g == 0 {
+			continue
+		}
+		// Broadcast S(x) to the group, plus fan-out of pending
+		// supernode messages to whole target groups.
+		msgs := int64(len(nw.reqs[x]) + len(nw.resps[x]))
+		bits := (g-1)*stateBits + msgs*int64(nw.supBits+nw.groupBitsAvg)
+		if bits > maxBits {
+			maxBits = bits
+		}
+	}
+	return maxBits
+}
+
+// ConnectedNow reports whether the non-blocked nodes form a connected
+// graph under each node's current knowledge (stale nodes contribute
+// the edges of the epoch they last received).
+func (nw *Network) ConnectedNow() bool {
+	n := nw.cfg.N
+	alive := make([]bool, n)
+	for v := 0; v < n; v++ {
+		alive[v] = !nw.blocked(sim.NodeID(v+1), 0)
+	}
+	g := graph.New(n)
+	seen := make(map[int64]bool)
+	addEdge := func(a, b int) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := int64(a)<<32 | int64(b)
+		if !seen[key] {
+			seen[key] = true
+			g.AddEdge(a, b)
+		}
+	}
+	for v := 0; v < n; v++ {
+		epoch := int(nw.viewEpoch[v])
+		groups := nw.history[epoch]
+		x := nw.histNodeGroup[epoch][v]
+		for _, w := range groups[x] {
+			addEdge(v, int(w)-1)
+		}
+		for _, y := range nw.adj[x] {
+			for _, w := range groups[y] {
+				addEdge(v, int(w)-1)
+			}
+		}
+	}
+	return g.IsConnectedRestricted(alive)
+}
+
+// Run drives the network for the given number of rounds under the
+// adversary, publishing a snapshot every round and enforcing the
+// buffer's lateness.
+func (nw *Network) Run(adv dos.Adversary, buf *dos.Buffer, rounds int) []RoundReport {
+	reports := make([]RoundReport, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		buf.Publish(nw.Snapshot())
+		var blocked map[sim.NodeID]bool
+		if adv != nil {
+			blocked = adv.SelectBlocked(nw.round+1, nw.cfg.N, buf.View(nw.round+1))
+		}
+		reports = append(reports, nw.Step(blocked))
+	}
+	return reports
+}
