@@ -3,13 +3,18 @@
 //
 // Usage:
 //
-//	benchtables [-quick] [-seed N] [-only E8[,E9,…]] [-list]
+//	benchtables [-quick] [-seed N] [-only E8[,E9,…]] [-procs N] [-cpuprofile F] [-list]
+//
+// Sweep cells run on -procs workers (default: all CPUs); the rendered
+// tables are identical for every worker count at a fixed seed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -21,7 +26,23 @@ func main() {
 	seed := flag.Uint64("seed", 42, "random seed")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	procs := flag.Int("procs", runtime.GOMAXPROCS(0), "worker goroutines for sweep cells (tables are identical for any value)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	experiments := exp.All()
 	if *list {
@@ -38,20 +59,48 @@ func main() {
 		}
 	}
 
-	opts := exp.Options{Seed: *seed, Quick: *quick}
-	ran := 0
+	opts := exp.Options{Seed: *seed, Quick: *quick, Procs: *procs}
+	var selected []exp.Experiment
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
-		start := time.Now()
-		tbl := e.Run(opts)
-		fmt.Println(tbl.String())
-		fmt.Printf("(%s: %s, %.1fs)\n\n", e.ID, e.Claim, time.Since(start).Seconds())
-		ran++
+		selected = append(selected, e)
 	}
-	if ran == 0 {
+	if len(selected) == 0 {
 		fmt.Fprintln(os.Stderr, "no experiments matched; use -list")
 		os.Exit(1)
+	}
+
+	// Experiments are independent, so they run concurrently on the same
+	// worker budget that each driver's sweep cells use; tables stream
+	// out in canonical order as their experiments finish.
+	workers := *procs
+	if workers < 1 {
+		workers = 1
+	}
+	type result struct {
+		table   string
+		elapsed time.Duration
+	}
+	results := make([]result, len(selected))
+	done := make([]chan struct{}, len(selected))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	sem := make(chan struct{}, workers)
+	for i, e := range selected {
+		go func(i int, e exp.Experiment) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			results[i] = result{table: e.Run(opts).String(), elapsed: time.Since(start)}
+			close(done[i])
+		}(i, e)
+	}
+	for i, e := range selected {
+		<-done[i]
+		fmt.Println(results[i].table)
+		fmt.Printf("(%s: %s, %.1fs)\n\n", e.ID, e.Claim, results[i].elapsed.Seconds())
 	}
 }

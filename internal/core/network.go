@@ -755,3 +755,9 @@ func (nw *Network) BuildGraph() *graph.Graph {
 
 // Shutdown stops all node goroutines.
 func (nw *Network) Shutdown() { nw.net.Shutdown() }
+
+// ResetWork truncates the underlying simulator's per-round work log.
+// Long-horizon drivers call it between epochs so the log stays bounded
+// without giving up per-epoch work measurements. RunEpoch only inspects
+// rounds it ran itself, so resetting between epochs is always safe.
+func (nw *Network) ResetWork() { nw.net.ResetWork() }

@@ -24,8 +24,12 @@ func E11AnonRouting(o Options) *metrics.Table {
 	if o.Quick {
 		requests = 300
 	}
-	for _, n := range o.sizes([]int{256}, []int{512, 1024}) {
-		for _, frac := range o.sizes([]int{0}, []int{0, 25, 40, 45}) {
+	ns := o.sizes([]int{256}, []int{512, 1024})
+	fracs := o.sizes([]int{0}, []int{0, 25, 40, 45})
+	t.AddRows(RunRows(o, len(ns)*len(fracs), func(cell int) [][]string {
+		n := ns[cell/len(fracs)]
+		frac := fracs[cell%len(fracs)]
+		{
 			fraction := float64(frac) / 100
 			net := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(n), N: n, MeasureEvery: -1})
 			sy := anon.NewSystem(net, o.Seed+uint64(n))
@@ -58,12 +62,12 @@ func E11AnonRouting(o Options) *metrics.Table {
 					replied++
 				}
 			}
-			t.AddRowf(n, fraction, requests,
+			return [][]string{metrics.Row(n, fraction, requests,
 				fmt.Sprintf("%.1f%%", 100*float64(delivered)/float64(requests)),
 				fmt.Sprintf("%.1f%%", 100*float64(replied)/float64(requests)),
-				4, metrics.Entropy(counts), math.Log2(float64(n)))
+				4, metrics.Entropy(counts), math.Log2(float64(n)))}
 		}
-	}
+	}))
 	return t
 }
 
@@ -73,9 +77,13 @@ func E11AnonRouting(o Options) *metrics.Table {
 func E12RobustDHT(o Options) *metrics.Table {
 	t := metrics.NewTable("E12  Theorem 8 — robust DHT batches (k-ary hypercube groups)",
 		"n", "k", "d", "blocked", "budget", "served", "failed", "max rounds", "max congestion", "log^3 n")
-	for _, n := range o.sizes([]int{256}, []int{256, 1024, 4096}) {
-		budget := int(math.Pow(float64(n), 1/math.Log2(math.Log2(float64(n)))))
-		for _, mult := range o.sizes([]int{1}, []int{0, 1, 4}) {
+	ns12 := o.sizes([]int{256}, []int{256, 1024, 4096})
+	mults := o.sizes([]int{1}, []int{0, 1, 4})
+	t.AddRows(RunRows(o, len(ns12)*len(mults), func(cell int) [][]string {
+		n := ns12[cell/len(mults)]
+		mult := mults[cell%len(mults)]
+		{
+			budget := int(math.Pow(float64(n), 1/math.Log2(math.Log2(float64(n)))))
 			d := dht.New(dht.Config{Seed: o.Seed ^ uint64(n), N: n})
 			blockCount := budget * mult
 			r := rng.New(o.Seed + uint64(n) + uint64(mult))
@@ -93,10 +101,10 @@ func E12RobustDHT(o Options) *metrics.Table {
 				ops = append(ops, dht.BatchOp{Entry: entry, Key: fmt.Sprintf("k%d", i), Value: "v"})
 			}
 			st := d.ServeBatch(ops, hop)
-			t.AddRowf(n, d.K(), d.D(), blockCount, budget, st.Served, st.Failed,
-				st.MaxRounds, st.MaxCongestion, metrics.PolylogEnvelope(n, 3, 1))
+			return [][]string{metrics.Row(n, d.K(), d.D(), blockCount, budget, st.Served, st.Failed,
+				st.MaxRounds, st.MaxCongestion, metrics.PolylogEnvelope(n, 3, 1))}
 		}
-	}
+	}))
 	return t
 }
 
@@ -105,7 +113,9 @@ func E12RobustDHT(o Options) *metrics.Table {
 func E13PubSub(o Options) *metrics.Table {
 	t := metrics.NewTable("E13  §7.3 — publish-subscribe on the robust DHT",
 		"n", "publications", "topics", "published", "failed", "fetched ok", "agg rounds")
-	for _, n := range o.sizes([]int{256}, []int{256, 1024}) {
+	ns13 := o.sizes([]int{256}, []int{256, 1024})
+	t.AddRows(RunRows(o, len(ns13), func(cell int) [][]string {
+		n := ns13[cell]
 		d := dht.New(dht.Config{Seed: o.Seed ^ uint64(n), N: n})
 		ps := pubsub.New(d)
 		r := rng.New(o.Seed + uint64(n))
@@ -128,7 +138,7 @@ func E13PubSub(o Options) *metrics.Table {
 				fetched += len(items)
 			}
 		}
-		t.AddRowf(n, pubsPerBatch, st.Topics, st.Published, st.Failed, fetched, st.Rounds)
-	}
+		return [][]string{metrics.Row(n, pubsPerBatch, st.Topics, st.Published, st.Failed, fetched, st.Rounds)}
+	}))
 	return t
 }

@@ -26,7 +26,13 @@ func E6ReconfigChurn(o Options) *metrics.Table {
 	if o.Quick {
 		epochs = 2
 	}
-	for _, n := range o.sizes([]int{64}, []int{64, 256, 1024}) {
+	ns := o.sizes([]int{64}, []int{64, 256, 1024})
+	nadv := 5
+	if o.Quick {
+		nadv = 2
+	}
+	t.AddRows(RunRows(o, len(ns)*nadv, func(cell int) [][]string {
+		n := ns[cell/nadv]
 		advs := []struct {
 			name string
 			adv  churn.Adversary
@@ -37,33 +43,30 @@ func E6ReconfigChurn(o Options) *metrics.Table {
 			{"target-oldest-25%", &churn.TargetOldest{Fraction: 0.25, R: rng.New(o.Seed + 3)}},
 			{"neighborhood-25%", &churn.TargetNeighborhood{Fraction: 0.25, R: rng.New(o.Seed + 4)}},
 		}
-		if o.Quick {
-			advs = advs[:2]
-		}
-		for _, a := range advs {
-			nw := core.NewNetwork(coreConfig(o.Seed^uint64(n), n))
-			var reports []core.EpochReport
-			if a.adv == nil {
-				for e := 0; e < epochs; e++ {
-					rep, _ := nw.RunEpoch(nil, nil)
-					reports = append(reports, rep)
-				}
-			} else {
-				reports = churn.Run(nw, a.adv, epochs)
+		a := advs[cell%nadv]
+		nw := core.NewNetwork(coreConfig(o.Seed^uint64(n), n))
+		var reports []core.EpochReport
+		if a.adv == nil {
+			for e := 0; e < epochs; e++ {
+				rep, _ := nw.RunEpoch(nil, nil)
+				reports = append(reports, rep)
+				nw.ResetWork() // keep the round log bounded across epochs
 			}
-			nw.Shutdown()
-			connected, valid, failures, rounds := true, true, 0, 0
-			for _, rep := range reports {
-				connected = connected && rep.Connected
-				valid = valid && rep.Valid
-				failures += rep.Failures
-				rounds = rep.Rounds
-			}
-			t.AddRowf(n, a.name, epochs, rounds,
-				fmt.Sprintf("%.2f", math.Log2(math.Log2(float64(n)))),
-				connected, valid, failures)
+		} else {
+			reports = churn.Run(nw, a.adv, epochs)
 		}
-	}
+		nw.Shutdown()
+		connected, valid, failures, rounds := true, true, 0, 0
+		for _, rep := range reports {
+			connected = connected && rep.Connected
+			valid = valid && rep.Valid
+			failures += rep.Failures
+			rounds = rep.Rounds
+		}
+		return [][]string{metrics.Row(n, a.name, epochs, rounds,
+			fmt.Sprintf("%.2f", math.Log2(math.Log2(float64(n)))),
+			connected, valid, failures)}
+	}))
 	return t
 }
 
@@ -73,7 +76,9 @@ func E6ReconfigChurn(o Options) *metrics.Table {
 func E7CongestionSegments(o Options) *metrics.Table {
 	t := metrics.NewTable("E7  Lemmas 11/12 — congestion and empty segments per reconfiguration",
 		"n", "max chosen", "max empty segment", "log2 n", "polylog env (4 log^2)", "max bits/node-round")
-	for _, n := range o.sizes([]int{64}, []int{64, 256, 1024, 2048}) {
+	ns := o.sizes([]int{64}, []int{64, 256, 1024, 2048})
+	t.AddRows(RunRows(o, len(ns), func(cell int) [][]string {
+		n := ns[cell]
 		nw := core.NewNetwork(coreConfig(o.Seed^uint64(n), n))
 		maxChosen, maxSeg := 0, 0
 		var maxBits int64
@@ -92,10 +97,11 @@ func E7CongestionSegments(o Options) *metrics.Table {
 			if rep.MaxNodeBits > maxBits {
 				maxBits = rep.MaxNodeBits
 			}
+			nw.ResetWork() // keep the round log bounded across epochs
 		}
 		nw.Shutdown()
-		t.AddRowf(n, maxChosen, maxSeg, fmt.Sprintf("%.1f", math.Log2(float64(n))),
-			metrics.PolylogEnvelope(n, 2, 4), maxBits)
-	}
+		return [][]string{metrics.Row(n, maxChosen, maxSeg, fmt.Sprintf("%.1f", math.Log2(float64(n))),
+			metrics.PolylogEnvelope(n, 2, 4), maxBits)}
+	}))
 	return t
 }

@@ -19,20 +19,23 @@ func E10ChurnDoS(o Options) *metrics.Table {
 	if o.Quick {
 		epochs = 2
 	}
-	for _, n0 := range o.sizes([]int{512}, []int{512, 1024, 2048}) {
-		cases := []struct {
-			churnFrac float64
-			blocked   float64
-		}{
-			{0, 0.4},
-			{0.125, 0},
-			{0.125, 0.4},
-			{0.25, 0.3},
-		}
-		if o.Quick {
-			cases = cases[2:3]
-		}
-		for _, cse := range cases {
+	n0s := o.sizes([]int{512}, []int{512, 1024, 2048})
+	cases := []struct {
+		churnFrac float64
+		blocked   float64
+	}{
+		{0, 0.4},
+		{0.125, 0},
+		{0.125, 0.4},
+		{0.25, 0.3},
+	}
+	if o.Quick {
+		cases = cases[2:3]
+	}
+	t.AddRows(RunRows(o, len(n0s)*len(cases), func(cell int) [][]string {
+		n0 := n0s[cell/len(cases)]
+		cse := cases[cell%len(cases)]
+		{
 			nw := splitmerge.New(splitmerge.Config{Seed: o.Seed ^ uint64(n0), N0: n0})
 			var adv dos.Adversary
 			if cse.blocked > 0 {
@@ -70,10 +73,10 @@ func E10ChurnDoS(o Options) *metrics.Table {
 				}
 			}
 			st := nw.StatsSnapshot()
-			t.AddRowf(n0, cse.churnFrac, cse.blocked, epochs, disc,
+			return [][]string{metrics.Row(n0, cse.churnFrac, cse.blocked, epochs, disc,
 				st.MaxDimSpread, st.Eq1Violations == 0 && nw.Eq1Holds(),
-				st.Splits, st.Merges+st.ForcedMerges, nw.N())
+				st.Splits, st.Merges+st.ForcedMerges, nw.N())}
 		}
-	}
+	}))
 	return t
 }

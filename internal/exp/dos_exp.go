@@ -21,37 +21,31 @@ func E8DoSConnectivity(o Options) *metrics.Table {
 	if o.Quick {
 		epochs = 2
 	}
-	for _, n := range o.sizes([]int{256}, []int{256, 1024, 4096}) {
-		fracs := []float64{0.1, 0.25, 0.4, 0.45}
-		if o.Quick {
-			fracs = []float64{0.4}
-		}
-		for _, frac := range fracs {
-			for _, late := range []bool{true, false} {
-				nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(n), N: n})
-				lateness := 0
-				if late {
-					lateness = 2 * nw.EpochRounds()
-				}
-				adv := &dos.GroupIsolate{Fraction: frac, R: rng.New(o.Seed + uint64(n) + uint64(frac*100))}
-				buf := &dos.Buffer{Lateness: lateness}
-				reports := nw.Run(adv, buf, epochs*nw.EpochRounds())
-				disc := 0
-				for _, rep := range reports {
-					if rep.Measured && !rep.Connected {
-						disc++
-					}
-				}
-				t.AddRowf(n, frac, fmt.Sprintf("%d", lateness), len(reports), disc, nw.StatsSnapshot().Stalls)
-				if !late && frac != 0.4 {
-					break // one 0-late row per size suffices
-				}
-			}
-			if o.Quick {
-				break
-			}
-		}
+	ns := o.sizes([]int{256}, []int{256, 1024, 4096})
+	fracs := []float64{0.1, 0.25, 0.4, 0.45}
+	if o.Quick {
+		fracs = []float64{0.4}
 	}
+	t.AddRows(RunRows(o, len(ns)*len(fracs)*2, func(cell int) [][]string {
+		n := ns[cell/(len(fracs)*2)]
+		frac := fracs[cell/2%len(fracs)]
+		late := cell%2 == 0
+		nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(n), N: n})
+		lateness := 0
+		if late {
+			lateness = 2 * nw.EpochRounds()
+		}
+		adv := &dos.GroupIsolate{Fraction: frac, R: rng.New(o.Seed + uint64(n) + uint64(frac*100))}
+		buf := &dos.Buffer{Lateness: lateness}
+		reports := nw.Run(adv, buf, epochs*nw.EpochRounds())
+		disc := 0
+		for _, rep := range reports {
+			if rep.Measured && !rep.Connected {
+				disc++
+			}
+		}
+		return [][]string{metrics.Row(n, frac, fmt.Sprintf("%d", lateness), len(reports), disc, nw.StatsSnapshot().Stalls)}
+	}))
 	return t
 }
 
@@ -61,49 +55,50 @@ func E8DoSConnectivity(o Options) *metrics.Table {
 func E9GroupBalance(o Options) *metrics.Table {
 	t := metrics.NewTable("E9  Lemmas 16/17 — group concentration and per-group blocking",
 		"n", "N groups", "mean size", "min", "max", "blocked frac", "max blocked frac of a group", "always ≥1 avail")
-	for _, n := range o.sizes([]int{256}, []int{256, 1024, 4096}) {
-		fracs := []float64{0.25, 0.45}
+	ns := o.sizes([]int{256}, []int{256, 1024, 4096})
+	fracs := []float64{0.25, 0.45}
+	if o.Quick {
+		fracs = fracs[1:]
+	}
+	t.AddRows(RunRows(o, len(ns)*len(fracs), func(cell int) [][]string {
+		n := ns[cell/len(fracs)]
+		frac := fracs[cell%len(fracs)]
+		nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(n), N: n, MeasureEvery: -1})
+		adv := &dos.HalfEachGroup{Fraction: frac, R: rng.New(o.Seed + uint64(n))}
+		buf := &dos.Buffer{Lateness: 2 * nw.EpochRounds()}
+		maxFrac := 0.0
+		allAvail := true
+		rounds := 2 * nw.EpochRounds()
 		if o.Quick {
-			fracs = fracs[1:]
+			rounds = nw.EpochRounds()
 		}
-		for _, frac := range fracs {
-			nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(n), N: n, MeasureEvery: -1})
-			adv := &dos.HalfEachGroup{Fraction: frac, R: rng.New(o.Seed + uint64(n))}
-			buf := &dos.Buffer{Lateness: 2 * nw.EpochRounds()}
-			maxFrac := 0.0
-			allAvail := true
-			rounds := 2 * nw.EpochRounds()
-			if o.Quick {
-				rounds = nw.EpochRounds()
-			}
-			for i := 0; i < rounds; i++ {
-				buf.Publish(nw.Snapshot())
-				blocked := adv.SelectBlocked(nw.Round()+1, n, buf.View(nw.Round()+1))
-				// Measure blocking against the CURRENT groups before stepping.
-				for _, g := range nw.Groups() {
-					if len(g) == 0 {
-						continue
-					}
-					b := 0
-					for _, id := range g {
-						if blocked[id] {
-							b++
-						}
-					}
-					if f := float64(b) / float64(len(g)); f > maxFrac {
-						maxFrac = f
-					}
-					if b == len(g) {
-						allAvail = false
+		for i := 0; i < rounds; i++ {
+			buf.Publish(nw.Snapshot())
+			blocked := adv.SelectBlocked(nw.Round()+1, n, buf.View(nw.Round()+1))
+			// Measure blocking against the CURRENT groups before stepping.
+			for _, g := range nw.Groups() {
+				if len(g) == 0 {
+					continue
+				}
+				b := 0
+				for _, id := range g {
+					if blocked[id] {
+						b++
 					}
 				}
-				nw.Step(blocked)
+				if f := float64(b) / float64(len(g)); f > maxFrac {
+					maxFrac = f
+				}
+				if b == len(g) {
+					allAvail = false
+				}
 			}
-			sizes := nw.GroupSizes()
-			s := metrics.SummarizeInts(sizes)
-			t.AddRowf(n, nw.NSuper(), s.Mean, s.Min, s.Max, frac, maxFrac, allAvail)
+			nw.Step(blocked)
 		}
-	}
+		sizes := nw.GroupSizes()
+		s := metrics.SummarizeInts(sizes)
+		return [][]string{metrics.Row(n, nw.NSuper(), s.Mean, s.Min, s.Max, frac, maxFrac, allAvail)}
+	}))
 	return t
 }
 
@@ -117,7 +112,8 @@ func A2SyncRule(o Options) *metrics.Table {
 	if o.Quick {
 		n = 256
 	}
-	for _, random := range []bool{false, true} {
+	t.AddRows(RunRows(o, 2, func(cell int) [][]string {
+		random := cell == 1
 		nw := supernode.New(supernode.Config{Seed: o.Seed, N: n, RandomLeader: random})
 		adv := &dos.GroupIsolate{Fraction: 0.4, R: rng.New(o.Seed + 7)}
 		buf := &dos.Buffer{Lateness: 2 * nw.EpochRounds()}
@@ -133,8 +129,8 @@ func A2SyncRule(o Options) *metrics.Table {
 			name = "rotating"
 		}
 		st := nw.StatsSnapshot()
-		t.AddRowf(name, len(reports), disc, st.Stalls, st.EmptyGroups)
-	}
+		return [][]string{metrics.Row(name, len(reports), disc, st.Stalls, st.EmptyGroups)}
+	}))
 	return t
 }
 

@@ -15,6 +15,11 @@ type Options struct {
 	// Quick shrinks the sweeps for use inside unit tests and
 	// short benchmark runs.
 	Quick bool
+	// Procs caps the number of worker goroutines the trial runner
+	// uses for a driver's independent sweep cells. Zero means
+	// runtime.GOMAXPROCS(0). Any value yields identical tables: cells
+	// are seeded independently and merged in canonical order.
+	Procs int
 }
 
 // sizes returns quick or full sweep sizes.

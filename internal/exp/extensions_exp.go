@@ -23,7 +23,8 @@ func A3ExpansionMatters(o Options) *metrics.Table {
 	t := metrics.NewTable("A3  Ablation — the primitive needs expansion (identical walk lengths)",
 		"graph", "n", "degree", "walk length", "mean dist to sample", "uniform mean dist", "locality ratio")
 	sides := o.sizes([]int{12}, []int{16, 24, 32})
-	for _, side := range sides {
+	t.AddRows(RunRows(o, len(sides), func(cell int) [][]string {
+		side := sides[cell]
 		n := side * side
 		walk := 1 << bitsCeilLog2(4*int(math.Log2(float64(n))))
 
@@ -40,7 +41,7 @@ func A3ExpansionMatters(o Options) *metrics.Table {
 		}
 		uni := float64(side) / 2
 		mean := sum / float64(cnt)
-		t.AddRowf("torus", n, 4, walk, mean, uni, mean/uni)
+		rows := [][]string{metrics.Row("torus", n, 4, walk, mean, uni, mean/uni)}
 
 		// H-graph with the same degree-4 and walk length: full mixing,
 		// measured as pooled TV at the noise floor.
@@ -55,8 +56,9 @@ func A3ExpansionMatters(o Options) *metrics.Table {
 		// Mean BFS distance from vertex 0 approximates the uniform
 		// expectation on the expander.
 		meanDist, uniDist := expanderSampleDistance(g.Neighbors, n, res2.Samples)
-		t.AddRowf("H-graph", n, 4, walk, meanDist, uniDist, meanDist/uniDist)
-	}
+		rows = append(rows, metrics.Row("H-graph", n, 4, walk, meanDist, uniDist, meanDist/uniDist))
+		return rows
+	}))
 	return t
 }
 
@@ -142,7 +144,8 @@ func X1ChurnRateLimit(o Options) *metrics.Table {
 	if o.Quick {
 		epochs = 2
 	}
-	for _, f := range fracs {
+	t.AddRows(RunRows(o, len(fracs), func(cell int) [][]string {
+		f := fracs[cell]
 		frac := float64(f) / 100
 		nw := splitmerge.New(splitmerge.Config{Seed: o.Seed, N0: n0})
 		buf := &dos.Buffer{Lateness: 1}
@@ -178,9 +181,9 @@ func X1ChurnRateLimit(o Options) *metrics.Table {
 			}
 		}
 		st := nw.StatsSnapshot()
-		t.AddRowf(fmt.Sprintf("%d%%", f), epochs, disc, st.Stalls, st.AssignFails,
-			st.Eq1Violations == 0 && nw.Eq1Holds(), st.MaxDimSpread, nw.N())
-	}
+		return [][]string{metrics.Row(fmt.Sprintf("%d%%", f), epochs, disc, st.Stalls, st.AssignFails,
+			st.Eq1Violations == 0 && nw.Eq1Holds(), st.MaxDimSpread, nw.N())}
+	}))
 	return t
 }
 
@@ -198,7 +201,8 @@ func X2CrashFailures(o Options) *metrics.Table {
 		n = 256
 	}
 	fracs := o.sizes([]int{20}, []int{10, 25, 40, 48})
-	for _, f := range fracs {
+	t.AddRows(RunRows(o, len(fracs), func(cell int) [][]string {
+		f := fracs[cell]
 		frac := float64(f) / 100
 		nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(f), N: n})
 		r := rng.New(o.Seed + uint64(f))
@@ -217,8 +221,8 @@ func X2CrashFailures(o Options) *metrics.Table {
 				disc++
 			}
 		}
-		t.AddRowf(frac, rounds, disc, nw.StatsSnapshot().Stalls, nw.Epoch())
-	}
+		return [][]string{metrics.Row(frac, rounds, disc, nw.StatsSnapshot().Stalls, nw.Epoch())}
+	}))
 	return t
 }
 
@@ -233,26 +237,26 @@ func X4KAryNetwork(o Options) *metrics.Table {
 	if o.Quick {
 		cases = cases[1:2]
 	}
-	for _, c := range cases {
-		for _, late := range []bool{true, false} {
-			nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(c[0]), N: c[1], K: c[0]})
-			lateness := 0
-			if late {
-				lateness = 2 * nw.EpochRounds()
-			}
-			adv := &dos.GroupIsolate{Fraction: 0.4, R: rng.New(o.Seed + uint64(c[0]))}
-			buf := &dos.Buffer{Lateness: lateness}
-			disc := 0
-			reports := nw.Run(adv, buf, 3*nw.EpochRounds())
-			for _, rep := range reports {
-				if rep.Measured && !rep.Connected {
-					disc++
-				}
-			}
-			t.AddRowf(c[0], c[1], nw.NSuper(), nw.EpochRounds(),
-				fmt.Sprintf("%d", lateness), disc, nw.StatsSnapshot().Stalls)
+	t.AddRows(RunRows(o, len(cases)*2, func(cell int) [][]string {
+		c := cases[cell/2]
+		late := cell%2 == 0
+		nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(c[0]), N: c[1], K: c[0]})
+		lateness := 0
+		if late {
+			lateness = 2 * nw.EpochRounds()
 		}
-	}
+		adv := &dos.GroupIsolate{Fraction: 0.4, R: rng.New(o.Seed + uint64(c[0]))}
+		buf := &dos.Buffer{Lateness: lateness}
+		disc := 0
+		reports := nw.Run(adv, buf, 3*nw.EpochRounds())
+		for _, rep := range reports {
+			if rep.Measured && !rep.Connected {
+				disc++
+			}
+		}
+		return [][]string{metrics.Row(c[0], c[1], nw.NSuper(), nw.EpochRounds(),
+			fmt.Sprintf("%d", lateness), disc, nw.StatsSnapshot().Stalls)}
+	}))
 	return t
 }
 
@@ -266,7 +270,8 @@ func X3KAryRapidSampling(o Options) *metrics.Table {
 	if o.Quick {
 		cases = cases[:1]
 	}
-	for _, c := range cases {
+	t.AddRows(RunRows(o, len(cases), func(cell int) [][]string {
+		c := cases[cell]
 		p := sampling.KAryParams{K: c[0], Dim: c[1], Epsilon: 1, C: 2}
 		res := sampling.RapidKAry(o.Seed^uint64(c[0]*100+c[1]), p)
 		n := 1
@@ -281,8 +286,8 @@ func X3KAryRapidSampling(o Options) *metrics.Table {
 				total++
 			}
 		}
-		t.AddRowf(c[0], c[1], n, res.Rounds, p.Samples(),
-			metrics.TVDistanceUniform(counts), 3*metrics.ExpectedTVUniform(n, total), res.Failures)
-	}
+		return [][]string{metrics.Row(c[0], c[1], n, res.Rounds, p.Samples(),
+			metrics.TVDistanceUniform(counts), 3*metrics.ExpectedTVUniform(n, total), res.Failures)}
+	}))
 	return t
 }

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel trial harness. Every experiment driver is a sweep over
+// independent (size, parameter, trial) cells: each cell builds its own
+// networks from its own deterministic seed and renders one or more
+// table rows. RunCells executes the cells on a worker pool and returns
+// the results in canonical cell order, so the rendered table is
+// bitwise identical to a serial run for any worker count.
+
+// workers resolves Options.Procs to a concrete worker count.
+func (o Options) workers() int {
+	if o.Procs > 0 {
+		return o.Procs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunCells evaluates fn(0..ncells-1) across min(workers, ncells)
+// goroutines and returns the results indexed by cell. fn must be safe
+// for concurrent invocation across distinct cells: cells must not
+// share mutable state (in particular, each cell derives its randomness
+// from the cell's own seed, never from a generator shared across
+// cells). Results land in cell order regardless of completion order.
+func RunCells[T any](o Options, ncells int, fn func(cell int) T) []T {
+	out := make([]T, ncells)
+	procs := o.workers()
+	if procs > ncells {
+		procs = ncells
+	}
+	if procs <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= ncells {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RunRows is RunCells for the common case of cells that each render a
+// batch of table rows: the per-cell batches are concatenated in cell
+// order.
+func RunRows(o Options, ncells int, fn func(cell int) [][]string) [][]string {
+	var rows [][]string
+	for _, batch := range RunCells(o, ncells, fn) {
+		rows = append(rows, batch...)
+	}
+	return rows
+}
+
+// cellSeed derives the seed for one sweep cell from the experiment
+// seed and the cell's coordinates. The multipliers keep distinct
+// coordinates from colliding under xor (they are odd, so the map is a
+// bijection per coordinate).
+func cellSeed(seed uint64, coord ...uint64) uint64 {
+	s := seed
+	for i, c := range coord {
+		s ^= (c + uint64(i)*0x632be59bd9b4e019 + 1) * 0x9e3779b97f4a7c15
+	}
+	return s
+}

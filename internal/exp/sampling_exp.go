@@ -25,10 +25,11 @@ func expParams(n int) sampling.HGraphParams {
 func E1RapidSamplingHGraph(o Options) *metrics.Table {
 	t := metrics.NewTable("E1  Theorem 2 — rapid node sampling in H-graphs (d=8, alpha=2, eps=1, c=2)",
 		"n", "rounds", "loglog n", "samples/node", "TV", "3x envelope", "failures")
-	r := rng.New(o.Seed)
-	for _, n := range o.sizes([]int{128, 256}, []int{256, 512, 1024, 2048}) {
+	ns := o.sizes([]int{128, 256}, []int{256, 512, 1024, 2048})
+	t.AddRows(RunRows(o, len(ns), func(cell int) [][]string {
+		n := ns[cell]
 		p := expParams(n)
-		h := hgraph.Random(r, n, p.D)
+		h := hgraph.Random(rng.New(cellSeed(o.Seed, uint64(n))), n, p.D)
 		res := sampling.RapidHGraph(o.Seed^uint64(n), h, p)
 		counts := make([]int, n)
 		total := 0
@@ -38,10 +39,10 @@ func E1RapidSamplingHGraph(o Options) *metrics.Table {
 				total++
 			}
 		}
-		t.AddRowf(n, res.Rounds, fmt.Sprintf("%.2f", math.Log2(math.Log2(float64(n)))),
+		return [][]string{metrics.Row(n, res.Rounds, fmt.Sprintf("%.2f", math.Log2(math.Log2(float64(n)))),
 			p.Samples(), metrics.TVDistanceUniform(counts),
-			3*metrics.ExpectedTVUniform(n, total), res.Failures)
-	}
+			3*metrics.ExpectedTVUniform(n, total), res.Failures)}
+	}))
 	return t
 }
 
@@ -51,16 +52,17 @@ func E1RapidSamplingHGraph(o Options) *metrics.Table {
 func E2CommunicationWork(o Options) *metrics.Table {
 	t := metrics.NewTable("E2  Theorem 2 — communication work per node per round",
 		"n", "max bits/node-round", "log^k n envelope", "ratio", "total Mbits")
-	r := rng.New(o.Seed)
-	for _, n := range o.sizes([]int{128, 256}, []int{256, 512, 1024, 2048}) {
+	ns := o.sizes([]int{128, 256}, []int{256, 512, 1024, 2048})
+	t.AddRows(RunRows(o, len(ns), func(cell int) [][]string {
+		n := ns[cell]
 		p := expParams(n)
-		h := hgraph.Random(r, n, p.D)
+		h := hgraph.Random(rng.New(cellSeed(o.Seed, uint64(n))), n, p.D)
 		res := sampling.RapidHGraph(o.Seed^uint64(n), h, p)
 		k := 2 + math.Log2(2+p.Epsilon)
 		env := metrics.PolylogEnvelope(n, k, 1)
-		t.AddRowf(n, res.MaxNodeBits, env, float64(res.MaxNodeBits)/env,
-			float64(res.TotalBits)/1e6)
-	}
+		return [][]string{metrics.Row(n, res.MaxNodeBits, env, float64(res.MaxNodeBits)/env,
+			float64(res.TotalBits)/1e6)}
+	}))
 	return t
 }
 
@@ -69,7 +71,9 @@ func E2CommunicationWork(o Options) *metrics.Table {
 func E3RapidSamplingHypercube(o Options) *metrics.Table {
 	t := metrics.NewTable("E3  Theorem 3 — rapid node sampling in the hypercube (eps=1, c=2)",
 		"dim", "n", "rounds", "samples/node", "TV", "3x envelope", "failures")
-	for _, dim := range o.sizes([]int{4}, []int{2, 4, 8}) {
+	dims := o.sizes([]int{4}, []int{2, 4, 8})
+	t.AddRows(RunRows(o, len(dims), func(cell int) [][]string {
+		dim := dims[cell]
 		p := sampling.HypercubeParams{Dim: dim, Epsilon: 1, C: 2}
 		res := sampling.RapidHypercube(o.Seed^uint64(dim), p)
 		n := 1 << dim
@@ -81,9 +85,9 @@ func E3RapidSamplingHypercube(o Options) *metrics.Table {
 				total++
 			}
 		}
-		t.AddRowf(dim, n, res.Rounds, p.Samples(),
-			metrics.TVDistanceUniform(counts), 3*metrics.ExpectedTVUniform(n, total), res.Failures)
-	}
+		return [][]string{metrics.Row(dim, n, res.Rounds, p.Samples(),
+			metrics.TVDistanceUniform(counts), 3*metrics.ExpectedTVUniform(n, total), res.Failures)}
+	}))
 	return t
 }
 
@@ -94,26 +98,29 @@ func E3RapidSamplingHypercube(o Options) *metrics.Table {
 func E4RapidVsWalk(o Options) *metrics.Table {
 	t := metrics.NewTable("E4  Rapid sampling vs plain random walks (who wins, by what factor)",
 		"topology", "n", "walk rounds", "rapid rounds", "speed-up", "walk TV", "rapid TV")
-	r := rng.New(o.Seed)
-	for _, n := range o.sizes([]int{128}, []int{256, 1024, 2048}) {
-		p := expParams(n)
-		h := hgraph.Random(r, n, p.D)
-		steps := p.WalkTarget()
-		base := sampling.BaselineWalkHGraph(o.Seed^uint64(n), h, 4, steps)
-		rapid := sampling.RapidHGraph(o.Seed^uint64(n)+1, h, p)
-		t.AddRowf("H-graph", n, base.Rounds, rapid.Rounds,
-			fmt.Sprintf("%.1fx", float64(base.Rounds)/float64(rapid.Rounds)),
-			tvOf(base.Samples, n), tvOf(rapid.Samples, n))
-	}
-	for _, dim := range o.sizes([]int{4}, []int{4, 8}) {
+	ns := o.sizes([]int{128}, []int{256, 1024, 2048})
+	dims := o.sizes([]int{4}, []int{4, 8})
+	t.AddRows(RunRows(o, len(ns)+len(dims), func(cell int) [][]string {
+		if cell < len(ns) {
+			n := ns[cell]
+			p := expParams(n)
+			h := hgraph.Random(rng.New(cellSeed(o.Seed, uint64(n))), n, p.D)
+			steps := p.WalkTarget()
+			base := sampling.BaselineWalkHGraph(o.Seed^uint64(n), h, 4, steps)
+			rapid := sampling.RapidHGraph(o.Seed^uint64(n)+1, h, p)
+			return [][]string{metrics.Row("H-graph", n, base.Rounds, rapid.Rounds,
+				fmt.Sprintf("%.1fx", float64(base.Rounds)/float64(rapid.Rounds)),
+				tvOf(base.Samples, n), tvOf(rapid.Samples, n))}
+		}
+		dim := dims[cell-len(ns)]
 		p := sampling.DefaultHypercubeParams(dim)
 		base := sampling.BaselineWalkHypercube(o.Seed^uint64(dim), dim, 4)
 		rapid := sampling.RapidHypercube(o.Seed^uint64(dim)+1, p)
 		n := 1 << dim
-		t.AddRowf("hypercube", n, base.Rounds, rapid.Rounds,
+		return [][]string{metrics.Row("hypercube", n, base.Rounds, rapid.Rounds,
 			fmt.Sprintf("%.1fx", float64(base.Rounds)/float64(rapid.Rounds)),
-			tvOf(base.Samples, n), tvOf(rapid.Samples, n))
-	}
+			tvOf(base.Samples, n), tvOf(rapid.Samples, n))}
+	}))
 	return t
 }
 
@@ -142,11 +149,12 @@ func E5SuccessProbability(o Options) *metrics.Table {
 	if o.Quick {
 		cases = cases[:3]
 	}
-	for _, cse := range cases {
+	t.AddRows(RunRows(o, len(cases), func(cell int) [][]string {
+		cse := cases[cell]
 		p := sampling.HGraphParams{N: n, D: 8, Alpha: 2, Epsilon: cse.eps, C: cse.c}
 		res := sampling.RapidHGraph(o.Seed, h, p)
-		t.AddRowf(cse.eps, cse.c, p.M(0), res.Failures, float64(res.Failures)/float64(n))
-	}
+		return [][]string{metrics.Row(cse.eps, cse.c, p.M(0), res.Failures, float64(res.Failures)/float64(n))}
+	}))
 	return t
 }
 
@@ -159,21 +167,22 @@ func A1BudgetAblation(o Options) *metrics.Table {
 	n := 512
 	r := rng.New(o.Seed)
 	h := hgraph.Random(r, n, 8)
-	for _, eps := range o.sizes([]int{1}, []int{1, 2, 4}) {
+	epss := o.sizes([]int{1}, []int{1, 2, 4})
+	t.AddRows(RunRows(o, 2*len(epss), func(cell int) [][]string {
+		eps := epss[cell/2]
+		flat := cell%2 == 1
 		epsilon := float64(eps) / 4
 		if epsilon > 1 {
 			epsilon = 1
 		}
-		for _, flat := range []bool{false, true} {
-			p := sampling.HGraphParams{N: n, D: 8, Alpha: 2, Epsilon: epsilon, C: 1, FlatBudget: flat}
-			res := sampling.RapidHGraph(o.Seed^uint64(eps), h, p)
-			name := "geometric"
-			if flat {
-				name = "flat"
-			}
-			t.AddRowf(name, epsilon, p.M(0), res.Failures, res.MaxNodeBits)
+		p := sampling.HGraphParams{N: n, D: 8, Alpha: 2, Epsilon: epsilon, C: 1, FlatBudget: flat}
+		res := sampling.RapidHGraph(o.Seed^uint64(eps), h, p)
+		name := "geometric"
+		if flat {
+			name = "flat"
 		}
-	}
+		return [][]string{metrics.Row(name, epsilon, p.M(0), res.Failures, res.MaxNodeBits)}
+	}))
 	return t
 }
 
@@ -187,10 +196,12 @@ func A1BudgetAblation(o Options) *metrics.Table {
 func E14PointerDoubling(o Options) *metrics.Table {
 	t := metrics.NewTable("E14  Lemma 4 — pointer doubling across a cycle",
 		"n", "distance", "rounds to know antipode", "log2(distance)")
-	for _, n := range o.sizes([]int{64}, []int{64, 128, 256}) {
+	ns := o.sizes([]int{64}, []int{64, 128, 256})
+	t.AddRows(RunRows(o, len(ns), func(cell int) [][]string {
+		n := ns[cell]
 		rounds := pointerDoublingRounds(o.Seed, n)
-		t.AddRowf(n, n/2, rounds, fmt.Sprintf("%.1f", math.Log2(float64(n/2))))
-	}
+		return [][]string{metrics.Row(n, n/2, rounds, fmt.Sprintf("%.1f", math.Log2(float64(n/2))))}
+	}))
 	return t
 }
 

@@ -33,6 +33,13 @@ func (t *Table) AddRow(cells ...string) {
 // AddRowf appends a row built from format/value pairs: each value is
 // rendered with fmt.Sprint unless it is a float64, which uses %.3g.
 func (t *Table) AddRowf(values ...any) {
+	t.AddRow(Row(values...)...)
+}
+
+// Row renders values into table cells with AddRowf's formatting rules.
+// Experiment cells that run off the driver goroutine build their rows
+// with Row and merge them into the table afterwards.
+func Row(values ...any) []string {
 	cells := make([]string, len(values))
 	for i, v := range values {
 		switch x := v.(type) {
@@ -42,7 +49,14 @@ func (t *Table) AddRowf(values ...any) {
 			cells[i] = fmt.Sprint(x)
 		}
 	}
-	t.AddRow(cells...)
+	return cells
+}
+
+// AddRows appends pre-rendered rows in order.
+func (t *Table) AddRows(rows [][]string) {
+	for _, r := range rows {
+		t.AddRow(r...)
+	}
 }
 
 // NumRows returns the number of data rows.

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// floodNet builds a network of n nodes that each send fanout messages
+// per round to deterministic targets, forever.
+func floodNet(n, fanout int) *Network {
+	net := NewNetwork(Config{Seed: 1})
+	for i := 0; i < n; i++ {
+		idx := i
+		payload := any(idx) // pre-boxed so the benchmark measures the kernel
+		net.Spawn(NodeID(i+1), func(ctx *Ctx) {
+			for {
+				for j := 0; j < fanout; j++ {
+					to := NodeID((idx+j*7+1)%n + 1)
+					ctx.Send(to, payload, 32)
+				}
+				ctx.NextRound()
+			}
+		})
+	}
+	return net
+}
+
+// BenchmarkStep measures the per-round cost of the simulator kernel
+// under a flood pattern (every node sends every round) and a sparse
+// pattern (1-in-16 nodes send), the two regimes the experiment drivers
+// live in. Allocations per round must stay near zero in steady state:
+// inbox and outbox buffers are recycled, and there is no sorting pass.
+func BenchmarkStep(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		n      int
+		fanout int
+		sparse bool
+	}{
+		{"flood/n=1k", 1000, 4, false},
+		{"flood/n=10k", 10000, 4, false},
+		{"sparse/n=1k", 1000, 4, true},
+		{"sparse/n=10k", 10000, 4, true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var net *Network
+			if bc.sparse {
+				net = NewNetwork(Config{Seed: 1})
+				for i := 0; i < bc.n; i++ {
+					idx := i
+					payload := any(idx)
+					net.Spawn(NodeID(i+1), func(ctx *Ctx) {
+						for {
+							if idx%16 == 0 {
+								for j := 0; j < bc.fanout; j++ {
+									ctx.Send(NodeID((idx+j+1)%bc.n+1), payload, 32)
+								}
+							}
+							ctx.NextRound()
+						}
+					})
+				}
+			} else {
+				net = floodNet(bc.n, bc.fanout)
+			}
+			net.DisableWorkLog()
+			net.Run(2) // reach buffer steady state
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Step()
+			}
+			b.StopTimer()
+			net.Shutdown()
+		})
+	}
+}
+
+// BenchmarkStepAllocs isolates the allocation behavior of one steady
+// -state round at n=1k flood, the case benchstat compares across
+// revisions of the kernel.
+func BenchmarkStepAllocs(b *testing.B) {
+	net := floodNet(1000, 4)
+	net.DisableWorkLog()
+	net.Run(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+	b.StopTimer()
+	net.Shutdown()
+}
+
+func BenchmarkSpawnShutdown(b *testing.B) {
+	for _, n := range []int{1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				net := NewNetwork(Config{Seed: uint64(i)})
+				for v := 0; v < n; v++ {
+					net.Spawn(NodeID(v+1), func(ctx *Ctx) { ctx.NextRound() })
+				}
+				net.Run(1)
+				net.Shutdown()
+			}
+		})
+	}
+}

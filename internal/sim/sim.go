@@ -8,8 +8,9 @@
 // Each node runs its protocol as straight-line Go code in its own
 // goroutine; Ctx.NextRound is the round barrier. All randomness is
 // deterministic: node v's generator is derived from (network seed, v),
-// node goroutines touch only their own state, and inboxes are sorted
-// canonically, so concurrent execution is exactly reproducible.
+// node goroutines touch only their own state, and inboxes are delivered
+// in canonical (sender spawn order, send sequence) order, so concurrent
+// execution is exactly reproducible.
 //
 // DoS semantics follow the paper: a message sent from v to w at round i
 // is received iff v is non-blocked in round i and w is non-blocked in
@@ -19,7 +20,7 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 
 	"overlaynet/internal/rng"
 )
@@ -63,12 +64,17 @@ type RoundWork struct {
 
 type haltSignal struct{}
 
+// nodeState holds the network's per-node bookkeeping. The two inbox
+// buffers are reused round after round: while the node consumes one,
+// the send step fills the other, so the steady state allocates nothing.
 type nodeState struct {
 	id     NodeID
 	resume chan []Message
 	outbox []Message
-	halted bool // proc returned or was killed; set before done signal
-	halt   bool // request the node to stop at its next barrier
+	inbox  [2][]Message // double-buffered receive queues
+	fill   uint8        // inbox index accepting the current round's sends
+	halted bool         // proc returned or was killed; set before done signal
+	halt   bool         // request the node to stop at its next barrier
 	seq    uint64
 	bits   int64 // sent+received bits in the current round
 }
@@ -77,16 +83,15 @@ type nodeState struct {
 // concurrent use; Spawn, SetBlocked, Step and the accessors must all be
 // called from a single driver goroutine, between rounds.
 type Network struct {
-	root    *rng.RNG
-	round   int
-	nodes   map[NodeID]*nodeState
-	order   []*nodeState // spawn order; determines scheduling
-	mailbox map[NodeID][]Message
+	root  *rng.RNG
+	round int
+	nodes map[NodeID]*nodeState
+	order []*nodeState // spawn order; determines scheduling
 
 	pendingBlocked map[NodeID]bool // applies to the next Step
 	blockedNow     map[NodeID]bool // blocked set of the round in progress
 
-	doneCh chan *nodeState
+	barrier sync.WaitGroup // counts nodes still computing this round
 
 	work       []RoundWork
 	recordWork bool
@@ -97,8 +102,6 @@ func NewNetwork(cfg Config) *Network {
 	return &Network{
 		root:       rng.New(cfg.Seed),
 		nodes:      make(map[NodeID]*nodeState),
-		mailbox:    make(map[NodeID][]Message),
-		doneCh:     make(chan *nodeState, 256),
 		recordWork: true,
 	}
 }
@@ -106,6 +109,12 @@ func NewNetwork(cfg Config) *Network {
 // DisableWorkLog turns off per-round work summaries (useful for very
 // long runs where the slice would grow without bound).
 func (n *Network) DisableWorkLog() { n.recordWork = false }
+
+// ResetWork truncates the per-round work log, keeping its capacity.
+// Long-horizon drivers can call it between epochs to keep memory
+// bounded while still measuring each epoch (unlike DisableWorkLog,
+// which is all-or-nothing).
+func (n *Network) ResetWork() { n.work = n.work[:0] }
 
 // Round returns the number of completed rounds.
 func (n *Network) Round() int { return n.round }
@@ -153,7 +162,7 @@ func (n *Network) Spawn(id NodeID, proc Proc) {
 				}
 			}
 			st.halted = true
-			n.doneCh <- st
+			n.barrier.Done()
 		}()
 		first := <-st.resume
 		if st.halt {
@@ -184,40 +193,48 @@ func (n *Network) Step() {
 	n.blockedNow = blocked
 	n.round++
 
-	// Receive step: hand each node its inbox (empty if blocked in this
-	// round — the "receiver non-blocked in round i+1" half of the rule;
-	// the other half was enforced at send time).
-	resumed := 0
+	// Receive step: hand each node the inbox filled during the previous
+	// send step (empty if blocked in this round — the "receiver
+	// non-blocked in round i+1" half of the rule; the other half was
+	// enforced at send time). The buffer the node finished with last
+	// round is recycled to collect this round's sends; a parked node
+	// cannot touch it, and the barrier orders the node's reads before
+	// our writes.
+	n.barrier.Add(len(n.order))
 	for _, st := range n.order {
-		var inbox []Message
-		if !blocked[st.id] {
-			inbox = n.mailbox[st.id]
+		var box []Message
+		if blocked[st.id] {
+			// Drop the pending inbox without delivering it; zero the
+			// entries so payload references are released.
+			pend := st.inbox[st.fill]
+			clear(pend)
+			st.inbox[st.fill] = pend[:0]
+		} else {
+			box = st.inbox[st.fill]
+			st.fill ^= 1
+			next := st.inbox[st.fill]
+			clear(next)
+			st.inbox[st.fill] = next[:0]
 		}
 		st.bits = 0
-		for _, m := range inbox {
-			st.bits += int64(m.Bits)
+		for i := range box {
+			st.bits += int64(box[i].Bits)
 		}
-		delete(n.mailbox, st.id)
-		st.resume <- inbox
-		resumed++
-	}
-	// Undelivered leftovers (to blocked or vanished nodes) are dropped.
-	for id := range n.mailbox {
-		delete(n.mailbox, id)
+		st.resume <- box
 	}
 
 	// Compute step: wait for every resumed node to finish its round.
-	for i := 0; i < resumed; i++ {
-		<-n.doneCh
-	}
+	n.barrier.Wait()
 
-	// Send step: collect outboxes in deterministic (spawn) order.
+	// Send step: drain outboxes in deterministic spawn order, appending
+	// each message to its receiver's fill buffer. Per-sender outboxes
+	// are already in send order, so every inbox ends up in canonical
+	// (sender spawn order, send sequence) order with no sorting pass.
 	messages := 0
 	var totalBits, maxBits int64
 	alive := n.order[:0]
 	for _, st := range n.order {
 		out := st.outbox
-		st.outbox = nil
 		if !blocked[st.id] {
 			for i := range out {
 				m := &out[i]
@@ -225,11 +242,13 @@ func (n *Network) Step() {
 				messages++
 				// Receiver must exist and be non-blocked in the send
 				// round; the i+1 half is checked at delivery.
-				if _, ok := n.nodes[m.To]; ok && !blocked[m.To] {
-					n.mailbox[m.To] = append(n.mailbox[m.To], *m)
+				if rcv, ok := n.nodes[m.To]; ok && !blocked[m.To] {
+					rcv.inbox[rcv.fill] = append(rcv.inbox[rcv.fill], *m)
 				}
 			}
 		}
+		clear(out)
+		st.outbox = out[:0]
 		totalBits += st.bits
 		if st.bits > maxBits {
 			maxBits = st.bits
@@ -245,16 +264,6 @@ func (n *Network) Step() {
 		n.order[i] = nil
 	}
 	n.order = alive
-
-	// Canonical inbox order: by sender id, then send sequence.
-	for _, box := range n.mailbox {
-		sort.Slice(box, func(i, j int) bool {
-			if box[i].From != box[j].From {
-				return box[i].From < box[j].From
-			}
-			return box[i].seq < box[j].seq
-		})
-	}
 
 	if n.recordWork {
 		n.work = append(n.work, RoundWork{
@@ -318,10 +327,13 @@ func (c *Ctx) Send(to NodeID, payload any, bits int) {
 }
 
 // NextRound ends the node's current round and blocks until the next one
-// begins, returning the messages delivered to the node.
+// begins, returning the messages delivered to the node. The returned
+// slice is only valid until the node's following NextRound call: the
+// network recycles inbox buffers, so protocols must copy any messages
+// they keep across rounds.
 func (c *Ctx) NextRound() []Message {
 	st := c.st
-	c.net.doneCh <- st
+	c.net.barrier.Done()
 	inbox := <-st.resume
 	if st.halt {
 		panic(haltSignal{})
