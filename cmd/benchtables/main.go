@@ -3,23 +3,107 @@
 //
 // Usage:
 //
-//	benchtables [-quick] [-seed N] [-only E8[,E9,…]] [-procs N] [-cpuprofile F] [-list]
+//	benchtables [-quick] [-seed N] [-only E8[,E9,…]] [-procs N] [-list]
+//	           [-cpuprofile F] [-trace F] [-events F] [-manifest F]
+//	           [-progress] [-http ADDR]
 //
 // Sweep cells run on -procs workers (default: all CPUs); the rendered
-// tables are identical for every worker count at a fixed seed.
+// tables are identical for every worker count at a fixed seed, and for
+// every combination of the telemetry flags — tracing is observation
+// only.
+//
+// Telemetry:
+//
+//	-trace F     write a Chrome/Perfetto trace_events JSON file with a
+//	             span per experiment, per sweep cell (worker id, seed)
+//	             and per reconfiguration epoch; load it at
+//	             https://ui.perfetto.dev, or summarize with
+//	             cmd/tracestats.
+//	-events F    write the raw event/span stream as JSONL.
+//	-manifest F  write a run manifest (seed, go version, GOMAXPROCS,
+//	             -procs, git revision, per-experiment wall time) so
+//	             every recorded table is attributable to the run that
+//	             produced it.
+//	-progress    print a live cells-done/total + ETA line to stderr.
+//	-http ADDR   serve expvar counters (/debug/vars, including the
+//	             live trace counter snapshot) and net/http/pprof
+//	             (/debug/pprof/) for profiling long sweeps.
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"os/exec"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"time"
 
 	"overlaynet/internal/exp"
+	"overlaynet/internal/trace"
 )
+
+// manifest records everything needed to attribute a set of regenerated
+// tables to the run that produced them.
+type manifest struct {
+	GeneratedAt  string               `json:"generated_at"`
+	GoVersion    string               `json:"go_version"`
+	OSArch       string               `json:"os_arch"`
+	GitRev       string               `json:"git_rev"`
+	Seed         uint64               `json:"seed"`
+	Quick        bool                 `json:"quick"`
+	Procs        int                  `json:"procs"`
+	GOMAXPROCS   int                  `json:"gomaxprocs"`
+	NumCPU       int                  `json:"num_cpu"`
+	TotalSeconds float64              `json:"total_seconds"`
+	Experiments  []manifestExperiment `json:"experiments"`
+	Counters     *trace.Counters      `json:"counters,omitempty"`
+}
+
+type manifestExperiment struct {
+	ID      string  `json:"id"`
+	Claim   string  `json:"claim"`
+	Rows    int     `json:"rows"`
+	Seconds float64 `json:"seconds"`
+}
+
+// gitRev resolves the source revision: the VCS stamp the Go toolchain
+// embeds at build time if present, else a live `git rev-parse HEAD`,
+// else "unknown".
+func gitRev() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", false
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if dirty {
+				return rev + "-dirty"
+			}
+			return rev
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		return strings.TrimSpace(string(out))
+	}
+	return "unknown"
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchtables: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced sweeps")
@@ -28,18 +112,21 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	procs := flag.Int("procs", runtime.GOMAXPROCS(0), "worker goroutines for sweep cells (tables are identical for any value)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace_events JSON file")
+	eventsOut := flag.String("events", "", "write the raw telemetry stream as JSONL")
+	manifestOut := flag.String("manifest", "", "write a run manifest JSON file")
+	progress := flag.Bool("progress", false, "print live sweep progress to stderr")
+	httpAddr := flag.String("http", "", "serve expvar + net/http/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -60,6 +147,29 @@ func main() {
 	}
 
 	opts := exp.Options{Seed: *seed, Quick: *quick, Procs: *procs}
+
+	// Telemetry wiring. A single recorder spans every experiment; it
+	// aggregates counters and spans (events stay off — a full sweep
+	// would retain millions).
+	var rec *trace.Recorder
+	if *traceOut != "" || *eventsOut != "" || *manifestOut != "" || *httpAddr != "" {
+		rec = trace.New()
+		opts.Trace = rec
+	}
+	var prog *trace.Progress
+	if *progress {
+		prog = trace.NewProgress(os.Stderr, 2*time.Second)
+		opts.Progress = prog
+	}
+	if *httpAddr != "" {
+		expvar.Publish("overlaynet_trace", rec)
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "benchtables: -http: %v\n", err)
+			}
+		}()
+	}
+
 	var selected []exp.Experiment
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.ID] {
@@ -81,8 +191,10 @@ func main() {
 	}
 	type result struct {
 		table   string
+		rows    int
 		elapsed time.Duration
 	}
+	runStart := time.Now()
 	results := make([]result, len(selected))
 	done := make([]chan struct{}, len(selected))
 	for i := range done {
@@ -93,8 +205,14 @@ func main() {
 		go func(i int, e exp.Experiment) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			o := opts
+			o.Exp = e.ID
 			start := time.Now()
-			results[i] = result{table: e.Run(opts).String(), elapsed: time.Since(start)}
+			tbl := e.Run(o)
+			results[i] = result{table: tbl.String(), rows: tbl.NumRows(), elapsed: time.Since(start)}
+			if rec != nil {
+				rec.ExperimentSpan(e.ID, o.Seed, tbl.NumRows(), start)
+			}
 			close(done[i])
 		}(i, e)
 	}
@@ -102,5 +220,58 @@ func main() {
 		<-done[i]
 		fmt.Println(results[i].table)
 		fmt.Printf("(%s: %s, %.1fs)\n\n", e.ID, e.Claim, results[i].elapsed.Seconds())
+	}
+	total := time.Since(runStart)
+	if prog != nil {
+		prog.Close()
+	}
+
+	if *traceOut != "" {
+		if err := rec.WriteChromeTraceFile(*traceOut); err != nil {
+			fatalf("-trace: %v", err)
+		}
+	}
+	if *eventsOut != "" {
+		if err := rec.WriteJSONLFile(*eventsOut); err != nil {
+			fatalf("-events: %v", err)
+		}
+	}
+	if *manifestOut != "" {
+		m := manifest{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			OSArch:      runtime.GOOS + "/" + runtime.GOARCH,
+			GitRev:      gitRev(),
+			Seed:        *seed,
+			Quick:       *quick,
+			Procs:       *procs,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			NumCPU:      runtime.NumCPU(),
+		}
+		m.TotalSeconds = total.Seconds()
+		for i, e := range selected {
+			m.Experiments = append(m.Experiments, manifestExperiment{
+				ID:      e.ID,
+				Claim:   e.Claim,
+				Rows:    results[i].rows,
+				Seconds: results[i].elapsed.Seconds(),
+			})
+		}
+		if rec != nil {
+			c := rec.Counters()
+			m.Counters = &c
+		}
+		f, err := os.Create(*manifestOut)
+		if err != nil {
+			fatalf("-manifest: %v", err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(m); err != nil {
+			fatalf("-manifest: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("-manifest: %v", err)
+		}
 	}
 }

@@ -1,0 +1,275 @@
+// Command tracestats summarizes a telemetry file produced by
+// benchtables -trace (Chrome trace_events JSON) or -events (JSONL):
+// per-experiment wall time, the slowest sweep cells, drop-reason
+// totals, and simulator round throughput.
+//
+// Usage:
+//
+//	tracestats [-top N] trace.json
+//	tracestats [-top N] events.jsonl
+//
+// The format is sniffed from the content: a JSON object with a
+// "traceEvents" key is treated as a Chrome trace, anything else as
+// JSONL.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"overlaynet/internal/trace"
+)
+
+// cellStat is one summarized cell (or epoch) span.
+type cellStat struct {
+	name  string
+	exp   string
+	cell  int
+	durUS int64
+}
+
+// summary is the normalized content of either input format.
+type summary struct {
+	spans    []cellStat // cell spans only
+	epochs   int
+	exps     map[string]*expAgg
+	counters map[string]uint64
+	minTS    int64
+	maxTS    int64
+}
+
+type expAgg struct {
+	cells   int
+	totalUS int64
+	maxUS   int64
+}
+
+func newSummary() *summary {
+	return &summary{exps: map[string]*expAgg{}, counters: map[string]uint64{}, minTS: -1}
+}
+
+func (s *summary) observeTS(start, dur int64) {
+	if s.minTS < 0 || start < s.minTS {
+		s.minTS = start
+	}
+	if end := start + dur; end > s.maxTS {
+		s.maxTS = end
+	}
+}
+
+func (s *summary) addCell(exp string, cell int, startUS, durUS int64) {
+	s.spans = append(s.spans, cellStat{
+		name:  fmt.Sprintf("%s cell %d", exp, cell),
+		exp:   exp,
+		cell:  cell,
+		durUS: durUS,
+	})
+	a := s.exps[exp]
+	if a == nil {
+		a = &expAgg{}
+		s.exps[exp] = a
+	}
+	a.cells++
+	a.totalUS += durUS
+	if durUS > a.maxUS {
+		a.maxUS = durUS
+	}
+	s.observeTS(startUS, durUS)
+}
+
+// loadChrome ingests a Chrome trace_events file written by
+// trace.WriteChromeTrace.
+func loadChrome(data []byte, s *summary) error {
+	var f trace.ChromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return err
+	}
+	for k, v := range f.OverlayCounters {
+		s.counters[k] = v
+	}
+	for _, ev := range f.TraceEvents {
+		s.observeTS(ev.TS, ev.Dur)
+		if ev.Ph != "X" {
+			continue
+		}
+		switch ev.Cat {
+		case "cell":
+			exp, _ := ev.Args["exp"].(string)
+			cell := 0
+			if c, ok := ev.Args["cell"].(float64); ok {
+				cell = int(c)
+			}
+			s.addCell(exp, cell, ev.TS, ev.Dur)
+		case "epoch":
+			s.epochs++
+		}
+	}
+	return nil
+}
+
+// jsonlRecord is the union shape of one JSONL line.
+type jsonlRecord struct {
+	Type string `json:"type"`
+	// span fields
+	Kind    string `json:"kind"`
+	Scope   string `json:"scope"`
+	Cell    int    `json:"cell"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	TSMicro int64  `json:"ts_us"`
+	// counters fields
+	Rounds    uint64            `json:"rounds"`
+	Messages  uint64            `json:"messages"`
+	Delivered uint64            `json:"delivered"`
+	Spawns    uint64            `json:"spawns"`
+	Kills     uint64            `json:"kills"`
+	Blocks    uint64            `json:"blocks"`
+	Cells     uint64            `json:"cells"`
+	Epochs    uint64            `json:"epochs"`
+	Drops     map[string]uint64 `json:"drops"`
+}
+
+// loadJSONL ingests a JSONL stream written by trace.WriteJSONL (or
+// streamed via StreamJSONL).
+func loadJSONL(data []byte, s *summary) error {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var rec jsonlRecord
+		if err := json.Unmarshal([]byte(text), &rec); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		switch rec.Type {
+		case "span":
+			switch rec.Kind {
+			case "cell":
+				s.addCell(rec.Scope, rec.Cell, rec.StartUS, rec.DurUS)
+			case "epoch":
+				s.epochs++
+				s.observeTS(rec.StartUS, rec.DurUS)
+			default:
+				s.observeTS(rec.StartUS, rec.DurUS)
+			}
+		case "event":
+			s.observeTS(rec.TSMicro, 0)
+		case "counters":
+			s.counters["rounds"] = rec.Rounds
+			s.counters["messages"] = rec.Messages
+			s.counters["delivered"] = rec.Delivered
+			s.counters["spawns"] = rec.Spawns
+			s.counters["kills"] = rec.Kills
+			s.counters["blocks"] = rec.Blocks
+			s.counters["cells"] = rec.Cells
+			s.counters["epochs"] = rec.Epochs
+			for k, v := range rec.Drops {
+				s.counters["drop:"+k] = v
+			}
+		}
+	}
+	return sc.Err()
+}
+
+func ms(us int64) float64 { return float64(us) / 1e3 }
+
+func main() {
+	top := flag.Int("top", 10, "number of slowest cells to list")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracestats [-top N] <trace.json|events.jsonl>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracestats: %v\n", err)
+		os.Exit(1)
+	}
+
+	s := newSummary()
+	trimmed := bytes.TrimSpace(data)
+	if bytes.HasPrefix(trimmed, []byte("{")) && bytes.Contains(trimmed[:min(len(trimmed), 4096)], []byte(`"traceEvents"`)) {
+		err = loadChrome(data, s)
+	} else {
+		err = loadJSONL(data, s)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracestats: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+
+	wallUS := int64(0)
+	if s.minTS >= 0 {
+		wallUS = s.maxTS - s.minTS
+	}
+	fmt.Printf("trace %s\n", path)
+	fmt.Printf("  wall span      %.1f ms\n", ms(wallUS))
+	fmt.Printf("  cell spans     %d across %d experiments\n", len(s.spans), len(s.exps))
+	fmt.Printf("  epoch spans    %d\n", s.epochs)
+
+	if rounds := s.counters["rounds"]; rounds > 0 {
+		fmt.Printf("  sim rounds     %d", rounds)
+		if wallUS > 0 {
+			fmt.Printf("  (%.0f rounds/sec over the traced span)", float64(rounds)/(float64(wallUS)/1e6))
+		}
+		fmt.Println()
+		fmt.Printf("  messages       %d sent, %d delivered\n", s.counters["messages"], s.counters["delivered"])
+		fmt.Printf("  lifecycle      %d spawns, %d kills, %d node-round blocks\n",
+			s.counters["spawns"], s.counters["kills"], s.counters["blocks"])
+	}
+
+	// Drop-reason totals, stable order.
+	var dropKeys []string
+	var dropTotal uint64
+	for k, v := range s.counters {
+		if strings.HasPrefix(k, "drop:") {
+			dropKeys = append(dropKeys, k)
+			dropTotal += v
+		}
+	}
+	sort.Strings(dropKeys)
+	if len(dropKeys) > 0 {
+		fmt.Printf("  drops          %d total\n", dropTotal)
+		for _, k := range dropKeys {
+			fmt.Printf("    %-33s %d\n", strings.TrimPrefix(k, "drop:"), s.counters[k])
+		}
+	}
+
+	if len(s.exps) > 0 {
+		fmt.Println("  per experiment:")
+		var ids []string
+		for id := range s.exps {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			a := s.exps[id]
+			label := id
+			if label == "" {
+				label = "(unlabeled)"
+			}
+			fmt.Printf("    %-6s %3d cells  total %8.1f ms  mean %7.1f ms  max %8.1f ms\n",
+				label, a.cells, ms(a.totalUS), ms(a.totalUS)/float64(a.cells), ms(a.maxUS))
+		}
+	}
+
+	if len(s.spans) > 0 && *top > 0 {
+		sort.Slice(s.spans, func(i, j int) bool { return s.spans[i].durUS > s.spans[j].durUS })
+		n := min(*top, len(s.spans))
+		fmt.Printf("  slowest %d cells:\n", n)
+		for _, c := range s.spans[:n] {
+			fmt.Printf("    %-16s %8.1f ms\n", c.name, ms(c.durUS))
+		}
+	}
+}

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"overlaynet/internal/graph"
 	"overlaynet/internal/hgraph"
 	"overlaynet/internal/rng"
 	"overlaynet/internal/sampling"
 	"overlaynet/internal/sim"
+	"overlaynet/internal/trace"
 )
 
 // Config configures the churn-resistant expander network.
@@ -160,6 +162,27 @@ type Network struct {
 	// MeasureExpansion, when set, estimates |λ₂| of each new topology
 	// (costs O(n·d·iters) per epoch).
 	MeasureExpansion bool
+	// trace/traceScope: optional telemetry (SetTrace). Every RunEpoch
+	// emits an epoch span and the underlying simulator reports its
+	// lifecycle events and drop accounting under the same scope.
+	trace      *trace.Recorder
+	traceScope string
+}
+
+// SetTrace attaches a telemetry recorder: each RunEpoch emits an epoch
+// span (epoch number, rounds, member counts before/after, wall time)
+// tagged with scope, and the underlying simulator's round/spawn/kill/
+// block/drop events feed the recorder's counters. Pass nil to detach.
+// Tracing is observation only: it does not touch any randomness, so
+// results are identical with and without it.
+func (nw *Network) SetTrace(rec *trace.Recorder, scope string) {
+	nw.trace = rec
+	nw.traceScope = scope
+	if rec == nil {
+		nw.net.SetTracer(nil)
+		return
+	}
+	nw.net.SetTracer(rec.Tracer(scope))
 }
 
 // EpochRounds returns the number of communication rounds one epoch
@@ -517,6 +540,10 @@ func (nw *Network) runEpoch(ctx *sim.Ctx, id int, st *slot, succ, pred []int32) 
 // joiners along with the report.
 func (nw *Network) RunEpoch(joins []JoinSpec, leaves []int) (EpochReport, []int) {
 	nw.epoch++
+	var epochStart time.Time
+	if nw.trace != nil {
+		epochStart = time.Now()
+	}
 	n := len(nw.members)
 	nc := nw.cfg.D / 2
 
@@ -645,6 +672,9 @@ func (nw *Network) RunEpoch(joins []JoinSpec, leaves []int) (EpochReport, []int)
 	rep.Connected = g.IsConnected()
 	if nw.MeasureExpansion && rep.Connected {
 		rep.SecondEigenvalue = g.SecondEigenvalue(nw.r, 100)
+	}
+	if nw.trace != nil {
+		nw.trace.EpochSpan(nw.traceScope, rep.Epoch, rep.Rounds, rep.NOld, rep.NNew, epochStart)
 	}
 	return rep, joinerIDs
 }

@@ -45,6 +45,9 @@ func E6ReconfigChurn(o Options) *metrics.Table {
 		}
 		a := advs[cell%nadv]
 		nw := core.NewNetwork(coreConfig(o.Seed^uint64(n), n))
+		if o.Trace != nil {
+			nw.SetTrace(o.Trace, fmt.Sprintf("%s/cell%d", o.Exp, cell))
+		}
 		var reports []core.EpochReport
 		if a.adv == nil {
 			for e := 0; e < epochs; e++ {
@@ -80,6 +83,9 @@ func E7CongestionSegments(o Options) *metrics.Table {
 	t.AddRows(RunRows(o, len(ns), func(cell int) [][]string {
 		n := ns[cell]
 		nw := core.NewNetwork(coreConfig(o.Seed^uint64(n), n))
+		if o.Trace != nil {
+			nw.SetTrace(o.Trace, fmt.Sprintf("%s/cell%d", o.Exp, cell))
+		}
 		maxChosen, maxSeg := 0, 0
 		var maxBits int64
 		epochs := 3

@@ -6,7 +6,10 @@
 // cmd/benchtables, which regenerates every table.
 package exp
 
-import "overlaynet/internal/metrics"
+import (
+	"overlaynet/internal/metrics"
+	"overlaynet/internal/trace"
+)
 
 // Options scales an experiment.
 type Options struct {
@@ -20,6 +23,20 @@ type Options struct {
 	// runtime.GOMAXPROCS(0). Any value yields identical tables: cells
 	// are seeded independently and merged in canonical order.
 	Procs int
+
+	// Exp labels telemetry with the running experiment's id
+	// (cmd/benchtables sets it; empty is fine for direct driver
+	// calls).
+	Exp string
+	// Trace, when non-nil, receives a span per sweep cell from the
+	// runner, plus epoch spans and simulator drop/round accounting
+	// from the drivers that thread it through (the reconfiguration
+	// experiments). Tracing never perturbs the tables: no randomness
+	// or scheduling depends on it.
+	Trace *trace.Recorder
+	// Progress, when non-nil, is notified as sweep cells are
+	// registered and completed (cmd/benchtables -progress).
+	Progress *trace.Progress
 }
 
 // sizes returns quick or full sweep sizes.

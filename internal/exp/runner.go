@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The parallel trial harness. Every experiment driver is a sweep over
@@ -33,9 +34,30 @@ func RunCells[T any](o Options, ncells int, fn func(cell int) T) []T {
 	if procs > ncells {
 		procs = ncells
 	}
+	if o.Progress != nil {
+		o.Progress.AddCells(o.Exp, ncells)
+	}
+	// runCell wraps fn with the per-cell telemetry: a span naming the
+	// experiment, cell coordinate, experiment seed, worker id and wall
+	// time, plus the live-progress tick. Telemetry is observation only
+	// — results and scheduling are identical with or without it.
+	runCell := func(worker, i int) {
+		if o.Trace == nil && o.Progress == nil {
+			out[i] = fn(i)
+			return
+		}
+		start := time.Now()
+		out[i] = fn(i)
+		if o.Trace != nil {
+			o.Trace.CellSpan(o.Exp, i, o.Seed, worker, start)
+		}
+		if o.Progress != nil {
+			o.Progress.CellDone(o.Exp)
+		}
+	}
 	if procs <= 1 {
 		for i := range out {
-			out[i] = fn(i)
+			runCell(0, i)
 		}
 		return out
 	}
@@ -43,16 +65,16 @@ func RunCells[T any](o Options, ncells int, fn func(cell int) T) []T {
 	var wg sync.WaitGroup
 	for w := 0; w < procs; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= ncells {
 					return
 				}
-				out[i] = fn(i)
+				runCell(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return out

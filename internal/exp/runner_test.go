@@ -2,8 +2,12 @@ package exp
 
 import (
 	"fmt"
+	"io"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"overlaynet/internal/trace"
 )
 
 // TestRunCellsOrderAndCoverage checks that every cell runs exactly once
@@ -86,5 +90,64 @@ func TestCellSeedsDistinct(t *testing.T) {
 			}
 			seen[s] = [2]uint64{a, b}
 		}
+	}
+}
+
+// TestRunCellsTelemetry checks the runner's span and progress
+// instrumentation: one cell span per cell with the experiment label,
+// seed and a worker id within range, and one progress tick per cell.
+func TestRunCellsTelemetry(t *testing.T) {
+	rec := trace.New()
+	prog := trace.NewProgress(io.Discard, time.Hour)
+	o := Options{Seed: 42, Procs: 4, Exp: "EX", Trace: rec, Progress: prog}
+	const ncells = 9
+	RunCells(o, ncells, func(cell int) int { return cell })
+	prog.Close()
+
+	spans := rec.Spans()
+	if len(spans) != ncells {
+		t.Fatalf("got %d cell spans, want %d", len(spans), ncells)
+	}
+	seen := map[int]bool{}
+	for _, s := range spans {
+		if s.Kind != "cell" || s.Scope != "EX" || s.Seed != 42 {
+			t.Fatalf("bad cell span: %+v", s)
+		}
+		if s.Worker < 0 || s.Worker >= 4 {
+			t.Fatalf("worker id out of range: %+v", s)
+		}
+		if seen[s.Cell] {
+			t.Fatalf("duplicate span for cell %d", s.Cell)
+		}
+		seen[s.Cell] = true
+	}
+	if c := rec.Counters(); c.Cells != ncells {
+		t.Fatalf("cell counter = %d, want %d", c.Cells, ncells)
+	}
+}
+
+// TestTelemetryDoesNotPerturbTables is the acceptance criterion for the
+// observability layer at the experiment level: every quick table must
+// be byte-identical with and without a recorder + progress attached.
+func TestTelemetryDoesNotPerturbTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick suite twice")
+	}
+	rec := trace.New()
+	prog := trace.NewProgress(io.Discard, time.Hour)
+	defer prog.Close()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			plain := e.Run(Options{Seed: 42, Quick: true, Exp: e.ID}).String()
+			traced := e.Run(Options{Seed: 42, Quick: true, Exp: e.ID, Trace: rec, Progress: prog}).String()
+			if plain != traced {
+				t.Fatalf("%s: table differs with telemetry attached:\n--- plain\n%s\n--- traced\n%s",
+					e.ID, plain, traced)
+			}
+		})
+	}
+	if rec.Counters().Rounds == 0 {
+		t.Fatal("recorder saw no simulator rounds — tracing is not wired through the drivers")
 	}
 }

@@ -130,6 +130,25 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// PercentileSortedInt64 returns the p-quantile (0 ≤ p ≤ 1) of a sample
+// already sorted ascending, using the same nearest-rank rule as
+// Summarize. It allocates nothing, so per-round hot paths (the
+// simulator's tracing distributions) can call it on reused scratch
+// buffers.
+func PercentileSortedInt64(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
 // SummarizeInts is Summarize for integer samples.
 func SummarizeInts(xs []int) Summary {
 	fs := make([]float64, len(xs))

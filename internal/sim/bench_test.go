@@ -78,10 +78,31 @@ func BenchmarkStep(b *testing.B) {
 
 // BenchmarkStepAllocs isolates the allocation behavior of one steady
 // -state round at n=1k flood, the case benchstat compares across
-// revisions of the kernel.
+// revisions of the kernel. This is the nil-tracer path: it must stay at
+// 0 allocs/op (TestNilTracerSteadyStateZeroAllocs asserts the same
+// invariant in the regular test run).
 func BenchmarkStepAllocs(b *testing.B) {
 	net := floodNet(1000, 4)
 	net.DisableWorkLog()
+	net.Run(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step()
+	}
+	b.StopTimer()
+	net.Shutdown()
+}
+
+// BenchmarkStepTraced measures the same steady-state flood round with a
+// counting tracer attached — the overhead of the observability hooks
+// when enabled (recorded in BENCH_SIM.json next to the nil-tracer
+// numbers). After the first round the tracer path also reaches an
+// allocation steady state: the distribution scratch buffers are reused.
+func BenchmarkStepTraced(b *testing.B) {
+	net := floodNet(1000, 4)
+	net.DisableWorkLog()
+	net.SetTracer(&countingTracer{})
 	net.Run(2)
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -95,6 +95,15 @@ type Network struct {
 
 	work       []RoundWork
 	recordWork bool
+
+	// tracer, when non-nil, receives lifecycle events and drop-reason
+	// accounting (see trace.go). The scratch slices collect the
+	// per-node inbox-size and bits samples for RoundStats; they are
+	// reused round after round so tracing adds no steady-state
+	// allocations beyond its first round.
+	tracer     Tracer
+	traceInbox []int64
+	traceBits  []int64
 }
 
 // NewNetwork returns an empty network.
@@ -152,6 +161,9 @@ func (n *Network) Spawn(id NodeID, proc Proc) {
 		resume: make(chan []Message, 1),
 	}
 	n.nodes[id] = st
+	if n.tracer != nil {
+		n.tracer.NodeSpawned(n.round, id)
+	}
 	n.order = append(n.order, st)
 	ctx := &Ctx{net: n, st: st, rng: n.root.Split(uint64(id))}
 	go func() {
@@ -178,6 +190,9 @@ func (n *Network) Spawn(id NodeID, proc Proc) {
 func (n *Network) Kill(id NodeID) {
 	if st, ok := n.nodes[id]; ok {
 		st.halt = true
+		if n.tracer != nil {
+			n.tracer.NodeKilled(n.round, id)
+		}
 	}
 }
 
@@ -193,6 +208,11 @@ func (n *Network) Step() {
 	n.blockedNow = blocked
 	n.round++
 
+	aliveAtStart, nblocked := len(n.order), 0
+	if n.tracer != nil {
+		nblocked = n.traceRoundStart(blocked)
+	}
+
 	// Receive step: hand each node the inbox filled during the previous
 	// send step (empty if blocked in this round — the "receiver
 	// non-blocked in round i+1" half of the rule; the other half was
@@ -207,6 +227,12 @@ func (n *Network) Step() {
 			// Drop the pending inbox without delivering it; zero the
 			// entries so payload references are released.
 			pend := st.inbox[st.fill]
+			if n.tracer != nil {
+				for i := range pend {
+					n.tracer.MessageDropped(n.round, DropBlockedReceiverDeliveryRound,
+						pend[i].From, st.id, pend[i].Bits)
+				}
+			}
 			clear(pend)
 			st.inbox[st.fill] = pend[:0]
 		} else {
@@ -219,6 +245,9 @@ func (n *Network) Step() {
 		st.bits = 0
 		for i := range box {
 			st.bits += int64(box[i].Bits)
+		}
+		if n.tracer != nil {
+			n.traceInbox = append(n.traceInbox, int64(len(box)))
 		}
 		st.resume <- box
 	}
@@ -244,7 +273,17 @@ func (n *Network) Step() {
 				// round; the i+1 half is checked at delivery.
 				if rcv, ok := n.nodes[m.To]; ok && !blocked[m.To] {
 					rcv.inbox[rcv.fill] = append(rcv.inbox[rcv.fill], *m)
+				} else if n.tracer != nil {
+					reason := DropBlockedReceiverSendRound
+					if !ok {
+						reason = DropDeadReceiver
+					}
+					n.tracer.MessageDropped(n.round, reason, m.From, m.To, m.Bits)
 				}
+			}
+		} else if n.tracer != nil {
+			for i := range out {
+				n.tracer.MessageDropped(n.round, DropBlockedSender, out[i].From, out[i].To, out[i].Bits)
 			}
 		}
 		clear(out)
@@ -252,6 +291,9 @@ func (n *Network) Step() {
 		totalBits += st.bits
 		if st.bits > maxBits {
 			maxBits = st.bits
+		}
+		if n.tracer != nil {
+			n.traceBits = append(n.traceBits, st.bits)
 		}
 		if st.halted {
 			delete(n.nodes, st.id)
@@ -273,6 +315,9 @@ func (n *Network) Step() {
 			MaxNodeBits: maxBits,
 		})
 	}
+	if n.tracer != nil {
+		n.traceRoundEnd(aliveAtStart, nblocked, messages, totalBits, maxBits)
+	}
 }
 
 // Run executes the given number of rounds.
@@ -282,12 +327,23 @@ func (n *Network) Run(rounds int) {
 	}
 }
 
-// Shutdown halts all remaining nodes and reaps their goroutines.
+// Shutdown halts all remaining nodes and reaps their goroutines. It is
+// pure teardown: no round runs, so Round() and the work log are exactly
+// as the last Step left them (no spurious RoundWork entry). Every live
+// node is parked at a resume point (its initial receive or a NextRound
+// barrier), so waking it with the halt flag set unwinds it immediately.
 func (n *Network) Shutdown() {
+	n.barrier.Add(len(n.order))
 	for _, st := range n.order {
 		st.halt = true
+		st.resume <- nil
 	}
-	n.Step()
+	n.barrier.Wait()
+	for i, st := range n.order {
+		delete(n.nodes, st.id)
+		n.order[i] = nil
+	}
+	n.order = n.order[:0]
 }
 
 // Ctx is a node's handle to the network. It must only be used from the

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"slices"
+
+	"overlaynet/internal/metrics"
+)
+
+// DropReason classifies why a message was not delivered. The paper's
+// DoS rule (a message from v to w sent in round i arrives iff v is
+// non-blocked in round i and w is non-blocked in rounds i and i+1)
+// yields three blocking-related reasons; the fourth covers messages
+// addressed to ids that have left the network.
+type DropReason uint8
+
+const (
+	// DropBlockedSender: the sender was blocked in the send round, so
+	// its entire outbox was discarded.
+	DropBlockedSender DropReason = iota
+	// DropBlockedReceiverSendRound: the receiver was blocked in the
+	// send round (round i of the paper's rule).
+	DropBlockedReceiverSendRound
+	// DropBlockedReceiverDeliveryRound: the receiver was blocked in the
+	// delivery round (round i+1), so its pending inbox was discarded.
+	DropBlockedReceiverDeliveryRound
+	// DropDeadReceiver: the receiver id does not (or no longer) exist.
+	DropDeadReceiver
+	// NumDropReasons sizes per-reason counter arrays.
+	NumDropReasons
+)
+
+var dropReasonNames = [NumDropReasons]string{
+	"blocked-sender",
+	"blocked-receiver-send-round",
+	"blocked-receiver-delivery-round",
+	"dead-receiver",
+}
+
+func (r DropReason) String() string {
+	if int(r) < len(dropReasonNames) {
+		return dropReasonNames[r]
+	}
+	return "unknown"
+}
+
+// RoundStats summarizes one completed round for a Tracer: the work
+// triple the network always computes, plus the per-node inbox-size and
+// bits (sent+received) distributions that are only computed when a
+// tracer is attached. Percentiles use the same nearest-rank rule as
+// metrics.Summarize.
+type RoundStats struct {
+	Round   int
+	Alive   int // nodes alive at the start of the round
+	Blocked int // of those, blocked in this round
+	Work    RoundWork
+	// Delivered-inbox size distribution across alive nodes (blocked
+	// nodes receive nothing and contribute 0).
+	InboxP50, InboxP95, InboxMax int64
+	// Per-node sent+received bits distribution.
+	BitsP50, BitsP95, BitsMax int64
+}
+
+// Tracer receives simulator lifecycle events. Implementations must be
+// cheap: every hook is called synchronously from the network's driver
+// goroutine between (or during) rounds. A nil tracer is the fast path —
+// with no tracer attached the round loop performs no tracing work at
+// all and keeps its zero-allocation steady state.
+//
+// Drop accounting reconciles with the work log as follows: for every
+// round, Work.Messages (sends by non-blocked senders) equals the number
+// of messages delivered into inboxes plus the MessageDropped calls with
+// reasons DropDeadReceiver and DropBlockedReceiverSendRound for that
+// round. DropBlockedSender drops are *not* part of Work.Messages, and
+// DropBlockedReceiverDeliveryRound drops were counted as Messages in
+// the preceding round (their send round).
+type Tracer interface {
+	// RoundStart fires after the round counter is advanced, before
+	// delivery: alive is the number of participating nodes, blocked how
+	// many of them are DoS-blocked this round.
+	RoundStart(round, alive, blocked int)
+	// RoundEnd fires after the send step with the round's statistics.
+	RoundEnd(stats RoundStats)
+	// NodeSpawned fires when a node is added (round = completed rounds
+	// at spawn time; the node first participates in round+1).
+	NodeSpawned(round int, id NodeID)
+	// NodeKilled fires when Kill marks a node for removal.
+	NodeKilled(round int, id NodeID)
+	// NodeBlocked fires once per blocked alive node per round, in spawn
+	// order, right after RoundStart.
+	NodeBlocked(round int, id NodeID)
+	// MessageDropped fires for every undelivered message with the round
+	// in which the drop happened.
+	MessageDropped(round int, reason DropReason, from, to NodeID, bits int)
+}
+
+// SetTracer attaches (or, with nil, detaches) a Tracer. Like the other
+// network methods it must be called from the driver goroutine between
+// rounds.
+func (n *Network) SetTracer(t Tracer) { n.tracer = t }
+
+// traceRoundStart counts blocked members in spawn order, emits the
+// round-start and per-node block events, and resets the distribution
+// scratch buffers for the round.
+func (n *Network) traceRoundStart(blocked map[NodeID]bool) int {
+	nblocked := 0
+	for _, st := range n.order {
+		if blocked[st.id] {
+			nblocked++
+		}
+	}
+	n.tracer.RoundStart(n.round, len(n.order), nblocked)
+	if nblocked > 0 {
+		for _, st := range n.order {
+			if blocked[st.id] {
+				n.tracer.NodeBlocked(n.round, st.id)
+			}
+		}
+	}
+	n.traceInbox = n.traceInbox[:0]
+	n.traceBits = n.traceBits[:0]
+	return nblocked
+}
+
+// traceRoundEnd computes the inbox and bits distributions from the
+// scratch samples Step collected and emits the round-end event.
+func (n *Network) traceRoundEnd(alive, nblocked, messages int, totalBits, maxBits int64) {
+	stats := RoundStats{
+		Round:   n.round,
+		Alive:   alive,
+		Blocked: nblocked,
+		Work: RoundWork{
+			Round:       n.round,
+			Messages:    messages,
+			TotalBits:   totalBits,
+			MaxNodeBits: maxBits,
+		},
+	}
+	if len(n.traceInbox) > 0 {
+		slices.Sort(n.traceInbox)
+		stats.InboxP50 = metrics.PercentileSortedInt64(n.traceInbox, 0.50)
+		stats.InboxP95 = metrics.PercentileSortedInt64(n.traceInbox, 0.95)
+		stats.InboxMax = n.traceInbox[len(n.traceInbox)-1]
+	}
+	if len(n.traceBits) > 0 {
+		slices.Sort(n.traceBits)
+		stats.BitsP50 = metrics.PercentileSortedInt64(n.traceBits, 0.50)
+		stats.BitsP95 = metrics.PercentileSortedInt64(n.traceBits, 0.95)
+		stats.BitsMax = n.traceBits[len(n.traceBits)-1]
+	}
+	n.tracer.RoundEnd(stats)
+}

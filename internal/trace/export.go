@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"overlaynet/internal/sim"
+)
+
+// The two export formats:
+//
+//   - JSONL: one JSON object per line — {"type":"event",...} lines for
+//     simulator lifecycle events, {"type":"span",...} lines for timed
+//     regions, and a final {"type":"counters",...} line with the
+//     aggregate totals. Greppable and streamable.
+//
+//   - Chrome trace_events JSON: {"traceEvents":[...]} with complete
+//     ("X") events for spans and instant ("i") events for lifecycle
+//     events, loadable in https://ui.perfetto.dev or chrome://tracing.
+//     The aggregate counters ride along under "overlayCounters", which
+//     viewers ignore but cmd/tracestats reads.
+
+type eventLine struct {
+	Type string `json:"type"`
+	Event
+}
+
+type spanLine struct {
+	Type string `json:"type"`
+	Span
+}
+
+type countersLine struct {
+	Type string `json:"type"`
+	Counters
+}
+
+// WriteJSONL writes all retained events and spans plus the counter
+// totals as JSON lines. (With a StreamJSONL sink the same lines were
+// already emitted incrementally; this is the batch form.)
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range r.Events() {
+		if err := enc.Encode(eventLine{Type: "event", Event: ev}); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.Spans() {
+		if err := enc.Encode(spanLine{Type: "span", Span: s}); err != nil {
+			return err
+		}
+	}
+	return enc.Encode(countersLine{Type: "counters", Counters: r.Counters()})
+}
+
+// ChromeEvent is one entry of the trace_events array.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeFile is the on-disk shape of the Chrome/Perfetto export; it is
+// exported so cmd/tracestats can decode traces with the same types.
+type ChromeFile struct {
+	TraceEvents     []ChromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OverlayCounters map[string]uint64 `json:"overlayCounters"`
+}
+
+// Track layout of the Chrome export: pid 1 holds the experiment
+// harness (tid 0 = whole experiments, tid 1+w = runner worker w), pid 2
+// holds epoch spans keyed by scope, pid 3 holds raw simulator events.
+const (
+	chromePidHarness = 1
+	chromePidEpochs  = 2
+	chromePidSim     = 3
+)
+
+// WriteChromeTrace writes the recorder's contents as Chrome
+// trace_events JSON.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	spans := r.Spans()
+	events := r.Events()
+	c := r.Counters()
+
+	out := ChromeFile{
+		TraceEvents:     make([]ChromeEvent, 0, len(spans)+len(events)),
+		DisplayTimeUnit: "ms",
+		OverlayCounters: flattenCounters(c),
+	}
+
+	epochTids := map[string]int{}
+	for _, s := range spans {
+		ev := ChromeEvent{
+			Ph:  "X",
+			Cat: s.Kind,
+			TS:  s.StartUS,
+			Dur: max64(s.DurUS, 1),
+		}
+		switch s.Kind {
+		case "cell":
+			ev.Name = fmt.Sprintf("%s cell %d", s.Name, s.Cell)
+			ev.Pid = chromePidHarness
+			ev.Tid = 1 + s.Worker
+			ev.Args = map[string]any{"exp": s.Scope, "cell": s.Cell, "seed": s.Seed, "worker": s.Worker}
+		case "epoch":
+			ev.Name = fmt.Sprintf("%s epoch %d", s.Scope, s.Epoch)
+			ev.Pid = chromePidEpochs
+			tid, ok := epochTids[s.Scope]
+			if !ok {
+				tid = len(epochTids)
+				epochTids[s.Scope] = tid
+			}
+			ev.Tid = tid
+			ev.Args = map[string]any{"scope": s.Scope, "epoch": s.Epoch, "rounds": s.Rounds,
+				"n_old": s.NOld, "n_new": s.NNew}
+		default: // experiment
+			ev.Name = s.Name
+			ev.Pid = chromePidHarness
+			ev.Tid = 0
+			ev.Args = map[string]any{"exp": s.Name, "seed": s.Seed, "rows": s.Rows}
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+
+	for _, e := range events {
+		ev := ChromeEvent{
+			Name: e.Kind,
+			Cat:  "sim",
+			Ph:   "i",
+			S:    "t",
+			TS:   e.TSMicros,
+			Pid:  chromePidSim,
+			Tid:  0,
+			Args: map[string]any{"scope": e.Scope, "round": e.Round},
+		}
+		switch e.Kind {
+		case "drop":
+			ev.Name = "drop:" + e.Reason
+			ev.Args["from"] = e.From
+			ev.Args["to"] = e.To
+			ev.Args["bits"] = e.Bits
+		case "round_end":
+			if e.Stats != nil {
+				ev.Args["messages"] = e.Stats.Work.Messages
+				ev.Args["total_bits"] = e.Stats.Work.TotalBits
+				ev.Args["max_node_bits"] = e.Stats.Work.MaxNodeBits
+				ev.Args["inbox_p50"] = e.Stats.InboxP50
+				ev.Args["inbox_p95"] = e.Stats.InboxP95
+				ev.Args["inbox_max"] = e.Stats.InboxMax
+				ev.Args["bits_p50"] = e.Stats.BitsP50
+				ev.Args["bits_p95"] = e.Stats.BitsP95
+				ev.Args["bits_max"] = e.Stats.BitsMax
+			}
+		case "spawn", "kill", "block":
+			ev.Args["node"] = e.Node
+		case "round_start":
+			ev.Args["alive"] = e.Alive
+			ev.Args["blocked"] = e.Blocked
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteChromeTraceFile is WriteChromeTrace to a freshly created file.
+func (r *Recorder) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteJSONLFile is WriteJSONL to a freshly created file.
+func (r *Recorder) WriteJSONLFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// flattenCounters renders a Counters snapshot as a flat string→uint64
+// map ("drop:<reason>" keys for the per-reason totals).
+func flattenCounters(c Counters) map[string]uint64 {
+	m := map[string]uint64{
+		"rounds":    c.Rounds,
+		"messages":  c.Messages,
+		"delivered": c.Delivered,
+		"spawns":    c.Spawns,
+		"kills":     c.Kills,
+		"blocks":    c.Blocks,
+		"cells":     c.Cells,
+		"epochs":    c.Epochs,
+	}
+	for i := sim.DropReason(0); i < sim.NumDropReasons; i++ {
+		m["drop:"+i.String()] = c.Drops[i.String()]
+	}
+	return m
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress is a live cells-done/total ticker for long experiment
+// sweeps. The runner registers each sweep's cell count with AddCells
+// and reports completions with CellDone; a background goroutine prints
+// a one-line status to w (normally stderr) every interval while work
+// is pending, with an ETA extrapolated from the completion rate so
+// far. All methods are safe for concurrent use.
+type Progress struct {
+	w        io.Writer
+	interval time.Duration
+	start    time.Time
+
+	mu    sync.Mutex
+	order []string       // experiment ids in first-seen order
+	done  map[string]int // completed cells per experiment
+	total map[string]int // registered cells per experiment
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewProgress starts a ticker writing to w every interval (a
+// non-positive interval defaults to 2s). Call Close when the sweep is
+// done to stop the goroutine and print the final line.
+func NewProgress(w io.Writer, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	p := &Progress{
+		w:        w,
+		interval: interval,
+		start:    time.Now(),
+		done:     make(map[string]int),
+		total:    make(map[string]int),
+		stop:     make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.loop()
+	return p
+}
+
+// AddCells registers n upcoming cells for the given experiment label.
+func (p *Progress) AddCells(exp string, n int) {
+	p.mu.Lock()
+	if _, ok := p.total[exp]; !ok {
+		p.order = append(p.order, exp)
+	}
+	p.total[exp] += n
+	p.mu.Unlock()
+}
+
+// CellDone records the completion of one cell of the given experiment.
+func (p *Progress) CellDone(exp string) {
+	p.mu.Lock()
+	p.done[exp]++
+	p.mu.Unlock()
+}
+
+// Close stops the ticker and prints a final summary line.
+func (p *Progress) Close() {
+	close(p.stop)
+	p.wg.Wait()
+	fmt.Fprintln(p.w, p.line(true))
+}
+
+func (p *Progress) loop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			fmt.Fprintln(p.w, p.line(false))
+		}
+	}
+}
+
+// line renders the current status. With final set it reports totals
+// and elapsed time instead of an ETA.
+func (p *Progress) line(final bool) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	done, total := 0, 0
+	for _, exp := range p.order {
+		done += p.done[exp]
+		total += p.total[exp]
+	}
+	elapsed := time.Since(p.start).Round(time.Second)
+	var b strings.Builder
+	if final {
+		fmt.Fprintf(&b, "progress: %d/%d cells done in %s", done, total, elapsed)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "progress: %d/%d cells", done, total)
+	if total > 0 {
+		fmt.Fprintf(&b, " (%d%%)", 100*done/total)
+	}
+	fmt.Fprintf(&b, " elapsed %s", elapsed)
+	if done > 0 && done < total {
+		eta := time.Duration(float64(time.Since(p.start)) / float64(done) * float64(total-done))
+		fmt.Fprintf(&b, " eta %s", eta.Round(time.Second))
+	}
+	// Per-experiment breakdown of the sweeps still in flight, sorted
+	// for a stable line.
+	var active []string
+	for _, exp := range p.order {
+		if p.done[exp] < p.total[exp] {
+			active = append(active, fmt.Sprintf("%s %d/%d", exp, p.done[exp], p.total[exp]))
+		}
+	}
+	sort.Strings(active)
+	if len(active) > 0 {
+		const maxShown = 6
+		shown := active
+		extra := ""
+		if len(shown) > maxShown {
+			extra = fmt.Sprintf(" +%d more", len(shown)-maxShown)
+			shown = shown[:maxShown]
+		}
+		fmt.Fprintf(&b, " | %s%s", strings.Join(shown, "  "), extra)
+	}
+	return b.String()
+}

@@ -1,0 +1,314 @@
+// Package trace is the observability layer of the reproduction: a
+// pluggable, zero-cost-when-disabled recorder for simulator lifecycle
+// events, drop-reason accounting, and wall-clock spans from the
+// experiment harness (per sweep cell) and the reconfiguration network
+// (per epoch).
+//
+// A single Recorder may be shared by many networks and worker
+// goroutines: counters are atomic and span/event recording is
+// mutex-protected. Attach it to a simulator with
+// Network.SetTracer(rec.Tracer(scope)) and to the experiment harness
+// via exp.Options.Trace; export the result with WriteJSONL (one event
+// per line) or WriteChromeTrace (Chrome/Perfetto trace_events JSON,
+// load it at https://ui.perfetto.dev).
+//
+// By default the Recorder aggregates counters and spans only; call
+// RecordEvents(true) to additionally keep every per-round, per-message
+// event (memory grows with the run — meant for focused scenarios, not
+// full sweeps).
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"overlaynet/internal/sim"
+)
+
+// Event is one simulator lifecycle event. TSMicros is microseconds
+// since the Recorder was created.
+type Event struct {
+	TSMicros int64  `json:"ts_us"`
+	Kind     string `json:"kind"` // round_start, round_end, spawn, kill, block, drop
+	Scope    string `json:"scope,omitempty"`
+	Round    int    `json:"round"`
+	Node     uint64 `json:"node,omitempty"`
+	From     uint64 `json:"from,omitempty"`
+	To       uint64 `json:"to,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+	Bits     int    `json:"bits,omitempty"`
+	Alive    int    `json:"alive,omitempty"`
+	Blocked  int    `json:"blocked,omitempty"`
+	// Stats carries the round summary on round_end events.
+	Stats *sim.RoundStats `json:"stats,omitempty"`
+}
+
+// Span is one timed region: an experiment, one sweep cell of its
+// parameter grid, or one reconfiguration epoch.
+type Span struct {
+	Kind    string `json:"kind"` // experiment, cell, epoch
+	Name    string `json:"name"`
+	Scope   string `json:"scope,omitempty"`
+	Cell    int    `json:"cell,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
+	Worker  int    `json:"worker,omitempty"`
+	StartUS int64  `json:"start_us"`
+	DurUS   int64  `json:"dur_us"`
+	Epoch   int    `json:"epoch,omitempty"`
+	Rounds  int    `json:"rounds,omitempty"`
+	NOld    int    `json:"n_old,omitempty"`
+	NNew    int    `json:"n_new,omitempty"`
+	Rows    int    `json:"rows,omitempty"`
+}
+
+// Counters is a consistent-enough snapshot of the recorder's aggregate
+// totals (each field is individually atomic).
+type Counters struct {
+	Rounds    uint64            `json:"rounds"`
+	Messages  uint64            `json:"messages"`  // sends by non-blocked senders
+	Delivered uint64            `json:"delivered"` // messages that reached an inbox
+	Spawns    uint64            `json:"spawns"`
+	Kills     uint64            `json:"kills"`
+	Blocks    uint64            `json:"blocks"` // node-round block events
+	Cells     uint64            `json:"cells"`
+	Epochs    uint64            `json:"epochs"`
+	Drops     map[string]uint64 `json:"drops"` // by sim.DropReason name
+}
+
+// Recorder collects events, spans, and counters. The zero value is not
+// usable; call New.
+type Recorder struct {
+	start      time.Time
+	withEvents bool
+
+	rounds, messages      atomic.Uint64
+	spawns, kills, blocks atomic.Uint64
+	cells, epochs         atomic.Uint64
+	drops                 [sim.NumDropReasons]atomic.Uint64
+
+	mu     sync.Mutex
+	spans  []Span
+	events []Event
+	jsonl  *json.Encoder
+}
+
+// New returns an empty Recorder; its clock starts now.
+func New() *Recorder {
+	return &Recorder{start: time.Now()}
+}
+
+// RecordEvents toggles in-memory retention of per-round/per-message
+// events (counters and spans are always kept). Returns r for chaining.
+func (r *Recorder) RecordEvents(on bool) *Recorder {
+	r.withEvents = on
+	return r
+}
+
+// StreamJSONL streams every event and span to w as it is recorded, one
+// JSON object per line (the same shapes WriteJSONL emits). Returns r
+// for chaining.
+func (r *Recorder) StreamJSONL(w io.Writer) *Recorder {
+	r.mu.Lock()
+	r.jsonl = json.NewEncoder(w)
+	r.mu.Unlock()
+	return r
+}
+
+// Start returns the recorder's epoch; span and event timestamps are
+// relative to it.
+func (r *Recorder) Start() time.Time { return r.start }
+
+// Tracer returns a sim.Tracer that feeds this recorder, labeling its
+// events with scope (e.g. "E6/cell3"). Multiple tracers from the same
+// recorder may be attached to different networks concurrently.
+func (r *Recorder) Tracer(scope string) sim.Tracer {
+	return &simTracer{rec: r, scope: scope}
+}
+
+// AddSpan records a fully built span.
+func (r *Recorder) AddSpan(s Span) {
+	r.mu.Lock()
+	r.spans = append(r.spans, s)
+	if r.jsonl != nil {
+		r.jsonl.Encode(spanLine{Type: "span", Span: s})
+	}
+	r.mu.Unlock()
+}
+
+// Since converts an absolute time to microseconds since the recorder's
+// epoch.
+func (r *Recorder) Since(t time.Time) int64 { return t.Sub(r.start).Microseconds() }
+
+// CellSpan records the span of one sweep cell that started at start and
+// just finished.
+func (r *Recorder) CellSpan(exp string, cell int, seed uint64, worker int, start time.Time) {
+	r.cells.Add(1)
+	r.AddSpan(Span{
+		Kind:    "cell",
+		Name:    exp,
+		Scope:   exp,
+		Cell:    cell,
+		Seed:    seed,
+		Worker:  worker,
+		StartUS: r.Since(start),
+		DurUS:   time.Since(start).Microseconds(),
+	})
+}
+
+// EpochSpan records the span of one reconfiguration epoch.
+func (r *Recorder) EpochSpan(scope string, epoch, rounds, nOld, nNew int, start time.Time) {
+	r.epochs.Add(1)
+	r.AddSpan(Span{
+		Kind:    "epoch",
+		Name:    scope,
+		Scope:   scope,
+		Epoch:   epoch,
+		Rounds:  rounds,
+		NOld:    nOld,
+		NNew:    nNew,
+		StartUS: r.Since(start),
+		DurUS:   time.Since(start).Microseconds(),
+	})
+}
+
+// ExperimentSpan records the span of one whole experiment driver run.
+func (r *Recorder) ExperimentSpan(id string, seed uint64, rows int, start time.Time) {
+	r.AddSpan(Span{
+		Kind:    "experiment",
+		Name:    id,
+		Scope:   id,
+		Seed:    seed,
+		Rows:    rows,
+		StartUS: r.Since(start),
+		DurUS:   time.Since(start).Microseconds(),
+	})
+}
+
+// Counters returns a snapshot of the aggregate totals.
+func (r *Recorder) Counters() Counters {
+	c := Counters{
+		Rounds:   r.rounds.Load(),
+		Messages: r.messages.Load(),
+		Spawns:   r.spawns.Load(),
+		Kills:    r.kills.Load(),
+		Blocks:   r.blocks.Load(),
+		Cells:    r.cells.Load(),
+		Epochs:   r.epochs.Load(),
+		Drops:    make(map[string]uint64, sim.NumDropReasons),
+	}
+	for i := range r.drops {
+		c.Drops[sim.DropReason(i).String()] = r.drops[i].Load()
+	}
+	// Per the sim.Tracer reconciliation contract: delivered = sends by
+	// non-blocked senders minus the send-round drops.
+	c.Delivered = c.Messages -
+		c.Drops[sim.DropDeadReceiver.String()] -
+		c.Drops[sim.DropBlockedReceiverSendRound.String()]
+	return c
+}
+
+// DropCount returns the aggregate count for one drop reason.
+func (r *Recorder) DropCount(reason sim.DropReason) uint64 {
+	return r.drops[reason].Load()
+}
+
+// Spans returns a copy of the recorded spans.
+func (r *Recorder) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// Events returns a copy of the recorded events (empty unless
+// RecordEvents(true) was set).
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// String renders the counter snapshot as JSON, which makes a Recorder
+// publishable as an expvar.Var (cmd/benchtables -http does exactly
+// that).
+func (r *Recorder) String() string {
+	b, _ := json.Marshal(r.Counters())
+	return string(b)
+}
+
+// emit appends an event (if event retention is on) and streams it (if
+// a JSONL sink is set). Called only when at least one of the two is
+// possible — the tracer methods check cheaply first.
+func (r *Recorder) emit(ev Event) {
+	r.mu.Lock()
+	if r.withEvents {
+		r.events = append(r.events, ev)
+	}
+	if r.jsonl != nil {
+		r.jsonl.Encode(eventLine{Type: "event", Event: ev})
+	}
+	r.mu.Unlock()
+}
+
+func (r *Recorder) wantsEvents() bool { return r.withEvents || r.jsonl != nil }
+
+// simTracer adapts a Recorder to the sim.Tracer interface, labeling
+// everything with a fixed scope.
+type simTracer struct {
+	rec   *Recorder
+	scope string
+}
+
+func (t *simTracer) now() int64 { return time.Since(t.rec.start).Microseconds() }
+
+func (t *simTracer) RoundStart(round, alive, blocked int) {
+	t.rec.rounds.Add(1)
+	if t.rec.wantsEvents() {
+		t.rec.emit(Event{TSMicros: t.now(), Kind: "round_start", Scope: t.scope,
+			Round: round, Alive: alive, Blocked: blocked})
+	}
+}
+
+func (t *simTracer) RoundEnd(stats sim.RoundStats) {
+	t.rec.messages.Add(uint64(stats.Work.Messages))
+	if t.rec.wantsEvents() {
+		s := stats
+		t.rec.emit(Event{TSMicros: t.now(), Kind: "round_end", Scope: t.scope,
+			Round: stats.Round, Alive: stats.Alive, Blocked: stats.Blocked, Stats: &s})
+	}
+}
+
+func (t *simTracer) NodeSpawned(round int, id sim.NodeID) {
+	t.rec.spawns.Add(1)
+	if t.rec.wantsEvents() {
+		t.rec.emit(Event{TSMicros: t.now(), Kind: "spawn", Scope: t.scope,
+			Round: round, Node: uint64(id)})
+	}
+}
+
+func (t *simTracer) NodeKilled(round int, id sim.NodeID) {
+	t.rec.kills.Add(1)
+	if t.rec.wantsEvents() {
+		t.rec.emit(Event{TSMicros: t.now(), Kind: "kill", Scope: t.scope,
+			Round: round, Node: uint64(id)})
+	}
+}
+
+func (t *simTracer) NodeBlocked(round int, id sim.NodeID) {
+	t.rec.blocks.Add(1)
+	if t.rec.wantsEvents() {
+		t.rec.emit(Event{TSMicros: t.now(), Kind: "block", Scope: t.scope,
+			Round: round, Node: uint64(id)})
+	}
+}
+
+func (t *simTracer) MessageDropped(round int, reason sim.DropReason, from, to sim.NodeID, bits int) {
+	t.rec.drops[reason].Add(1)
+	if t.rec.wantsEvents() {
+		t.rec.emit(Event{TSMicros: t.now(), Kind: "drop", Scope: t.scope,
+			Round: round, From: uint64(from), To: uint64(to),
+			Reason: reason.String(), Bits: bits})
+	}
+}
