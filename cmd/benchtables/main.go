@@ -3,14 +3,16 @@
 //
 // Usage:
 //
-//	benchtables [-quick] [-seed N] [-only E8[,E9,…]] [-procs N] [-list]
+//	benchtables [-quick] [-seed N] [-only E8[,E9,…]] [-procs N]
+//	           [-shards N] [-list]
 //	           [-cpuprofile F] [-trace F] [-events F] [-manifest F]
 //	           [-progress] [-http ADDR]
 //
-// Sweep cells run on -procs workers (default: all CPUs); the rendered
-// tables are identical for every worker count at a fixed seed, and for
-// every combination of the telemetry flags — tracing is observation
-// only.
+// Sweep cells run on -procs workers (default: all CPUs), and each
+// simulated network runs its rounds on -shards intra-round workers
+// (default 1; see internal/sim). The rendered tables are identical for
+// every -procs and -shards combination at a fixed seed, and for every
+// combination of the telemetry flags — tracing is observation only.
 //
 // Telemetry:
 //
@@ -59,6 +61,7 @@ type manifest struct {
 	Seed         uint64               `json:"seed"`
 	Quick        bool                 `json:"quick"`
 	Procs        int                  `json:"procs"`
+	Shards       int                  `json:"shards"`
 	GOMAXPROCS   int                  `json:"gomaxprocs"`
 	NumCPU       int                  `json:"num_cpu"`
 	TotalSeconds float64              `json:"total_seconds"`
@@ -111,6 +114,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	procs := flag.Int("procs", runtime.GOMAXPROCS(0), "worker goroutines for sweep cells (tables are identical for any value)")
+	shards := flag.Int("shards", 0, "intra-round simulator workers per network; 0 = $OVERLAYNET_SHARDS or 1 (tables are identical for any value)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace_events JSON file")
 	eventsOut := flag.String("events", "", "write the raw telemetry stream as JSONL")
@@ -146,7 +150,7 @@ func main() {
 		}
 	}
 
-	opts := exp.Options{Seed: *seed, Quick: *quick, Procs: *procs}
+	opts := exp.Options{Seed: *seed, Quick: *quick, Procs: *procs, Shards: *shards}
 
 	// Telemetry wiring. A single recorder spans every experiment; it
 	// aggregates counters and spans (events stay off — a full sweep
@@ -245,6 +249,7 @@ func main() {
 			Seed:        *seed,
 			Quick:       *quick,
 			Procs:       *procs,
+			Shards:      *shards,
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			NumCPU:      runtime.NumCPU(),
 		}

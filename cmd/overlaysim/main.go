@@ -118,8 +118,9 @@ func runChurn(args []string) {
 	epochs := fs.Int("epochs", 5, "reconfiguration epochs")
 	frac := fs.Float64("frac", 0.25, "replacement fraction per epoch")
 	seed := fs.Uint64("seed", 1, "seed")
+	shards := fs.Int("shards", 0, "intra-round simulator workers (0 = $OVERLAYNET_SHARDS or 1; results identical for any value)")
 	fs.Parse(args)
-	nw := core.NewNetwork(core.Config{Seed: *seed, N0: *n, D: 8, Alpha: 2, Epsilon: 0.5})
+	nw := core.NewNetwork(core.Config{Seed: *seed, N0: *n, D: 8, Alpha: 2, Epsilon: 0.5, Shards: *shards})
 	defer nw.Shutdown()
 	adv := &churn.Replace{Fraction: *frac, R: rng.New(*seed + 1)}
 	t := metrics.NewTable(fmt.Sprintf("expander under %.0f%% replacement churn per epoch", *frac*100),

@@ -1,7 +1,9 @@
 // Command tracestats summarizes a telemetry file produced by
 // benchtables -trace (Chrome trace_events JSON) or -events (JSONL):
 // per-experiment wall time, the slowest sweep cells, drop-reason
-// totals, and simulator round throughput.
+// totals, simulator round throughput, and — when the run used a
+// sharded simulator kernel — the per-shard wall-time balance of the
+// receive/send phases, so delivery skew across workers is visible.
 //
 // Usage:
 //
@@ -133,6 +135,9 @@ type jsonlRecord struct {
 	Cells     uint64            `json:"cells"`
 	Epochs    uint64            `json:"epochs"`
 	Drops     map[string]uint64 `json:"drops"`
+	// Per-shard phase busy time from sharded simulator rounds.
+	ShardRecvUS []uint64 `json:"shard_recv_us"`
+	ShardSendUS []uint64 `json:"shard_send_us"`
 }
 
 // loadJSONL ingests a JSONL stream written by trace.WriteJSONL (or
@@ -176,12 +181,71 @@ func loadJSONL(data []byte, s *summary) error {
 			for k, v := range rec.Drops {
 				s.counters["drop:"+k] = v
 			}
+			for i, v := range rec.ShardRecvUS {
+				s.counters[fmt.Sprintf("shard:%d:recv_us", i)] = v
+			}
+			for i, v := range rec.ShardSendUS {
+				s.counters[fmt.Sprintf("shard:%d:send_us", i)] = v
+			}
 		}
 	}
 	return sc.Err()
 }
 
 func ms(us int64) float64 { return float64(us) / 1e3 }
+
+// printShardBalance reports the per-shard receive/send busy time of the
+// sharded simulator kernel, if the trace contains any ("shard:<i>:…"
+// counters, fed by the per-round shard spans). The balance line gives
+// max/mean of the per-shard totals — 1.00 is a perfectly even
+// partition; anything well above means the contiguous slot ranges are
+// carrying skewed delivery load.
+func printShardBalance(s *summary) {
+	type shardBusy struct{ recv, send uint64 }
+	byShard := map[int]*shardBusy{}
+	for k, v := range s.counters {
+		var i int
+		var kind string
+		if _, err := fmt.Sscanf(k, "shard:%d:%s", &i, &kind); err != nil {
+			continue
+		}
+		b := byShard[i]
+		if b == nil {
+			b = &shardBusy{}
+			byShard[i] = b
+		}
+		switch kind {
+		case "recv_us":
+			b.recv = v
+		case "send_us":
+			b.send = v
+		}
+	}
+	if len(byShard) == 0 {
+		return
+	}
+	ids := make([]int, 0, len(byShard))
+	var total, maxTotal uint64
+	for i, b := range byShard {
+		ids = append(ids, i)
+		t := b.recv + b.send
+		total += t
+		if t > maxTotal {
+			maxTotal = t
+		}
+	}
+	sort.Ints(ids)
+	mean := float64(total) / float64(len(byShard))
+	balance := 1.0
+	if mean > 0 {
+		balance = float64(maxTotal) / mean
+	}
+	fmt.Printf("  shard balance  %d shards, busy max/mean %.2f\n", len(byShard), balance)
+	for _, i := range ids {
+		b := byShard[i]
+		fmt.Printf("    shard %-3d recv %10.1f ms  send %10.1f ms\n", i, ms(int64(b.recv)), ms(int64(b.send)))
+	}
+}
 
 func main() {
 	top := flag.Int("top", 10, "number of slowest cells to list")
@@ -263,6 +327,8 @@ func main() {
 				label, a.cells, ms(a.totalUS), ms(a.totalUS)/float64(a.cells), ms(a.maxUS))
 		}
 	}
+
+	printShardBalance(s)
 
 	if len(s.spans) > 0 && *top > 0 {
 		sort.Slice(s.spans, func(i, j int) bool { return s.spans[i].durUS > s.spans[j].durUS })

@@ -25,6 +25,9 @@ type Config struct {
 	Alpha float64
 	// Epsilon is the sampling budget slack (default 1).
 	Epsilon float64
+	// Shards is forwarded to sim.Config.Shards (intra-round simulator
+	// workers); the epoch traces are identical for any value.
+	Shards int
 }
 
 // JoinSpec describes a node joining in the next epoch: the new node ID
@@ -216,7 +219,7 @@ func NewNetwork(cfg Config) *Network {
 	}
 	nw := &Network{
 		cfg:     cfg,
-		net:     sim.NewNetwork(sim.Config{Seed: cfg.Seed}),
+		net:     sim.NewNetwork(sim.Config{Seed: cfg.Seed, Shards: cfg.Shards}),
 		r:       rng.New(cfg.Seed ^ 0xabcdef0123456789),
 		slots:   make(map[int]*slot),
 		curSucc: make(map[int][]int32),

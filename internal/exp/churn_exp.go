@@ -12,8 +12,8 @@ import (
 
 // coreConfig returns the expander-network configuration used by the
 // churn experiments.
-func coreConfig(seed uint64, n int) core.Config {
-	return core.Config{Seed: seed, N0: n, D: 8, Alpha: 2, Epsilon: 1}
+func coreConfig(o Options, seed uint64, n int) core.Config {
+	return core.Config{Seed: seed, N0: n, D: 8, Alpha: 2, Epsilon: 1, Shards: o.Shards}
 }
 
 // E6ReconfigChurn measures Theorems 4 and 5: rounds per reconfiguration
@@ -44,7 +44,7 @@ func E6ReconfigChurn(o Options) *metrics.Table {
 			{"neighborhood-25%", &churn.TargetNeighborhood{Fraction: 0.25, R: rng.New(o.Seed + 4)}},
 		}
 		a := advs[cell%nadv]
-		nw := core.NewNetwork(coreConfig(o.Seed^uint64(n), n))
+		nw := core.NewNetwork(coreConfig(o, o.Seed^uint64(n), n))
 		if o.Trace != nil {
 			nw.SetTrace(o.Trace, fmt.Sprintf("%s/cell%d", o.Exp, cell))
 		}
@@ -82,7 +82,7 @@ func E7CongestionSegments(o Options) *metrics.Table {
 	ns := o.sizes([]int{64}, []int{64, 256, 1024, 2048})
 	t.AddRows(RunRows(o, len(ns), func(cell int) [][]string {
 		n := ns[cell]
-		nw := core.NewNetwork(coreConfig(o.Seed^uint64(n), n))
+		nw := core.NewNetwork(coreConfig(o, o.Seed^uint64(n), n))
 		if o.Trace != nil {
 			nw.SetTrace(o.Trace, fmt.Sprintf("%s/cell%d", o.Exp, cell))
 		}

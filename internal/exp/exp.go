@@ -23,6 +23,12 @@ type Options struct {
 	// runtime.GOMAXPROCS(0). Any value yields identical tables: cells
 	// are seeded independently and merged in canonical order.
 	Procs int
+	// Shards is forwarded to sim.Config.Shards: the number of workers
+	// each simulated network uses inside a round (intra-round
+	// parallelism, orthogonal to Procs' across-cell parallelism). Zero
+	// defers to the OVERLAYNET_SHARDS environment variable, then 1.
+	// Any value yields byte-identical tables.
+	Shards int
 
 	// Exp labels telemetry with the running experiment's id
 	// (cmd/benchtables sets it; empty is fine for direct driver
@@ -78,5 +84,6 @@ func All() []Experiment {
 		{"X2", "Extension (§6): permanent crash failures", X2CrashFailures},
 		{"X3", "Extension (§7.2): rapid sampling on k-ary hypercubes", X3KAryRapidSampling},
 		{"X4", "Extension (§7.2): the reconfigured k-ary hypercube network under DoS", X4KAryNetwork},
+		{"S1", "Scale: one simulated network at n up to 100k, sharded kernel", S1ScaleFlood},
 	}
 }

@@ -15,8 +15,8 @@ import (
 // experiments: d = 8, α = 2, ε = 1, c = 2. The slack (2+ε)^{T−i} with
 // ε = 1 and c·log n ≥ 2·log₂ n final budgets keeps the per-node
 // failure probability far below 1/n (Lemma 7) at every sweep size.
-func expParams(n int) sampling.HGraphParams {
-	return sampling.HGraphParams{N: n, D: 8, Alpha: 2, Epsilon: 1, C: 2}
+func expParams(o Options, n int) sampling.HGraphParams {
+	return sampling.HGraphParams{N: n, D: 8, Alpha: 2, Epsilon: 1, C: 2, Shards: o.Shards}
 }
 
 // E1RapidSamplingHGraph measures Theorem 2's claims on ℍ-graphs:
@@ -28,7 +28,7 @@ func E1RapidSamplingHGraph(o Options) *metrics.Table {
 	ns := o.sizes([]int{128, 256}, []int{256, 512, 1024, 2048})
 	t.AddRows(RunRows(o, len(ns), func(cell int) [][]string {
 		n := ns[cell]
-		p := expParams(n)
+		p := expParams(o, n)
 		h := hgraph.Random(rng.New(cellSeed(o.Seed, uint64(n))), n, p.D)
 		res := sampling.RapidHGraph(o.Seed^uint64(n), h, p)
 		counts := make([]int, n)
@@ -55,7 +55,7 @@ func E2CommunicationWork(o Options) *metrics.Table {
 	ns := o.sizes([]int{128, 256}, []int{256, 512, 1024, 2048})
 	t.AddRows(RunRows(o, len(ns), func(cell int) [][]string {
 		n := ns[cell]
-		p := expParams(n)
+		p := expParams(o, n)
 		h := hgraph.Random(rng.New(cellSeed(o.Seed, uint64(n))), n, p.D)
 		res := sampling.RapidHGraph(o.Seed^uint64(n), h, p)
 		k := 2 + math.Log2(2+p.Epsilon)
@@ -74,7 +74,7 @@ func E3RapidSamplingHypercube(o Options) *metrics.Table {
 	dims := o.sizes([]int{4}, []int{2, 4, 8})
 	t.AddRows(RunRows(o, len(dims), func(cell int) [][]string {
 		dim := dims[cell]
-		p := sampling.HypercubeParams{Dim: dim, Epsilon: 1, C: 2}
+		p := sampling.HypercubeParams{Dim: dim, Epsilon: 1, C: 2, Shards: o.Shards}
 		res := sampling.RapidHypercube(o.Seed^uint64(dim), p)
 		n := 1 << dim
 		counts := make([]int, n)
@@ -103,7 +103,7 @@ func E4RapidVsWalk(o Options) *metrics.Table {
 	t.AddRows(RunRows(o, len(ns)+len(dims), func(cell int) [][]string {
 		if cell < len(ns) {
 			n := ns[cell]
-			p := expParams(n)
+			p := expParams(o, n)
 			h := hgraph.Random(rng.New(cellSeed(o.Seed, uint64(n))), n, p.D)
 			steps := p.WalkTarget()
 			base := sampling.BaselineWalkHGraph(o.Seed^uint64(n), h, 4, steps)
@@ -199,7 +199,7 @@ func E14PointerDoubling(o Options) *metrics.Table {
 	ns := o.sizes([]int{64}, []int{64, 128, 256})
 	t.AddRows(RunRows(o, len(ns), func(cell int) [][]string {
 		n := ns[cell]
-		rounds := pointerDoublingRounds(o.Seed, n)
+		rounds := pointerDoublingRounds(o.Seed, n, o.Shards)
 		return [][]string{metrics.Row(n, n/2, rounds, fmt.Sprintf("%.1f", math.Log2(float64(n/2))))}
 	}))
 	return t
@@ -209,8 +209,8 @@ func E14PointerDoubling(o Options) *metrics.Table {
 // n-cycle until node 0 knows its antipode, returning the round count.
 // The horizon ⌈log₂ n⌉+2 always suffices: the knowledge radius doubles
 // every round.
-func pointerDoublingRounds(seed uint64, n int) int {
-	net := sim.NewNetwork(sim.Config{Seed: seed})
+func pointerDoublingRounds(seed uint64, n, shards int) int {
+	net := sim.NewNetwork(sim.Config{Seed: seed, Shards: shards})
 	type intro struct{ IDs []int32 }
 	found := make([]int, n)
 	antipode := int32(n / 2)

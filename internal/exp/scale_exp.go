@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"fmt"
+
+	"overlaynet/internal/metrics"
+	"overlaynet/internal/sim"
+)
+
+// S1ScaleFlood exercises one simulated network at the sizes the
+// ROADMAP's production-scale goal calls for (related reproductions of
+// dynamic overlays evaluate at hundreds of thousands of nodes). Every
+// node picks fanout random known targets per round, the regime the
+// kernel's dense-slot layout and sharded delivery are built for. All
+// reported columns are deterministic at a fixed seed — messages and
+// bits come from the simulator's work accounting, never from wall time
+// — so the table is byte-identical for any Procs and Shards setting;
+// Options.Shards only changes how fast the rounds run on a multi-core
+// machine.
+func S1ScaleFlood(o Options) *metrics.Table {
+	t := metrics.NewTable(
+		"S1  Scale — flood rounds on a single network (fanout=4)",
+		"n", "rounds", "messages/round", "total Mbits", "max bits/node-round")
+	ns := o.sizes([]int{1000, 10000}, []int{10000, 100000})
+	const fanout, rounds = 4, 8
+	// One network at a time: the cells here are memory-heavy (n
+	// goroutines each), and intra-round sharding is the axis under
+	// test, so the sweep runs serially regardless of Procs.
+	rows := make([][]string, 0, len(ns))
+	for _, n := range ns {
+		net := sim.NewNetwork(sim.Config{Seed: cellSeed(o.Seed, uint64(n)), Shards: o.Shards})
+		idBits := sim.IDBits(n)
+		for v := 0; v < n; v++ {
+			v := v
+			net.Spawn(sim.NodeID(v+1), func(ctx *sim.Ctx) {
+				r := ctx.RNG()
+				for {
+					for j := 0; j < fanout; j++ {
+						ctx.Send(sim.NodeID(r.Intn(n)+1), nil, idBits)
+					}
+					ctx.NextRound()
+				}
+			})
+		}
+		net.Run(rounds)
+		net.Shutdown()
+		var msgs int
+		var bits, maxBits int64
+		for _, w := range net.Work() {
+			msgs += w.Messages
+			bits += w.TotalBits
+			if w.MaxNodeBits > maxBits {
+				maxBits = w.MaxNodeBits
+			}
+		}
+		rows = append(rows, metrics.Row(n, rounds, msgs/rounds,
+			fmt.Sprintf("%.2f", float64(bits)/1e6), maxBits))
+	}
+	t.AddRows(rows)
+	if o.Progress != nil {
+		o.Progress.AddCells(o.Exp, len(ns))
+		for range ns {
+			o.Progress.CellDone(o.Exp)
+		}
+	}
+	return t
+}

@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"testing"
+
+	"overlaynet/internal/metrics"
+	"overlaynet/internal/trace"
+)
+
+// TestTablesByteIdenticalAcrossShards is the experiment-level half of
+// the sharding determinism guarantee: rendered tables must be
+// byte-for-byte identical for Shards=1 and Shards=8, with and without
+// telemetry attached. The drivers chosen cover the three ways
+// experiments reach the simulator — the sampling primitives (E1), the
+// reconfiguration network (E6), a raw-kernel protocol (E14) — plus the
+// scale sweep whose whole point is the sharded kernel (S1).
+func TestTablesByteIdenticalAcrossShards(t *testing.T) {
+	drivers := map[string]func(Options) *metrics.Table{
+		"E1":  E1RapidSamplingHGraph,
+		"E6":  E6ReconfigChurn,
+		"E14": E14PointerDoubling,
+		"S1":  S1ScaleFlood,
+	}
+	for name, run := range drivers {
+		for _, traced := range []bool{false, true} {
+			render := func(shards int) string {
+				o := Options{Seed: 42, Quick: true, Shards: shards}
+				if traced {
+					o.Trace = trace.New()
+				}
+				return run(o).String()
+			}
+			base := render(1)
+			if got := render(8); got != base {
+				t.Errorf("%s (traced=%v): table differs between Shards=1 and Shards=8:\n--- Shards=1\n%s\n--- Shards=8\n%s",
+					name, traced, base, got)
+			}
+		}
+	}
+}

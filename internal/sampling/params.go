@@ -30,6 +30,10 @@ type HGraphParams struct {
 	// sampling on arbitrary regular graphs (RapidRegular), where the
 	// ℍ-graph mixing bound of Lemma 2 does not apply.
 	WalkOverride int
+	// Shards is passed to sim.Config.Shards: the number of workers the
+	// simulator uses inside each round. Any value yields identical
+	// samples (the kernel is deterministic for every shard count).
+	Shards int
 }
 
 // DefaultHGraphParams returns the parameters used throughout the
@@ -115,6 +119,7 @@ type HypercubeParams struct {
 	Dim     int     // hypercube dimension d (power of two)
 	Epsilon float64 // 0 < ε ≤ 1
 	C       float64 // c ≥ β
+	Shards  int     // sim.Config.Shards; results identical for any value
 }
 
 // DefaultHypercubeParams returns ε = 1, c = 1.

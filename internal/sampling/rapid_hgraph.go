@@ -40,7 +40,7 @@ func RapidHGraph(seed uint64, h *hgraph.HGraph, p HGraphParams) *RapidResult {
 		panic(err)
 	}
 	n := h.N()
-	net := sim.NewNetwork(sim.Config{Seed: seed})
+	net := sim.NewNetwork(sim.Config{Seed: seed, Shards: p.Shards})
 	res := &RapidResult{Samples: make([][]int, n), Rounds: p.Rounds()}
 	failures := make([]int, n)
 

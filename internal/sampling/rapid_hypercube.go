@@ -33,7 +33,7 @@ func RapidHypercube(seed uint64, p HypercubeParams) *RapidResult {
 	}
 	d := p.Dim
 	n := hypercube.N(d)
-	net := sim.NewNetwork(sim.Config{Seed: seed})
+	net := sim.NewNetwork(sim.Config{Seed: seed, Shards: p.Shards})
 	res := &RapidResult{Samples: make([][]int, n), Rounds: p.Rounds()}
 	failures := make([]int, n)
 	idBits := sim.IDBits(n)

@@ -17,6 +17,7 @@ type KAryParams struct {
 	K, Dim  int
 	Epsilon float64 // 0 < ε ≤ 1
 	C       float64 // c ≥ β
+	Shards  int     // sim.Config.Shards; results identical for any value
 }
 
 // DefaultKAryParams returns ε = 1, c = 1.
@@ -81,7 +82,7 @@ func RapidKAry(seed uint64, p KAryParams) *RapidResult {
 	n := cube.N()
 	d := p.Dim
 	T := p.T()
-	net := sim.NewNetwork(sim.Config{Seed: seed})
+	net := sim.NewNetwork(sim.Config{Seed: seed, Shards: p.Shards})
 	res := &RapidResult{Samples: make([][]int, n), Rounds: p.Rounds()}
 	failures := make([]int, n)
 	idBits := sim.IDBits(n)

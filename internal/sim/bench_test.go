@@ -1,14 +1,21 @@
 package sim
 
 import (
+	"bytes"
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 )
 
 // floodNet builds a network of n nodes that each send fanout messages
 // per round to deterministic targets, forever.
 func floodNet(n, fanout int) *Network {
-	net := NewNetwork(Config{Seed: 1})
+	return floodNetShards(n, fanout, 0)
+}
+
+func floodNetShards(n, fanout, shards int) *Network {
+	net := NewNetwork(Config{Seed: 1, Shards: shards})
 	for i := 0; i < n; i++ {
 		idx := i
 		payload := any(idx) // pre-boxed so the benchmark measures the kernel
@@ -39,8 +46,10 @@ func BenchmarkStep(b *testing.B) {
 	}{
 		{"flood/n=1k", 1000, 4, false},
 		{"flood/n=10k", 10000, 4, false},
+		{"flood/n=100k", 100000, 4, false},
 		{"sparse/n=1k", 1000, 4, true},
 		{"sparse/n=10k", 10000, 4, true},
+		{"sparse/n=100k", 100000, 4, true},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			var net *Network
@@ -72,8 +81,62 @@ func BenchmarkStep(b *testing.B) {
 			}
 			b.StopTimer()
 			net.Shutdown()
+			if bc.n >= 100000 {
+				if mb := readPeakRSSMB(); mb > 0 {
+					b.ReportMetric(mb, "peakRSS-MB")
+				}
+			}
 		})
 	}
+}
+
+// BenchmarkStepSharded measures the sharded intra-round delivery path
+// on the n=100k flood workload across worker counts. Results are
+// byte-identical for every shard count (pinned by
+// TestWorkLogByteIdentityAcrossShards); only wall time may differ, and
+// only on multi-core machines — on a single core the extra outbox scans
+// make sharding a net loss, which is why Shards defaults to 1.
+func BenchmarkStepSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("flood/n=100k/shards=%d", shards), func(b *testing.B) {
+			net := floodNetShards(100000, 4, shards)
+			net.DisableWorkLog()
+			net.Run(2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Step()
+			}
+			b.StopTimer()
+			net.Shutdown()
+		})
+	}
+}
+
+// readPeakRSSMB returns the process's peak resident set size in MiB
+// from /proc/self/status (VmHWM), or 0 where that is unavailable. It is
+// a process-wide high-water mark — a coarse footprint note for
+// BENCH_SIM.json, not a per-benchmark measurement.
+func readPeakRSSMB() float64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		fields := bytes.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(string(fields[1]), 64)
+		if err != nil {
+			return 0
+		}
+		return kb / 1024
+	}
+	return 0
 }
 
 // BenchmarkStepAllocs isolates the allocation behavior of one steady

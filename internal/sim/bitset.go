@@ -1,0 +1,41 @@
+package sim
+
+// bitset is a fixed-layout bit vector indexed by dense node slot. The
+// kernel keeps the per-round DoS-blocked set and the kill-request set
+// as bitsets so the hot path tests membership with a shift and a mask
+// instead of a map probe.
+//
+// Concurrency contract: all writes happen on the driver goroutine
+// between rounds (SetBlocked, Kill, slot reap); reads from node
+// goroutines and shard workers are ordered after those writes by the
+// resume-channel and worker-wakeup edges, so no atomics are needed.
+type bitset []uint64
+
+// test reports whether bit i is set. i must be < the grown capacity.
+func (b bitset) test(i int32) bool {
+	return b[uint32(i)>>6]&(1<<(uint32(i)&63)) != 0
+}
+
+// set sets bit i.
+func (b bitset) set(i int32) {
+	b[uint32(i)>>6] |= 1 << (uint32(i) & 63)
+}
+
+// unset clears bit i.
+func (b bitset) unset(i int32) {
+	b[uint32(i)>>6] &^= 1 << (uint32(i) & 63)
+}
+
+// zero clears every bit, keeping capacity.
+func (b bitset) zero() {
+	clear(b)
+}
+
+// growBitset returns b extended (zero-filled) to hold at least n bits.
+func growBitset(b bitset, n int) bitset {
+	words := (n + 63) / 64
+	for len(b) < words {
+		b = append(b, 0)
+	}
+	return b
+}

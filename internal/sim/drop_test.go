@@ -5,6 +5,13 @@ import (
 	"testing"
 )
 
+// stateOf returns the dense slot state backing a live node — a test
+// helper for the white-box buffer assertions. The pointer is only valid
+// until the next Spawn (the node table may grow).
+func (n *Network) stateOf(id NodeID) *nodeState {
+	return &n.slots[n.nodes[id]]
+}
+
 // TestDroppedMessagesDoNotLeak is the regression test for the old
 // leftover-mailbox hazard: messages addressed to blocked or departed
 // nodes must be dropped promptly — the receiver-side buffers are
@@ -39,7 +46,7 @@ func TestDroppedMessagesDoNotLeak(t *testing.T) {
 	// inbox must be dropped, not deferred.
 	net.SetBlocked(map[NodeID]bool{2: true})
 	net.Step()
-	st := net.nodes[2]
+	st := net.stateOf(2)
 	for _, box := range st.inbox {
 		if len(box) != 0 {
 			t.Fatalf("blocked node kept %d pending messages", len(box))
@@ -114,7 +121,7 @@ func TestInboxBufferReuse(t *testing.T) {
 		}
 	})
 	net.Run(3) // populate both buffers
-	st := net.nodes[2]
+	st := net.stateOf(2)
 	c0, c1 := cap(st.inbox[0]), cap(st.inbox[1])
 	if c0 == 0 || c1 == 0 {
 		t.Fatalf("expected both inbox buffers populated, caps %d/%d", c0, c1)

@@ -12,6 +12,16 @@
 // in canonical (sender spawn order, send sequence) order, so concurrent
 // execution is exactly reproducible.
 //
+// Layout: every live node occupies a dense int32 slot in a slice-backed
+// node table; the NodeID→slot map is consulted only at the spawn/kill
+// boundary and once per Send (with a per-node cache in front), so the
+// round loop itself performs zero map operations. The per-round
+// DoS-blocked set and the kill-request set are bitsets indexed by slot.
+// With Config.Shards > 1 the receive and send/delivery steps run on a
+// persistent worker pool, partitioned so that results — tables, work
+// logs, and tracer accounting — are byte-identical for every shard
+// count (see shard.go for the argument).
+//
 // DoS semantics follow the paper: a message sent from v to w at round i
 // is received iff v is non-blocked in round i and w is non-blocked in
 // rounds i and i+1. A blocked node still performs local computation but
@@ -20,6 +30,8 @@ package sim
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"sync"
 
 	"overlaynet/internal/rng"
@@ -39,7 +51,8 @@ type Message struct {
 	// (the paper counts bits sent plus bits received per round).
 	Bits int
 
-	seq uint64 // per-sender send sequence, for canonical inbox order
+	seq  uint64 // per-sender send sequence, for canonical inbox order
+	slot int32  // receiver's dense slot, resolved at Send time; -1 = no such node
 }
 
 // Proc is a node protocol. It is invoked in the node's first round; it
@@ -52,7 +65,24 @@ type Proc func(ctx *Ctx)
 type Config struct {
 	// Seed determines all randomness in the network.
 	Seed uint64
+	// Shards is the number of workers that partition the intra-round
+	// receive and send/delivery steps. 0 consults the OVERLAYNET_SHARDS
+	// environment variable (useful to force the sharded path in CI),
+	// falling back to 1 (fully serial). Any value produces byte-
+	// identical results at a fixed seed; values > 1 only pay off on
+	// multi-core machines and large networks.
+	Shards int
 }
+
+// envShards reads the OVERLAYNET_SHARDS default once.
+var envShards = sync.OnceValue(func() int {
+	v, _ := strconv.Atoi(os.Getenv("OVERLAYNET_SHARDS"))
+	return v
+})
+
+// maxShards bounds the worker pool; the delivery step scans every
+// outbox once per shard, so very high counts cost more than they win.
+const maxShards = 64
 
 // RoundWork summarizes the communication work of one round.
 type RoundWork struct {
@@ -64,17 +94,19 @@ type RoundWork struct {
 
 type haltSignal struct{}
 
-// nodeState holds the network's per-node bookkeeping. The two inbox
-// buffers are reused round after round: while the node consumes one,
-// the send step fills the other, so the steady state allocates nothing.
+// nodeState is one dense slot of the node table. The two inbox buffers
+// are reused round after round: while the node consumes one, the send
+// step fills the other, so the steady state allocates nothing. Slots
+// are recycled through a free list when nodes depart; their buffers
+// (and resume channel) stay with the slot for the next occupant.
 type nodeState struct {
 	id     NodeID
 	resume chan []Message
 	outbox []Message
 	inbox  [2][]Message // double-buffered receive queues
 	fill   uint8        // inbox index accepting the current round's sends
+	live   bool         // slot is occupied
 	halted bool         // proc returned or was killed; set before done signal
-	halt   bool         // request the node to stop at its next barrier
 	seq    uint64
 	bits   int64 // sent+received bits in the current round
 }
@@ -85,35 +117,66 @@ type nodeState struct {
 type Network struct {
 	root  *rng.RNG
 	round int
-	nodes map[NodeID]*nodeState
-	order []*nodeState // spawn order; determines scheduling
+	slots []nodeState      // dense node table, indexed by slot
+	free  []int32          // recycled slots (LIFO)
+	nodes map[NodeID]int32 // id → slot; touched only at Spawn/Kill/Send boundaries
+	order []int32          // live slots in spawn order; determines scheduling
 
-	pendingBlocked map[NodeID]bool // applies to the next Step
-	blockedNow     map[NodeID]bool // blocked set of the round in progress
+	pendingBlocked bitset // applies to the next Step (built by SetBlocked)
+	pendingAny     bool
+	blocked        bitset // blocked set of the round in progress
+	blockedAny     bool
+	killReq        bitset // Kill/Shutdown requests, indexed by slot
 
 	barrier sync.WaitGroup // counts nodes still computing this round
 
 	work       []RoundWork
 	recordWork bool
 
+	// Sharded execution (see shard.go). acc holds one accumulator per
+	// shard; pool is the persistent worker pool, started lazily.
+	shards int
+	acc    []shardAcc
+	pool   *shardPool
+
 	// tracer, when non-nil, receives lifecycle events and drop-reason
 	// accounting (see trace.go). The scratch slices collect the
 	// per-node inbox-size and bits samples for RoundStats; they are
 	// reused round after round so tracing adds no steady-state
-	// allocations beyond its first round.
+	// allocations beyond its first round. shardObs caches whether the
+	// tracer also wants per-shard timing.
 	tracer     Tracer
+	shardObs   ShardObserver
 	traceInbox []int64
 	traceBits  []int64
 }
 
 // NewNetwork returns an empty network.
 func NewNetwork(cfg Config) *Network {
-	return &Network{
-		root:       rng.New(cfg.Seed),
-		nodes:      make(map[NodeID]*nodeState),
-		recordWork: true,
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = envShards()
 	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > maxShards {
+		shards = maxShards
+	}
+	n := &Network{
+		root:       rng.New(cfg.Seed),
+		nodes:      make(map[NodeID]int32),
+		recordWork: true,
+		shards:     shards,
+	}
+	if shards > 1 {
+		n.acc = make([]shardAcc, shards)
+	}
+	return n
 }
+
+// Shards returns the configured worker count for the intra-round steps.
+func (n *Network) Shards() int { return n.shards }
 
 // DisableWorkLog turns off per-round work summaries (useful for very
 // long runs where the slice would grow without bound).
@@ -134,8 +197,8 @@ func (n *Network) NumAlive() int { return len(n.order) }
 // Alive returns the ids of live nodes in spawn order.
 func (n *Network) Alive() []NodeID {
 	ids := make([]NodeID, len(n.order))
-	for i, st := range n.order {
-		ids[i] = st.id
+	for i, s := range n.order {
+		ids[i] = n.slots[s].id
 	}
 	return ids
 }
@@ -149,6 +212,46 @@ func (n *Network) Exists(id NodeID) bool {
 // Work returns the per-round communication-work log.
 func (n *Network) Work() []RoundWork { return n.work }
 
+// allocSlot pops a recycled slot or extends the node table (growing the
+// slot-indexed bitsets alongside it).
+func (n *Network) allocSlot() int32 {
+	if k := len(n.free); k > 0 {
+		s := n.free[k-1]
+		n.free = n.free[:k-1]
+		return s
+	}
+	s := int32(len(n.slots))
+	n.slots = append(n.slots, nodeState{})
+	n.blocked = growBitset(n.blocked, len(n.slots))
+	n.pendingBlocked = growBitset(n.pendingBlocked, len(n.slots))
+	n.killReq = growBitset(n.killReq, len(n.slots))
+	return s
+}
+
+// freeSlot returns a departed node's slot to the free list. Buffer
+// capacity and the resume channel stay with the slot for reuse, but
+// message contents are zeroed so payload references are released and
+// all slot-indexed bits are cleared for the next occupant.
+func (n *Network) freeSlot(s int32) {
+	st := &n.slots[s]
+	for k := range st.inbox {
+		clear(st.inbox[k])
+		st.inbox[k] = st.inbox[k][:0]
+	}
+	clear(st.outbox)
+	st.outbox = st.outbox[:0]
+	st.id = 0
+	st.live = false
+	st.halted = false
+	st.fill = 0
+	st.seq = 0
+	st.bits = 0
+	n.killReq.unset(s)
+	n.blocked.unset(s)
+	n.pendingBlocked.unset(s)
+	n.free = append(n.free, s)
+}
+
 // Spawn adds a node running proc. The node takes part starting with the
 // next Step. Ids must be unique across the lifetime of the network
 // (the paper assumes every id is used at most once).
@@ -156,16 +259,19 @@ func (n *Network) Spawn(id NodeID, proc Proc) {
 	if _, ok := n.nodes[id]; ok {
 		panic(fmt.Sprintf("sim: duplicate node id %d", id))
 	}
-	st := &nodeState{
-		id:     id,
-		resume: make(chan []Message, 1),
+	s := n.allocSlot()
+	st := &n.slots[s]
+	st.id = id
+	st.live = true
+	if st.resume == nil {
+		st.resume = make(chan []Message, 1)
 	}
-	n.nodes[id] = st
+	n.nodes[id] = s
 	if n.tracer != nil {
 		n.tracer.NodeSpawned(n.round, id)
 	}
-	n.order = append(n.order, st)
-	ctx := &Ctx{net: n, st: st, rng: n.root.Split(uint64(id))}
+	n.order = append(n.order, s)
+	ctx := &Ctx{net: n, slot: s, resume: st.resume, rng: n.root.Split(uint64(id))}
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -173,11 +279,14 @@ func (n *Network) Spawn(id NodeID, proc Proc) {
 					panic(r)
 				}
 			}
-			st.halted = true
+			// Re-resolve the slot pointer: the node table may have
+			// grown since spawn, and the resume receives above order
+			// this load after any such growth.
+			n.slots[s].halted = true
 			n.barrier.Done()
 		}()
-		first := <-st.resume
-		if st.halt {
+		first := <-ctx.resume
+		if n.killReq.test(s) {
 			panic(haltSignal{})
 		}
 		ctx.pendingFirst = first
@@ -186,127 +295,76 @@ func (n *Network) Spawn(id NodeID, proc Proc) {
 }
 
 // Kill forces the node to stop at its next round barrier (a crash: its
-// current-round sends still go out, then it vanishes).
+// current-round sends still go out, then it vanishes at the end of the
+// round — messages addressed to it in its final round are absorbed, not
+// counted as drops, exactly as for a node whose proc returns).
 func (n *Network) Kill(id NodeID) {
-	if st, ok := n.nodes[id]; ok {
-		st.halt = true
+	if s, ok := n.nodes[id]; ok {
+		n.killReq.set(s)
 		if n.tracer != nil {
 			n.tracer.NodeKilled(n.round, id)
 		}
 	}
 }
 
-// SetBlocked sets the DoS-blocked node set for the next Step only.
+// SetBlocked sets the DoS-blocked node set for the next Step only. The
+// set is copied into an internal bitset at call time: later mutations
+// of the map do not affect the round, and ids that do not name a live
+// node at call time are ignored.
 func (n *Network) SetBlocked(blocked map[NodeID]bool) {
-	n.pendingBlocked = blocked
+	if n.pendingAny {
+		n.pendingBlocked.zero()
+		n.pendingAny = false
+	}
+	for id, b := range blocked {
+		if !b {
+			continue
+		}
+		if s, ok := n.nodes[id]; ok {
+			n.pendingBlocked.set(s)
+			n.pendingAny = true
+		}
+	}
 }
 
 // Step executes one synchronous round: deliver, compute, collect sends.
 func (n *Network) Step() {
-	blocked := n.pendingBlocked
-	n.pendingBlocked = nil
-	n.blockedNow = blocked
+	n.blocked, n.pendingBlocked = n.pendingBlocked, n.blocked
+	n.blockedAny, n.pendingAny = n.pendingAny, false
 	n.round++
 
 	aliveAtStart, nblocked := len(n.order), 0
 	if n.tracer != nil {
-		nblocked = n.traceRoundStart(blocked)
+		nblocked = n.traceRoundStart()
 	}
 
-	// Receive step: hand each node the inbox filled during the previous
-	// send step (empty if blocked in this round — the "receiver
-	// non-blocked in round i+1" half of the rule; the other half was
-	// enforced at send time). The buffer the node finished with last
-	// round is recycled to collect this round's sends; a parked node
-	// cannot touch it, and the barrier orders the node's reads before
-	// our writes.
-	n.barrier.Add(len(n.order))
-	for _, st := range n.order {
-		var box []Message
-		if blocked[st.id] {
-			// Drop the pending inbox without delivering it; zero the
-			// entries so payload references are released.
-			pend := st.inbox[st.fill]
-			if n.tracer != nil {
-				for i := range pend {
-					n.tracer.MessageDropped(n.round, DropBlockedReceiverDeliveryRound,
-						pend[i].From, st.id, pend[i].Bits)
-				}
-			}
-			clear(pend)
-			st.inbox[st.fill] = pend[:0]
-		} else {
-			box = st.inbox[st.fill]
-			st.fill ^= 1
-			next := st.inbox[st.fill]
-			clear(next)
-			st.inbox[st.fill] = next[:0]
-		}
-		st.bits = 0
-		for i := range box {
-			st.bits += int64(box[i].Bits)
-		}
-		if n.tracer != nil {
-			n.traceInbox = append(n.traceInbox, int64(len(box)))
-		}
-		st.resume <- box
-	}
-
-	// Compute step: wait for every resumed node to finish its round.
-	n.barrier.Wait()
-
-	// Send step: drain outboxes in deterministic spawn order, appending
-	// each message to its receiver's fill buffer. Per-sender outboxes
-	// are already in send order, so every inbox ends up in canonical
-	// (sender spawn order, send sequence) order with no sorting pass.
-	messages := 0
+	var messages int
 	var totalBits, maxBits int64
-	alive := n.order[:0]
-	for _, st := range n.order {
-		out := st.outbox
-		if !blocked[st.id] {
-			for i := range out {
-				m := &out[i]
-				st.bits += int64(m.Bits)
-				messages++
-				// Receiver must exist and be non-blocked in the send
-				// round; the i+1 half is checked at delivery.
-				if rcv, ok := n.nodes[m.To]; ok && !blocked[m.To] {
-					rcv.inbox[rcv.fill] = append(rcv.inbox[rcv.fill], *m)
-				} else if n.tracer != nil {
-					reason := DropBlockedReceiverSendRound
-					if !ok {
-						reason = DropDeadReceiver
-					}
-					n.tracer.MessageDropped(n.round, reason, m.From, m.To, m.Bits)
-				}
-			}
-		} else if n.tracer != nil {
-			for i := range out {
-				n.tracer.MessageDropped(n.round, DropBlockedSender, out[i].From, out[i].To, out[i].Bits)
-			}
-		}
-		clear(out)
-		st.outbox = out[:0]
-		totalBits += st.bits
-		if st.bits > maxBits {
-			maxBits = st.bits
-		}
-		if n.tracer != nil {
-			n.traceBits = append(n.traceBits, st.bits)
-		}
-		if st.halted {
-			delete(n.nodes, st.id)
-		} else {
-			alive = append(alive, st)
-		}
-	}
-	// Zero out the tail so halted node states can be collected.
-	for i := len(alive); i < len(n.order); i++ {
-		n.order[i] = nil
-	}
-	n.order = alive
+	var anyHalted bool
 
+	n.barrier.Add(len(n.order))
+	if n.shards > 1 {
+		messages, totalBits, maxBits, anyHalted = n.stepSharded()
+	} else {
+		// Receive step: hand each node the inbox filled during the
+		// previous send step (empty if blocked in this round — the
+		// "receiver non-blocked in round i+1" half of the rule; the
+		// other half was enforced at send time).
+		n.receiveRange(0, len(n.order), nil)
+		// Compute step: wait for every resumed node to finish its round.
+		n.barrier.Wait()
+		// Send step: drain outboxes in deterministic spawn order,
+		// appending each message to its receiver's fill buffer.
+		messages, totalBits, maxBits, anyHalted = n.sendRange(0, len(n.order), 0, int32(len(n.slots)), nil)
+	}
+
+	if anyHalted {
+		n.reap()
+	}
+	if n.blockedAny {
+		n.blocked.zero()
+		n.blockedAny = false
+	}
 	if n.recordWork {
 		n.work = append(n.work, RoundWork{
 			Round:       n.round,
@@ -320,6 +378,174 @@ func (n *Network) Step() {
 	}
 }
 
+// receiveRange runs the receive step for spawn-order positions
+// [plo, phi): it clears the node's stale outbox from the previous
+// round, hands over (or, for blocked receivers, drops) the pending
+// inbox, and resumes the node's goroutine. acc != nil buffers tracer
+// events and samples per shard instead of calling the tracer directly
+// (workers must not touch it concurrently); they are replayed in
+// canonical order afterwards.
+func (n *Network) receiveRange(plo, phi int, acc *shardAcc) {
+	tr := n.tracer
+	slots := n.slots
+	blocked, anyB := n.blocked, n.blockedAny
+	for p := plo; p < phi; p++ {
+		s := n.order[p]
+		st := &slots[s]
+		if out := st.outbox; len(out) != 0 {
+			// Delivered last round by the send step; zero the entries so
+			// payload references are released, keep the capacity.
+			clear(out)
+			st.outbox = out[:0]
+		}
+		var box []Message
+		if anyB && blocked.test(s) {
+			// Drop the pending inbox without delivering it.
+			pend := st.inbox[st.fill]
+			if tr != nil {
+				if acc != nil {
+					for i := range pend {
+						acc.recvDrops = append(acc.recvDrops, dropEvent{
+							from: pend[i].From, to: st.id, bits: pend[i].Bits,
+							reason: DropBlockedReceiverDeliveryRound,
+						})
+					}
+				} else {
+					for i := range pend {
+						tr.MessageDropped(n.round, DropBlockedReceiverDeliveryRound,
+							pend[i].From, st.id, pend[i].Bits)
+					}
+				}
+			}
+			clear(pend)
+			st.inbox[st.fill] = pend[:0]
+		} else {
+			box = st.inbox[st.fill]
+			st.fill ^= 1
+			next := st.inbox[st.fill]
+			clear(next)
+			st.inbox[st.fill] = next[:0]
+		}
+		var bits int64
+		for i := range box {
+			bits += int64(box[i].Bits)
+		}
+		st.bits = bits
+		if tr != nil {
+			if acc != nil {
+				acc.inboxSamples = append(acc.inboxSamples, int64(len(box)))
+			} else {
+				n.traceInbox = append(n.traceInbox, int64(len(box)))
+			}
+		}
+		st.resume <- box
+	}
+}
+
+// sendRange runs the send step. It scans every sender's outbox in spawn
+// order and (a) appends messages whose receiver slot falls in
+// [dlo, dhi) to that receiver's fill buffer — per-sender outboxes are
+// already in send order, so every inbox ends up in canonical (sender
+// spawn order, send sequence) order with no sorting pass — and (b) for
+// sender positions in [plo, phi), performs the round's accounting:
+// message and bit totals, drop events, and departure detection. In
+// serial mode both ranges cover everything; under sharding each worker
+// owns a contiguous receiver-slot range and a contiguous sender-
+// position range, so the union of the shards reproduces the serial
+// round exactly.
+func (n *Network) sendRange(plo, phi int, dlo, dhi int32, acc *shardAcc) (messages int, totalBits, maxBits int64, anyHalted bool) {
+	tr := n.tracer
+	slots := n.slots
+	blocked, anyB := n.blocked, n.blockedAny
+	for p, norder := 0, len(n.order); p < norder; p++ {
+		s := n.order[p]
+		st := &slots[s]
+		mine := p >= plo && p < phi
+		out := st.outbox
+		if anyB && blocked.test(s) {
+			// Blocked sender: the whole outbox is discarded.
+			if mine && tr != nil {
+				for i := range out {
+					if acc != nil {
+						acc.sendDrops = append(acc.sendDrops, dropEvent{
+							from: out[i].From, to: out[i].To, bits: out[i].Bits,
+							reason: DropBlockedSender,
+						})
+					} else {
+						tr.MessageDropped(n.round, DropBlockedSender, out[i].From, out[i].To, out[i].Bits)
+					}
+				}
+			}
+		} else {
+			for i := range out {
+				m := &out[i]
+				t := m.slot
+				// Receiver must exist (slot resolved at send time) and be
+				// non-blocked in the send round; the i+1 half of the rule
+				// is checked at delivery.
+				if t >= 0 && !(anyB && blocked.test(t)) {
+					if t >= dlo && t < dhi {
+						rcv := &slots[t]
+						rcv.inbox[rcv.fill] = append(rcv.inbox[rcv.fill], *m)
+					}
+				} else if mine && tr != nil {
+					reason := DropBlockedReceiverSendRound
+					if t < 0 {
+						reason = DropDeadReceiver
+					}
+					if acc != nil {
+						acc.sendDrops = append(acc.sendDrops, dropEvent{
+							from: m.From, to: m.To, bits: m.Bits, reason: reason,
+						})
+					} else {
+						tr.MessageDropped(n.round, reason, m.From, m.To, m.Bits)
+					}
+				}
+				if mine {
+					st.bits += int64(m.Bits)
+				}
+			}
+			if mine {
+				messages += len(out)
+			}
+		}
+		if mine {
+			totalBits += st.bits
+			if st.bits > maxBits {
+				maxBits = st.bits
+			}
+			if tr != nil {
+				if acc != nil {
+					acc.bitsSamples = append(acc.bitsSamples, st.bits)
+				} else {
+					n.traceBits = append(n.traceBits, st.bits)
+				}
+			}
+			if st.halted {
+				anyHalted = true
+			}
+		}
+	}
+	return messages, totalBits, maxBits, anyHalted
+}
+
+// reap removes departed nodes from the spawn order and recycles their
+// slots. It runs serially at the end of a round, in spawn order, so
+// slot reuse is identical for every shard count.
+func (n *Network) reap() {
+	alive := n.order[:0]
+	for _, s := range n.order {
+		st := &n.slots[s]
+		if st.halted {
+			delete(n.nodes, st.id)
+			n.freeSlot(s)
+		} else {
+			alive = append(alive, s)
+		}
+	}
+	n.order = alive
+}
+
 // Run executes the given number of rounds.
 func (n *Network) Run(rounds int) {
 	for i := 0; i < rounds; i++ {
@@ -331,32 +557,77 @@ func (n *Network) Run(rounds int) {
 // pure teardown: no round runs, so Round() and the work log are exactly
 // as the last Step left them (no spurious RoundWork entry). Every live
 // node is parked at a resume point (its initial receive or a NextRound
-// barrier), so waking it with the halt flag set unwinds it immediately.
+// barrier), so waking it with its kill bit set unwinds it immediately.
+// The shard worker pool, if started, is stopped as well.
 func (n *Network) Shutdown() {
+	// Set every kill bit before waking anyone: a woken node re-reads
+	// the shared bitset, so all writes must precede the first resume.
+	for _, s := range n.order {
+		n.killReq.set(s)
+	}
 	n.barrier.Add(len(n.order))
-	for _, st := range n.order {
-		st.halt = true
-		st.resume <- nil
+	for _, s := range n.order {
+		n.slots[s].resume <- nil
 	}
 	n.barrier.Wait()
-	for i, st := range n.order {
+	for _, s := range n.order {
+		st := &n.slots[s]
 		delete(n.nodes, st.id)
-		n.order[i] = nil
+		n.freeSlot(s)
 	}
 	n.order = n.order[:0]
+	n.stopPool()
 }
 
 // Ctx is a node's handle to the network. It must only be used from the
 // node's own goroutine.
 type Ctx struct {
 	net          *Network
-	st           *nodeState
+	slot         int32
+	resume       chan []Message
 	rng          *rng.RNG
 	pendingFirst []Message
+	// lookup is a tiny direct-mapped NodeID→slot cache in front of the
+	// network's id map: protocols overwhelmingly re-send to the same
+	// few neighbors, and a hit avoids the shared map probe entirely.
+	// Hits are validated against the slot's current occupant, so a
+	// stale entry (the receiver departed and its slot was recycled)
+	// falls through to the map.
+	lookup [lookupEntries]lookupEntry
+}
+
+const lookupEntries = 8
+
+type lookupEntry struct {
+	id   NodeID
+	slot int32
+	ok   bool
+}
+
+// resolve maps a receiver id to its dense slot, or -1 if no such node
+// is currently alive. Called from the node's goroutine during the
+// compute step; the id map is never mutated while nodes compute, so
+// the concurrent reads are safe.
+func (c *Ctx) resolve(to NodeID) int32 {
+	e := &c.lookup[uint64(to)&(lookupEntries-1)]
+	if e.ok && e.id == to {
+		s := e.slot
+		st := &c.net.slots[s]
+		if st.live && st.id == to {
+			return s
+		}
+	}
+	if s, ok := c.net.nodes[to]; ok {
+		*e = lookupEntry{id: to, slot: s, ok: true}
+		return s
+	}
+	// Negative results are not cached: the id may be spawned later,
+	// and dead ids are never reused, so a miss stays correct.
+	return -1
 }
 
 // ID returns the node's identifier.
-func (c *Ctx) ID() NodeID { return c.st.id }
+func (c *Ctx) ID() NodeID { return c.net.slots[c.slot].id }
 
 // Round returns the round currently being executed.
 func (c *Ctx) Round() int { return c.net.round }
@@ -372,13 +643,15 @@ func (c *Ctx) FirstInbox() []Message { return c.pendingFirst }
 // Send queues a message for delivery in the next round. bits is the
 // message size for communication-work accounting.
 func (c *Ctx) Send(to NodeID, payload any, bits int) {
-	c.st.seq++
-	c.st.outbox = append(c.st.outbox, Message{
-		From:    c.st.id,
+	st := &c.net.slots[c.slot]
+	st.seq++
+	st.outbox = append(st.outbox, Message{
+		From:    st.id,
 		To:      to,
 		Payload: payload,
 		Bits:    bits,
-		seq:     c.st.seq,
+		seq:     st.seq,
+		slot:    c.resolve(to),
 	})
 }
 
@@ -388,10 +661,9 @@ func (c *Ctx) Send(to NodeID, payload any, bits int) {
 // network recycles inbox buffers, so protocols must copy any messages
 // they keep across rounds.
 func (c *Ctx) NextRound() []Message {
-	st := c.st
 	c.net.barrier.Done()
-	inbox := <-st.resume
-	if st.halt {
+	inbox := <-c.resume
+	if c.net.killReq.test(c.slot) {
 		panic(haltSignal{})
 	}
 	return inbox

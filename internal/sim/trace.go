@@ -93,26 +93,43 @@ type Tracer interface {
 	MessageDropped(round int, reason DropReason, from, to NodeID, bits int)
 }
 
+// ShardObserver is an optional extension a Tracer can implement to
+// receive per-shard phase wall times when the network runs with
+// Shards > 1 (it fires only on the sharded path). The driver calls it
+// once per worker per round, in worker order, after the send step; the
+// times are microseconds spent in that worker's receive and send
+// phases. Unlike every other hook, these values are wall-clock
+// measurements and therefore not deterministic — tools must keep them
+// out of any byte-compared output.
+type ShardObserver interface {
+	ShardRound(round, shard int, recvUS, sendUS int64)
+}
+
 // SetTracer attaches (or, with nil, detaches) a Tracer. Like the other
 // network methods it must be called from the driver goroutine between
 // rounds.
-func (n *Network) SetTracer(t Tracer) { n.tracer = t }
+func (n *Network) SetTracer(t Tracer) {
+	n.tracer = t
+	n.shardObs, _ = t.(ShardObserver)
+}
 
 // traceRoundStart counts blocked members in spawn order, emits the
 // round-start and per-node block events, and resets the distribution
 // scratch buffers for the round.
-func (n *Network) traceRoundStart(blocked map[NodeID]bool) int {
+func (n *Network) traceRoundStart() int {
 	nblocked := 0
-	for _, st := range n.order {
-		if blocked[st.id] {
-			nblocked++
+	if n.blockedAny {
+		for _, s := range n.order {
+			if n.blocked.test(s) {
+				nblocked++
+			}
 		}
 	}
 	n.tracer.RoundStart(n.round, len(n.order), nblocked)
 	if nblocked > 0 {
-		for _, st := range n.order {
-			if blocked[st.id] {
-				n.tracer.NodeBlocked(n.round, st.id)
+		for _, s := range n.order {
+			if n.blocked.test(s) {
+				n.tracer.NodeBlocked(n.round, n.slots[s].id)
 			}
 		}
 	}

@@ -216,6 +216,12 @@ func flattenCounters(c Counters) map[string]uint64 {
 	for i := sim.DropReason(0); i < sim.NumDropReasons; i++ {
 		m["drop:"+i.String()] = c.Drops[i.String()]
 	}
+	for i, v := range c.ShardRecvUS {
+		m[fmt.Sprintf("shard:%d:recv_us", i)] = v
+	}
+	for i, v := range c.ShardSendUS {
+		m[fmt.Sprintf("shard:%d:send_us", i)] = v
+	}
 	return m
 }
 

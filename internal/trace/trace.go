@@ -28,6 +28,10 @@ import (
 	"overlaynet/internal/sim"
 )
 
+// maxTraceShards bounds the per-shard counters; it matches the
+// simulator's worker-pool cap.
+const maxTraceShards = 64
+
 // Event is one simulator lifecycle event. TSMicros is microseconds
 // since the Recorder was created.
 type Event struct {
@@ -44,6 +48,13 @@ type Event struct {
 	Blocked  int    `json:"blocked,omitempty"`
 	// Stats carries the round summary on round_end events.
 	Stats *sim.RoundStats `json:"stats,omitempty"`
+	// Shard timing, on shard_round events only (sharded kernels with a
+	// ShardObserver-aware tracer — every Recorder tracer is one). These
+	// are wall-clock measurements: useful for skew diagnosis, never
+	// part of deterministic output.
+	Shard  int   `json:"shard,omitempty"`
+	RecvUS int64 `json:"recv_us,omitempty"`
+	SendUS int64 `json:"send_us,omitempty"`
 }
 
 // Span is one timed region: an experiment, one sweep cell of its
@@ -76,6 +87,12 @@ type Counters struct {
 	Cells     uint64            `json:"cells"`
 	Epochs    uint64            `json:"epochs"`
 	Drops     map[string]uint64 `json:"drops"` // by sim.DropReason name
+	// Per-shard busy time (µs) in the simulator's receive and send
+	// phases, indexed by shard id — populated only when a sharded
+	// network ran under this recorder. The imbalance between entries
+	// is the delivery skew cmd/tracestats reports.
+	ShardRecvUS []uint64 `json:"shard_recv_us,omitempty"`
+	ShardSendUS []uint64 `json:"shard_send_us,omitempty"`
 }
 
 // Recorder collects events, spans, and counters. The zero value is not
@@ -88,6 +105,11 @@ type Recorder struct {
 	spawns, kills, blocks atomic.Uint64
 	cells, epochs         atomic.Uint64
 	drops                 [sim.NumDropReasons]atomic.Uint64
+
+	// Per-shard phase busy time; maxTraceShards matches the simulator's
+	// shard cap. shardsSeen is the high-water shard count observed.
+	shardRecvUS, shardSendUS [maxTraceShards]atomic.Uint64
+	shardsSeen               atomic.Int64
 
 	mu     sync.Mutex
 	spans  []Span
@@ -207,6 +229,14 @@ func (r *Recorder) Counters() Counters {
 	c.Delivered = c.Messages -
 		c.Drops[sim.DropDeadReceiver.String()] -
 		c.Drops[sim.DropBlockedReceiverSendRound.String()]
+	if n := int(r.shardsSeen.Load()); n > 0 {
+		c.ShardRecvUS = make([]uint64, n)
+		c.ShardSendUS = make([]uint64, n)
+		for i := 0; i < n; i++ {
+			c.ShardRecvUS[i] = r.shardRecvUS[i].Load()
+			c.ShardSendUS[i] = r.shardSendUS[i].Load()
+		}
+	}
 	return c
 }
 
@@ -301,6 +331,31 @@ func (t *simTracer) NodeBlocked(round int, id sim.NodeID) {
 	if t.rec.wantsEvents() {
 		t.rec.emit(Event{TSMicros: t.now(), Kind: "block", Scope: t.scope,
 			Round: round, Node: uint64(id)})
+	}
+}
+
+// ShardRound implements sim.ShardObserver: per-shard phase wall times
+// from sharded rounds accumulate into the recorder's counters (and the
+// event stream when retained), so delivery skew across workers is
+// visible in cmd/tracestats.
+func (t *simTracer) ShardRound(round, shard int, recvUS, sendUS int64) {
+	if shard < 0 || shard >= maxTraceShards {
+		return
+	}
+	t.rec.shardRecvUS[shard].Add(uint64(recvUS))
+	t.rec.shardSendUS[shard].Add(uint64(sendUS))
+	for {
+		seen := t.rec.shardsSeen.Load()
+		if int64(shard) < seen {
+			break
+		}
+		if t.rec.shardsSeen.CompareAndSwap(seen, int64(shard)+1) {
+			break
+		}
+	}
+	if t.rec.wantsEvents() {
+		t.rec.emit(Event{TSMicros: t.now(), Kind: "shard_round", Scope: t.scope,
+			Round: round, Shard: shard, RecvUS: recvUS, SendUS: sendUS})
 	}
 }
 
