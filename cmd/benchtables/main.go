@@ -4,7 +4,8 @@
 // Usage:
 //
 //	benchtables [-quick] [-seed N] [-only E8[,E9,…]] [-procs N]
-//	           [-shards N] [-list]
+//	           [-shards N] [-list] [-audit] [-audit-every N]
+//	           [-faults drop=0.01,dup=0.001,crash=0.05,restart=2]
 //	           [-cpuprofile F] [-trace F] [-events F] [-manifest F]
 //	           [-progress] [-http ADDR]
 //
@@ -48,6 +49,7 @@ import (
 	"time"
 
 	"overlaynet/internal/exp"
+	"overlaynet/internal/fault"
 	"overlaynet/internal/trace"
 )
 
@@ -62,6 +64,8 @@ type manifest struct {
 	Quick        bool                 `json:"quick"`
 	Procs        int                  `json:"procs"`
 	Shards       int                  `json:"shards"`
+	Audit        bool                 `json:"audit,omitempty"`
+	Faults       string               `json:"faults,omitempty"`
 	GOMAXPROCS   int                  `json:"gomaxprocs"`
 	NumCPU       int                  `json:"num_cpu"`
 	TotalSeconds float64              `json:"total_seconds"`
@@ -103,6 +107,15 @@ func gitRev() string {
 	return "unknown"
 }
 
+// faultsString renders the spec for the manifest ("" when inactive, so
+// the field is omitted).
+func faultsString(s fault.Spec) string {
+	if !s.Active() {
+		return ""
+	}
+	return s.String()
+}
+
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "benchtables: "+format+"\n", args...)
 	os.Exit(1)
@@ -121,7 +134,15 @@ func main() {
 	manifestOut := flag.String("manifest", "", "write a run manifest JSON file")
 	progress := flag.Bool("progress", false, "print live sweep progress to stderr")
 	httpAddr := flag.String("http", "", "serve expvar + net/http/pprof on this address (e.g. :6060)")
+	auditOn := flag.Bool("audit", false, "attach the runtime invariant-audit engine to the reconfiguration experiments")
+	faultsFlag := flag.String("faults", "", "deterministic fault injection, e.g. drop=0.01,dup=0.001,crash=0.05,restart=2")
+	auditEvery := flag.Int("audit-every", 0, "invariant check cadence in engine ticks (0 = every tick)")
 	flag.Parse()
+
+	faultSpec, err := fault.ParseSpec(*faultsFlag)
+	if err != nil {
+		fatalf("-faults: %v", err)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -150,7 +171,8 @@ func main() {
 		}
 	}
 
-	opts := exp.Options{Seed: *seed, Quick: *quick, Procs: *procs, Shards: *shards}
+	opts := exp.Options{Seed: *seed, Quick: *quick, Procs: *procs, Shards: *shards,
+		Audit: *auditOn, AuditEvery: *auditEvery, Faults: faultSpec}
 
 	// Telemetry wiring. A single recorder spans every experiment; it
 	// aggregates counters and spans (events stay off — a full sweep
@@ -209,6 +231,15 @@ func main() {
 		go func(i int, e exp.Experiment) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			// An invariant panic inside a driver (reachable under fault
+			// injection) must fail the whole run distinguishably, not
+			// hang the table loop on a dead channel.
+			defer func() {
+				if r := recover(); r != nil {
+					fmt.Fprintf(os.Stderr, "benchtables: %s: invariant panic: %v\n%s", e.ID, r, debug.Stack())
+					os.Exit(2)
+				}
+			}()
 			o := opts
 			o.Exp = e.ID
 			start := time.Now()
@@ -250,6 +281,8 @@ func main() {
 			Quick:       *quick,
 			Procs:       *procs,
 			Shards:      *shards,
+			Audit:       *auditOn,
+			Faults:      faultsString(faultSpec),
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			NumCPU:      runtime.NumCPU(),
 		}

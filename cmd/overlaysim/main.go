@@ -62,13 +62,34 @@ func usage() {
 	os.Exit(2)
 }
 
+// fail reports a bad flag combination and exits non-zero. User input
+// must never reach the library panics — those are reserved for internal
+// invariant violations.
+func fail(cmd string, err error) {
+	fmt.Fprintf(os.Stderr, "overlaysim %s: %v\n", cmd, err)
+	os.Exit(1)
+}
+
+// checkFrac validates a probability-like flag.
+func checkFrac(cmd, name string, v float64) {
+	if v < 0 || v > 1 {
+		fail(cmd, fmt.Errorf("%s = %g outside [0, 1]", name, v))
+	}
+}
+
 func runSample(args []string) {
 	fs := flag.NewFlagSet("sample", flag.ExitOnError)
 	n := fs.Int("n", 1024, "nodes")
 	d := fs.Int("d", 8, "H-graph degree")
 	seed := fs.Uint64("seed", 1, "seed")
 	fs.Parse(args)
+	if *d < 4 || *d%2 != 0 {
+		fail("sample", fmt.Errorf("H-graph degree must be even and >= 4, got %d", *d))
+	}
 	p := sampling.HGraphParams{N: *n, D: *d, Alpha: 2, Epsilon: 0.5, C: 1}
+	if err := p.Validate(); err != nil {
+		fail("sample", err)
+	}
 	h := hgraph.Random(rng.New(*seed), *n, *d)
 	res := sampling.RapidHGraph(*seed, h, p)
 	counts := make([]int, *n)
@@ -94,7 +115,13 @@ func runCube(args []string) {
 	dim := fs.Int("dim", 8, "hypercube dimension (power of two)")
 	seed := fs.Uint64("seed", 1, "seed")
 	fs.Parse(args)
+	if *dim < 2 || *dim&(*dim-1) != 0 {
+		fail("cube", fmt.Errorf("dimension must be a power of two >= 2, got %d", *dim))
+	}
 	p := sampling.DefaultHypercubeParams(*dim)
+	if err := p.Validate(); err != nil {
+		fail("cube", err)
+	}
 	res := sampling.RapidHypercube(*seed, p)
 	n := 1 << *dim
 	counts := make([]int, n)
@@ -120,7 +147,14 @@ func runChurn(args []string) {
 	seed := fs.Uint64("seed", 1, "seed")
 	shards := fs.Int("shards", 0, "intra-round simulator workers (0 = $OVERLAYNET_SHARDS or 1; results identical for any value)")
 	fs.Parse(args)
-	nw := core.NewNetwork(core.Config{Seed: *seed, N0: *n, D: 8, Alpha: 2, Epsilon: 0.5, Shards: *shards})
+	cfg := core.Config{Seed: *seed, N0: *n, D: 8, Alpha: 2, Epsilon: 0.5, Shards: *shards}
+	if err := cfg.Validate(); err != nil {
+		fail("churn", err)
+	}
+	if *frac < 0 || *frac >= 1 {
+		fail("churn", fmt.Errorf("replacement fraction %g outside [0, 1)", *frac))
+	}
+	nw := core.NewNetwork(cfg)
 	defer nw.Shutdown()
 	adv := &churn.Replace{Fraction: *frac, R: rng.New(*seed + 1)}
 	t := metrics.NewTable(fmt.Sprintf("expander under %.0f%% replacement churn per epoch", *frac*100),
@@ -140,7 +174,12 @@ func runDoS(args []string) {
 	epochs := fs.Int("epochs", 3, "reorganization epochs")
 	seed := fs.Uint64("seed", 1, "seed")
 	fs.Parse(args)
-	nw := supernode.New(supernode.Config{Seed: *seed, N: *n})
+	cfg := supernode.Config{Seed: *seed, N: *n}
+	if err := cfg.Validate(); err != nil {
+		fail("dos", err)
+	}
+	checkFrac("dos", "frac", *frac)
+	nw := supernode.New(cfg)
 	lateness := 0
 	if *late {
 		lateness = 2 * nw.EpochRounds()
@@ -177,7 +216,15 @@ func runChurnDoS(args []string) {
 	epochs := fs.Int("epochs", 4, "epochs")
 	seed := fs.Uint64("seed", 1, "seed")
 	fs.Parse(args)
-	nw := splitmerge.New(splitmerge.Config{Seed: *seed, N0: *n})
+	cfg := splitmerge.Config{Seed: *seed, N0: *n}
+	if err := cfg.Validate(); err != nil {
+		fail("churndos", err)
+	}
+	checkFrac("churndos", "frac", *frac)
+	if *churnFrac < 0 || *churnFrac > 0.5 {
+		fail("churndos", fmt.Errorf("churn fraction %g outside [0, 0.5]", *churnFrac))
+	}
+	nw := splitmerge.New(cfg)
 	adv := &dos.GroupIsolate{Fraction: *frac, R: rng.New(*seed + 1)}
 	buf := &dos.Buffer{Lateness: 2 * nw.EpochRounds()}
 	r := rng.New(*seed + 2)
@@ -227,7 +274,12 @@ func runAnon(args []string) {
 	requests := fs.Int("requests", 1000, "requests")
 	seed := fs.Uint64("seed", 1, "seed")
 	fs.Parse(args)
-	net := supernode.New(supernode.Config{Seed: *seed, N: *n, MeasureEvery: -1})
+	cfg := supernode.Config{Seed: *seed, N: *n, MeasureEvery: -1}
+	if err := cfg.Validate(); err != nil {
+		fail("anon", err)
+	}
+	checkFrac("anon", "frac", *frac)
+	net := supernode.New(cfg)
 	sy := anon.NewSystem(net, *seed+1)
 	ids := make([]sim.NodeID, *n)
 	for i := range ids {
@@ -275,6 +327,12 @@ func runDHT(args []string) {
 	blockedN := fs.Int("blocked", 8, "blocked servers")
 	seed := fs.Uint64("seed", 1, "seed")
 	fs.Parse(args)
+	if *n < 64 {
+		fail("dht", fmt.Errorf("n = %d too small (need at least 64)", *n))
+	}
+	if *blockedN < 0 || *blockedN >= *n {
+		fail("dht", fmt.Errorf("blocked = %d outside [0, n)", *blockedN))
+	}
 	d := dht.New(dht.Config{Seed: *seed, N: *n})
 	r := rng.New(*seed + 1)
 	blocked := map[sim.NodeID]bool{}

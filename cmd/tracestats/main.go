@@ -38,12 +38,21 @@ type cellStat struct {
 
 // summary is the normalized content of either input format.
 type summary struct {
-	spans    []cellStat // cell spans only
-	epochs   int
-	exps     map[string]*expAgg
-	counters map[string]uint64
-	minTS    int64
-	maxTS    int64
+	spans      []cellStat // cell spans only
+	epochs     int
+	exps       map[string]*expAgg
+	counters   map[string]uint64
+	violations []violationRec
+	minTS      int64
+	maxTS      int64
+}
+
+// violationRec is one invariant-audit violation event from the stream.
+type violationRec struct {
+	scope     string
+	round     int
+	invariant string
+	detail    string
 }
 
 type expAgg struct {
@@ -125,6 +134,11 @@ type jsonlRecord struct {
 	StartUS int64  `json:"start_us"`
 	DurUS   int64  `json:"dur_us"`
 	TSMicro int64  `json:"ts_us"`
+	// event fields (violation events carry the invariant name in
+	// "reason" plus a human-readable detail)
+	Round  int    `json:"round"`
+	Reason string `json:"reason"`
+	Detail string `json:"detail"`
 	// counters fields
 	Rounds    uint64            `json:"rounds"`
 	Messages  uint64            `json:"messages"`
@@ -134,6 +148,8 @@ type jsonlRecord struct {
 	Blocks    uint64            `json:"blocks"`
 	Cells     uint64            `json:"cells"`
 	Epochs    uint64            `json:"epochs"`
+	DupExtra  uint64            `json:"dup_extra_copies"`
+	ViolCount uint64            `json:"violations"`
 	Drops     map[string]uint64 `json:"drops"`
 	// Per-shard phase busy time from sharded simulator rounds.
 	ShardRecvUS []uint64 `json:"shard_recv_us"`
@@ -169,6 +185,11 @@ func loadJSONL(data []byte, s *summary) error {
 			}
 		case "event":
 			s.observeTS(rec.TSMicro, 0)
+			if rec.Kind == "violation" {
+				s.violations = append(s.violations, violationRec{
+					scope: rec.Scope, round: rec.Round, invariant: rec.Reason, detail: rec.Detail,
+				})
+			}
 		case "counters":
 			s.counters["rounds"] = rec.Rounds
 			s.counters["messages"] = rec.Messages
@@ -178,6 +199,8 @@ func loadJSONL(data []byte, s *summary) error {
 			s.counters["blocks"] = rec.Blocks
 			s.counters["cells"] = rec.Cells
 			s.counters["epochs"] = rec.Epochs
+			s.counters["dup_extra_copies"] = rec.DupExtra
+			s.counters["violations"] = rec.ViolCount
 			for k, v := range rec.Drops {
 				s.counters["drop:"+k] = v
 			}
@@ -307,6 +330,31 @@ func main() {
 		fmt.Printf("  drops          %d total\n", dropTotal)
 		for _, k := range dropKeys {
 			fmt.Printf("    %-33s %d\n", strings.TrimPrefix(k, "drop:"), s.counters[k])
+		}
+	}
+	if dup := s.counters["dup_extra_copies"]; dup > 0 {
+		fmt.Printf("  dup extras     %d fault-injected extra copies\n", dup)
+	}
+
+	// Invariant-audit verdict: the counter totals violations even when
+	// events were not recorded; individual reports appear when they were.
+	if v := s.counters["violations"]; v > 0 || len(s.violations) > 0 {
+		fmt.Printf("  violations     %d reported by the invariant audit\n", max(v, uint64(len(s.violations))))
+		byInv := map[string]int{}
+		for _, rec := range s.violations {
+			byInv[rec.invariant]++
+		}
+		var invs []string
+		for k := range byInv {
+			invs = append(invs, k)
+		}
+		sort.Strings(invs)
+		for _, k := range invs {
+			fmt.Printf("    %-33s %d\n", k, byInv[k])
+		}
+		show := min(len(s.violations), 5)
+		for _, rec := range s.violations[:show] {
+			fmt.Printf("    e.g. %s round %d [%s]: %s\n", rec.scope, rec.round, rec.invariant, rec.detail)
 		}
 	}
 

@@ -3,12 +3,16 @@
 // exit servers stay statistically uniform even while 45% of the relay
 // fleet is blocked every round (Corollary 2).
 //
+// Exits non-zero if delivery drops below 100% or the exit distribution
+// loses most of its entropy, so it doubles as a CI smoke test.
+//
 //	go run ./examples/anonymousrelay
 package main
 
 import (
 	"fmt"
 	"math"
+	"os"
 
 	"overlaynet/internal/apps/anon"
 	"overlaynet/internal/dos"
@@ -25,6 +29,7 @@ func main() {
 	t := metrics.NewTable("anonymous relaying under DoS attack (n=512 relay servers)",
 		"blocked", "delivered", "replied", "rounds/request", "exit entropy (max 9.00 bits)")
 
+	failed := false
 	for _, frac := range []float64{0, 0.25, 0.45} {
 		net := supernode.New(supernode.Config{Seed: 21, N: n, MeasureEvery: -1})
 		sy := anon.NewSystem(net, 22)
@@ -63,12 +68,23 @@ func main() {
 				replied++
 			}
 		}
+		entropy := metrics.Entropy(counts)
 		t.AddRowf(fmt.Sprintf("%.0f%%", frac*100),
 			fmt.Sprintf("%.2f%%", 100*float64(delivered)/requests),
 			fmt.Sprintf("%.2f%%", 100*float64(replied)/requests),
-			4, fmt.Sprintf("%.2f", metrics.Entropy(counts)))
+			4, fmt.Sprintf("%.2f", entropy))
+		// Corollary 2: requests keep flowing under attack, and exits
+		// remain near-uniform (full entropy would be log2(n) = 9 bits).
+		if delivered != requests || float64(replied) < 0.9*requests || entropy < 8.0 {
+			failed = true
+			fmt.Fprintf(os.Stderr, "anonymousrelay: FAIL: %.0f%% blocked: delivered %d/%d, replied %d, entropy %.2f bits\n",
+				frac*100, delivered, requests, replied, entropy)
+		}
 	}
 	fmt.Println(t.String())
+	if failed {
+		os.Exit(1)
+	}
 	fmt.Printf("uniform exits would give %.2f bits of entropy; the attacker cannot\n", math.Log2(n))
 	fmt.Println("do better than guessing which server a message left through.")
 }

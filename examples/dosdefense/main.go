@@ -4,11 +4,16 @@
 // its information is 2t rounds old — the paper's headline contrast
 // (Theorem 6 vs the Section 1.1 impossibility).
 //
+// Exits non-zero if either half of the contrast fails (the real-time
+// adversary must cut the network; the Ω(log log n)-late one must not),
+// so it doubles as a CI smoke test.
+//
 //	go run ./examples/dosdefense
 package main
 
 import (
 	"fmt"
+	"os"
 
 	"overlaynet/internal/dos"
 	"overlaynet/internal/metrics"
@@ -24,6 +29,7 @@ func main() {
 		fmt.Sprintf("group-isolate adversary blocking %.0f%% of %d nodes", blockedFraction*100, n),
 		"adversary lateness", "rounds", "disconnected rounds", "group stalls", "verdict")
 
+	failed := false
 	for _, lateness := range []int{0, 1, -1} {
 		nw := supernode.New(supernode.Config{Seed: 5, N: n})
 		late := lateness
@@ -45,8 +51,22 @@ func main() {
 		}
 		t.AddRowf(fmt.Sprintf("%d rounds", late), len(reports), disc,
 			nw.StatsSnapshot().Stalls, verdict)
+		// The headline contrast: real-time information cuts the network
+		// (the Section 1.1 impossibility), 2t-stale information cannot
+		// (Theorem 6).
+		if lateness == 0 && disc == 0 {
+			failed = true
+			fmt.Fprintln(os.Stderr, "dosdefense: FAIL: real-time adversary did not disconnect the network")
+		}
+		if lateness < 0 && disc != 0 {
+			failed = true
+			fmt.Fprintf(os.Stderr, "dosdefense: FAIL: %d-round-late adversary disconnected the network for %d rounds\n", late, disc)
+		}
 	}
 	fmt.Println(t.String())
+	if failed {
+		os.Exit(1)
+	}
 	fmt.Println("the groups are rebuilt from fresh uniform samples every Θ(log log n)")
 	fmt.Println("rounds, so a late adversary always attacks yesterday's topology.")
 }

@@ -1,11 +1,16 @@
 // Quickstart: sample nodes with the rapid primitive, then run one
 // reconfiguration epoch of the churn-resistant expander.
 //
+// Exits non-zero if any of the headline properties fail (connectivity,
+// valid reconfiguration, sampling close to uniform), so it doubles as a
+// CI smoke test.
+//
 //	go run ./examples/quickstart
 package main
 
 import (
 	"fmt"
+	"os"
 
 	"overlaynet/internal/core"
 	"overlaynet/internal/hgraph"
@@ -13,6 +18,15 @@ import (
 	"overlaynet/internal/rng"
 	"overlaynet/internal/sampling"
 )
+
+var failed bool
+
+func check(ok bool, format string, args ...any) {
+	if !ok {
+		failed = true
+		fmt.Fprintf(os.Stderr, "quickstart: FAIL: "+format+"\n", args...)
+	}
+}
 
 func main() {
 	const n, d = 512, 8
@@ -22,6 +36,7 @@ func main() {
 	h := hgraph.Random(r, n, d)
 	fmt.Printf("random H-graph: n=%d, degree %d, connected=%v\n",
 		h.N(), h.D(), h.Graph().IsConnected())
+	check(h.Graph().IsConnected(), "random H-graph is disconnected")
 
 	// 2. Every node samples ~2·log n peers almost uniformly at random
 	// in O(log log n) communication rounds (Algorithm 1).
@@ -37,8 +52,9 @@ func main() {
 	}
 	fmt.Printf("rapid sampling:  %d rounds (a plain walk needs %d), %d samples/node\n",
 		res.Rounds, p.WalkTarget()+1, p.Samples())
-	fmt.Printf("                 TV distance to uniform %.4f (noise floor %.4f)\n",
-		metrics.TVDistanceUniform(counts), metrics.ExpectedTVUniform(n, total))
+	tv, floor := metrics.TVDistanceUniform(counts), metrics.ExpectedTVUniform(n, total)
+	fmt.Printf("                 TV distance to uniform %.4f (noise floor %.4f)\n", tv, floor)
+	check(tv < 3*floor, "sampling TV distance %.4f exceeds 3x the noise floor %.4f", tv, floor)
 
 	// 3. Run one full reconfiguration epoch: the topology is replaced
 	// by a fresh uniformly random H-graph in O(log log n) rounds.
@@ -47,6 +63,7 @@ func main() {
 	rep, _ := nw.RunEpoch(nil, nil)
 	fmt.Printf("reconfiguration: %d rounds, valid=%v, connected=%v, failures=%d\n",
 		rep.Rounds, rep.Valid, rep.Connected, rep.Failures)
+	check(rep.Valid && rep.Connected, "reconfiguration epoch: valid=%v connected=%v", rep.Valid, rep.Connected)
 
 	// 4. Absorb churn: 64 joins and 64 leaves in a single epoch.
 	members := nw.Members()
@@ -57,4 +74,9 @@ func main() {
 	rep, ids := nw.RunEpoch(joins, members[:64])
 	fmt.Printf("churn epoch:     64 joins + 64 leaves -> n=%d, connected=%v (first new id %d)\n",
 		rep.NNew, rep.Connected, ids[0])
+	check(rep.Connected && rep.NNew == n, "churn epoch: connected=%v n=%d (want %d)", rep.Connected, rep.NNew, n)
+
+	if failed {
+		os.Exit(1)
+	}
 }

@@ -4,12 +4,16 @@
 // served under blocking at the paper's budget and beyond, and the data
 // survives reconfigurations without moving (Theorem 8).
 //
+// Exits non-zero if any batch request fails or any publication is lost
+// across the reconfiguration, so it doubles as a CI smoke test.
+//
 //	go run ./examples/robustdht
 package main
 
 import (
 	"fmt"
 	"math"
+	"os"
 
 	"overlaynet/internal/apps/dht"
 	"overlaynet/internal/apps/pubsub"
@@ -24,6 +28,7 @@ func main() {
 	fmt.Printf("robust DHT: %d servers in a %d-ary %d-cube (%d groups), %d replicas/key\n\n",
 		n, d.K(), d.D(), d.NumGroups(), len(d.ReplicaSet("any")))
 
+	failed := false
 	budget := int(math.Pow(n, 1/math.Log2(math.Log2(n))))
 	t := metrics.NewTable("one-write-per-server batches under blocking",
 		"blocked servers", "requests", "served", "failed", "max rounds", "max group congestion")
@@ -44,6 +49,11 @@ func main() {
 		}
 		st := d.ServeBatch(ops, hop)
 		t.AddRowf(len(blocked), len(ops), st.Served, st.Failed, st.MaxRounds, st.MaxCongestion)
+		if st.Failed != 0 || st.Served != len(ops) {
+			failed = true
+			fmt.Fprintf(os.Stderr, "robustdht: FAIL: %d blocked: served %d/%d, %d failed\n",
+				len(blocked), st.Served, len(ops), st.Failed)
+		}
 	}
 	fmt.Println(t.String())
 	fmt.Printf("(the paper's adversary budget is gamma*n^(1/loglog n) ~= %d servers)\n\n", budget)
@@ -65,11 +75,19 @@ func main() {
 	for k := 0; k < 4; k++ {
 		items, err := ps.Fetch(sim.NodeID(500), fmt.Sprintf("feed%d", k), nil)
 		if err != nil {
-			fmt.Println("fetch error:", err)
-			return
+			fmt.Fprintln(os.Stderr, "robustdht: FAIL: fetch error:", err)
+			os.Exit(1)
 		}
 		total += len(items)
 	}
 	fmt.Printf("publish-subscribe: %d publications across %d topics, %d fetched after a reconfiguration\n",
 		st.Published, st.Topics, total)
+	if total != st.Published {
+		failed = true
+		fmt.Fprintf(os.Stderr, "robustdht: FAIL: fetched %d of %d publications after reconfiguration\n",
+			total, st.Published)
+	}
+	if failed {
+		os.Exit(1)
+	}
 }

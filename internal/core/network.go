@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"overlaynet/internal/audit"
 	"overlaynet/internal/graph"
 	"overlaynet/internal/hgraph"
 	"overlaynet/internal/rng"
@@ -28,6 +29,30 @@ type Config struct {
 	// Shards is forwarded to sim.Config.Shards (intra-round simulator
 	// workers); the epoch traces are identical for any value.
 	Shards int
+}
+
+// Validate reports whether the configuration is usable. CLIs call it on
+// user-supplied flag values before constructing a network, so bad input
+// becomes an error message rather than a stack trace; NewNetwork still
+// panics on the same conditions (an unvalidated config reaching it is a
+// caller bug).
+func (cfg Config) Validate() error {
+	if cfg.N0 < 8 {
+		return fmt.Errorf("core: initial size %d too small (need at least 8)", cfg.N0)
+	}
+	if cfg.D < 6 || cfg.D%2 != 0 {
+		return fmt.Errorf("core: degree %d must be even and at least 6", cfg.D)
+	}
+	if cfg.Alpha < 0 {
+		return fmt.Errorf("core: alpha %g must be positive", cfg.Alpha)
+	}
+	if cfg.Epsilon < 0 {
+		return fmt.Errorf("core: epsilon %g must be positive", cfg.Epsilon)
+	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("core: shards %d must not be negative", cfg.Shards)
+	}
+	return nil
 }
 
 // JoinSpec describes a node joining in the next epoch: the new node ID
@@ -170,6 +195,29 @@ type Network struct {
 	// lifecycle events and drop accounting under the same scope.
 	trace      *trace.Recorder
 	traceScope string
+	simTracer  sim.Tracer // the tracer SetTrace attached, pre-WorkAuditor
+
+	// audit/budget/faulty: optional invariant auditing (SetAudit). The
+	// budget tally is shared by every node goroutine's sampling
+	// sub-phase; lastWindow is the most recent epoch's reconciliation
+	// window for the sampling-budget checker. faulty records that a
+	// message injector is attached, which relaxes the exact
+	// issued==served conservation check (lost batches legitimately break
+	// it — that is the experiment's signal, reported as a violation).
+	audit      *audit.Engine
+	budget     *sampling.BudgetStats
+	lastWindow budgetWindow
+	faulty     bool
+}
+
+// budgetWindow is one epoch's sampling-budget reconciliation window:
+// the sim-level message count of the sampling rounds and the budget
+// counter deltas over the same epoch.
+type budgetWindow struct {
+	epoch    int
+	messages int64 // RoundWork.Messages summed over the sampling rounds
+	snap     sampling.BudgetSnapshot
+	valid    bool
 }
 
 // SetTrace attaches a telemetry recorder: each RunEpoch emits an epoch
@@ -182,10 +230,97 @@ func (nw *Network) SetTrace(rec *trace.Recorder, scope string) {
 	nw.trace = rec
 	nw.traceScope = scope
 	if rec == nil {
-		nw.net.SetTracer(nil)
+		nw.simTracer = nil
+	} else {
+		nw.simTracer = rec.Tracer(scope)
+	}
+	nw.attachTracer()
+}
+
+// attachTracer wires the effective tracer chain into the simulator:
+// when an audit engine is attached, a WorkAuditor wraps the telemetry
+// tracer (which may be nil) so the kernel's message ledger is verified
+// round by round; otherwise the telemetry tracer (or nil) attaches
+// directly.
+func (nw *Network) attachTracer() {
+	if nw.audit != nil {
+		nw.net.SetTracer(audit.NewWorkAuditor(nw.audit, nw.simTracer))
 		return
 	}
-	nw.net.SetTracer(rec.Tracer(scope))
+	nw.net.SetTracer(nw.simTracer)
+}
+
+// SetAudit attaches an invariant-audit engine (nil detaches): the
+// Hamilton-topology, connectivity, and sampling-budget checkers are
+// registered on it, the sampling sub-phase starts tallying its request
+// budget, and a WorkAuditor is spliced in front of the telemetry
+// tracer. Call it after SetTrace if both are used. The engine ticks
+// once per reconfiguration epoch — the only points where the topology
+// state is consistent.
+func (nw *Network) SetAudit(e *audit.Engine) {
+	nw.audit = e
+	if e == nil {
+		nw.budget = nil
+		nw.attachTracer()
+		return
+	}
+	nw.budget = &sampling.BudgetStats{}
+	e.Register("hamilton-topology", func() []audit.Violation {
+		if err := nw.validateTopology(); err != nil {
+			return []audit.Violation{{Detail: err.Error()}}
+		}
+		return nil
+	})
+	e.Register("connectivity", func() []audit.Violation {
+		if !nw.BuildGraph().IsConnected() {
+			return []audit.Violation{{Detail: fmt.Sprintf("topology over %d members is disconnected", len(nw.members))}}
+		}
+		return nil
+	})
+	e.Register("sampling-budget", nw.checkBudget)
+	nw.attachTracer()
+}
+
+// SetInjector attaches a deterministic message-fault injector to the
+// underlying simulator (nil detaches). Injection relaxes the exact
+// sampling-budget conservation check: lost request/response batches are
+// expected to open an issued/served gap, and the audit layer reports
+// how large it gets.
+func (nw *Network) SetInjector(inj sim.Injector) {
+	nw.net.SetInjector(inj)
+	nw.faulty = inj != nil
+}
+
+// checkBudget reconciles the most recent epoch's sampling window: the
+// sim kernel's message count over the sampling rounds must equal the
+// request+response batches the protocol sent (nothing else communicates
+// in those rounds), and with no injector every issued request must have
+// been served, exactly (a dropped request opens an issued/served gap;
+// a duplicated one can push served past issued).
+func (nw *Network) checkBudget() []audit.Violation {
+	w := nw.lastWindow
+	if !w.valid {
+		return nil
+	}
+	var out []audit.Violation
+	if batches := w.snap.ReqBatches + w.snap.RespBatches; w.messages != batches {
+		out = append(out, audit.Violation{Detail: fmt.Sprintf(
+			"epoch %d: sampling rounds carried %d messages but the protocol sent %d batches (%d req + %d resp)",
+			w.epoch, w.messages, batches, w.snap.ReqBatches, w.snap.RespBatches)})
+	}
+	if !nw.faulty && w.snap.Served != w.snap.Issued {
+		out = append(out, audit.Violation{Detail: fmt.Sprintf(
+			"epoch %d: issued %d but served %d (refused %d) with no faults injected",
+			w.epoch, w.snap.Issued, w.snap.Served, w.snap.Refused)})
+	}
+	return out
+}
+
+// BudgetWindow returns the most recent epoch's sampling-budget window
+// (zero until an epoch has run under SetAudit).
+func (nw *Network) BudgetWindow() (epoch int, messages int64, snap sampling.BudgetSnapshot, ok bool) {
+	w := nw.lastWindow
+	return w.epoch, w.messages, w.snap, w.valid
 }
 
 // EpochRounds returns the number of communication rounds one epoch
@@ -205,11 +340,8 @@ func doublingSteps(n int) int {
 // their protocol goroutines. The initial topology is sampled uniformly
 // from ℍₙ, matching the paper's initial condition.
 func NewNetwork(cfg Config) *Network {
-	if cfg.N0 < 8 {
-		panic(fmt.Sprintf("core: initial size %d too small", cfg.N0))
-	}
-	if cfg.D < 6 || cfg.D%2 != 0 {
-		panic(fmt.Sprintf("core: degree %d must be even and ≥ 6", cfg.D))
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	if cfg.Alpha == 0 {
 		cfg.Alpha = 2.5
@@ -355,7 +487,7 @@ func (nw *Network) runEpoch(ctx *sim.Ctx, id int, st *slot, succ, pred []int32) 
 	for c := 0; c < nc; c++ {
 		neighbors = append(neighbors, int(pred[c]), int(succ[c]))
 	}
-	samples := sampling.RapidHGraphInline(ctx, p, id, neighbors, nw.idOf, nil, &st.fails[FailSampling])
+	samples := sampling.RapidHGraphInlineStats(ctx, p, id, neighbors, nw.idOf, nil, &st.fails[FailSampling], nw.budget)
 
 	// Round 2T+2 (Phase 1 of Algorithm 3): place own id (unless
 	// leaving) and every hosted joiner's id at independently sampled
@@ -369,6 +501,11 @@ func (nw *Network) runEpoch(ctx *sim.Ctx, id int, st *slot, succ, pred []int32) 
 		}
 		// Budget exhausted: reuse a random sample (counted failure).
 		st.fails[FailBudget]++
+		if len(samples) == 0 {
+			// Every sample was lost in transit (possible only under
+			// injected message faults): place at self rather than crash.
+			return id
+		}
 		return samples[r.Intn(len(samples))]
 	}
 	for c := 0; c < nc; c++ {
@@ -609,8 +746,35 @@ func (nw *Network) RunEpoch(joins []JoinSpec, leaves []int) (EpochReport, []int)
 		nw.spawnJoiner(id, j.Sponsor)
 	}
 
+	var budgetPre sampling.BudgetSnapshot
+	if nw.budget != nil {
+		budgetPre = nw.budget.Snapshot()
+	}
 	workStart := len(nw.net.Work())
 	nw.net.Run(plan.rounds)
+	if nw.budget != nil {
+		post := nw.budget.Snapshot()
+		w := budgetWindow{epoch: nw.epoch, valid: true}
+		w.snap = sampling.BudgetSnapshot{
+			Issued:      post.Issued - budgetPre.Issued,
+			Served:      post.Served - budgetPre.Served,
+			Refused:     post.Refused - budgetPre.Refused,
+			ReqBatches:  post.ReqBatches - budgetPre.ReqBatches,
+			RespBatches: post.RespBatches - budgetPre.RespBatches,
+		}
+		// Sampling occupies epoch rounds 2..2T+1 exclusively: hellos are
+		// round 1, placements round 2T+2, so the sim-level message count
+		// over those rounds is exactly the batch count.
+		work := nw.net.Work()
+		if end := workStart + 1 + 2*params.T(); end <= len(work) {
+			for _, rw := range work[workStart+1 : end] {
+				w.messages += int64(rw.Messages)
+			}
+		} else {
+			w.valid = false // work log disabled; nothing to reconcile
+		}
+		nw.lastWindow = w
+	}
 
 	// Assemble the new member set.
 	var newMembers []int
@@ -679,7 +843,30 @@ func (nw *Network) RunEpoch(joins []JoinSpec, leaves []int) (EpochReport, []int)
 	if nw.trace != nil {
 		nw.trace.EpochSpan(nw.traceScope, rep.Epoch, rep.Rounds, rep.NOld, rep.NNew, epochStart)
 	}
+	// Audit tick: the topology is only consistent at epoch boundaries
+	// (mid-epoch it is being resampled), so the engine's round cadence
+	// is driven once per epoch here.
+	nw.audit.SetEpoch(nw.epoch)
+	nw.audit.Tick(nw.net.Round())
 	return rep, joinerIDs
+}
+
+// ValidateTopology checks that every cycle of the current topology is a
+// single Hamilton cycle over the current member set (the §2.2/§4
+// structural invariant); nil means valid. The audit layer's
+// hamilton-topology checker is this test.
+func (nw *Network) ValidateTopology() error { return nw.validateTopology() }
+
+// CorruptTopologyForTest deliberately breaks the current topology by
+// redirecting one member's cycle-0 successor pointer to itself, without
+// updating the predecessor side. It exists so tests can prove the audit
+// layer detects a corrupted topology within one check interval; never
+// call it outside tests.
+func (nw *Network) CorruptTopologyForTest() {
+	id := nw.members[0]
+	succ := append([]int32(nil), nw.curSucc[id]...)
+	succ[0] = int32(id)
+	nw.curSucc[id] = succ
 }
 
 // maxEmptySegment scans every old cycle for the longest run of

@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+
+	"overlaynet/internal/fault"
+)
+
+// TestCellSeedSweepShapesDistinct enumerates every coordinate shape the
+// experiment drivers actually feed cellSeed — single network sizes
+// (E1-E5, E11-E13), flat cell indices (most reconfiguration sweeps),
+// the fault-namespace tuples (0xf1, cell) and (0xf1a, cell) from
+// Options.cellFaults and F1, and the two-coordinate grids — and checks
+// that no two distinct tuples map to the same derived seed, within a
+// shape or across shapes. A collision would silently correlate two
+// sweep cells' randomness (or a cell's fault schedule with its network
+// seed), which is exactly the kind of bug the tables cannot reveal.
+func TestCellSeedSweepShapesDistinct(t *testing.T) {
+	for _, baseSeed := range []uint64{0, 1, 42, 0xdeadbeef} {
+		seen := map[uint64]string{}
+		record := func(s uint64, desc string) {
+			if prev, dup := seen[s]; dup && prev != desc {
+				t.Fatalf("seed %d: cellSeed collision: %s and %s -> %#x", baseSeed, prev, desc, s)
+			}
+			seen[s] = desc
+		}
+		// Network sizes used by the size sweeps (powers of two up to the
+		// E13 scale experiment) plus every flat cell index any driver
+		// could produce (23 experiments, largest sweep < 512 cells).
+		for n := uint64(1); n <= 1<<20; n <<= 1 {
+			record(cellSeed(baseSeed, n), fmt.Sprintf("(n=%d)", n))
+		}
+		for cell := uint64(0); cell < 512; cell++ {
+			if cell&(cell-1) != 0 || cell == 0 || cell > 1<<20 {
+				record(cellSeed(baseSeed, cell), fmt.Sprintf("(cell=%d)", cell))
+			}
+			// The fault namespaces: Options.cellFaults prefixes 0xf1,
+			// F1's per-cell spec seeds prefix 0xf1a.
+			record(cellSeed(baseSeed, 0xf1, cell), fmt.Sprintf("(0xf1,%d)", cell))
+			record(cellSeed(baseSeed, 0xf1a, cell), fmt.Sprintf("(0xf1a,%d)", cell))
+		}
+		// Two-coordinate (size, trial) grids.
+		for a := uint64(0); a < 64; a++ {
+			for b := uint64(0); b < 64; b++ {
+				record(cellSeed(baseSeed, a, b), fmt.Sprintf("(%d,%d)", a, b))
+			}
+		}
+	}
+}
+
+// TestCellFaultsIndependentOfProcsShards pins the determinism contract
+// for injected faults: the per-cell fault schedule is derived from the
+// experiment seed and cell coordinate only, so changing the worker or
+// shard count must not move a single drop, duplicate, or crash.
+func TestCellFaultsIndependentOfProcsShards(t *testing.T) {
+	spec := fault.Spec{Drop: 0.01, Dup: 0.005, Crash: 0.1, Restart: 2}
+	mk := func(procs, shards int) Options {
+		return Options{Seed: 42, Procs: procs, Shards: shards, Faults: spec}
+	}
+	base := mk(1, 1)
+	for _, o := range []Options{mk(8, 1), mk(1, 8), mk(4, 4)} {
+		for cell := 0; cell < 16; cell++ {
+			a, b := base.cellFaults(cell), o.cellFaults(cell)
+			if a != b {
+				t.Fatalf("cell %d: fault spec differs between procs/shards configs: %+v vs %+v", cell, a, b)
+			}
+			ia, ib := a.Injector(), b.Injector()
+			for round := 0; round < 50; round += 7 {
+				for from := uint64(1); from < 20; from += 3 {
+					if ca, cb := ia.CopiesAt(round, from, from+1, int(from)), ib.CopiesAt(round, from, from+1, int(from)); ca != cb {
+						t.Fatalf("cell %d round %d: injector disagrees: %d vs %d", cell, round, ca, cb)
+					}
+				}
+				if ca, cb := a.Crashes(round, 7), b.Crashes(round, 7); ca != cb {
+					t.Fatalf("cell %d epoch %d: crash schedule disagrees", cell, round)
+				}
+			}
+		}
+	}
+	// Distinct cells must get distinct fault schedules.
+	if base.cellFaults(0).Seed == base.cellFaults(1).Seed {
+		t.Fatal("cells 0 and 1 derived the same fault seed")
+	}
+	// An inactive spec stays inactive regardless of cell.
+	if got := (Options{Seed: 42}).cellFaults(3); got.Active() {
+		t.Fatalf("cellFaults on an inactive spec produced an active one: %+v", got)
+	}
+}

@@ -48,6 +48,12 @@ func E6ReconfigChurn(o Options) *metrics.Table {
 		if o.Trace != nil {
 			nw.SetTrace(o.Trace, fmt.Sprintf("%s/cell%d", o.Exp, cell))
 		}
+		if e := o.auditEngine(fmt.Sprintf("%s/cell%d", o.Exp, cell), o.Seed^uint64(n)); e != nil {
+			nw.SetAudit(e)
+		}
+		if inj := o.cellFaults(cell).Injector(); inj != nil {
+			nw.SetInjector(inj)
+		}
 		var reports []core.EpochReport
 		if a.adv == nil {
 			for e := 0; e < epochs; e++ {

@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"overlaynet/internal/dos"
 	"overlaynet/internal/metrics"
 	"overlaynet/internal/rng"
@@ -37,6 +39,12 @@ func E10ChurnDoS(o Options) *metrics.Table {
 		cse := cases[cell%len(cases)]
 		{
 			nw := splitmerge.New(splitmerge.Config{Seed: o.Seed ^ uint64(n0), N0: n0})
+			if e := o.auditEngine(fmt.Sprintf("%s/cell%d", o.Exp, cell), o.Seed^uint64(n0)); e != nil {
+				nw.SetAudit(e)
+			}
+			if fs := o.cellFaults(cell); fs.Active() {
+				nw.SetFaults(fs)
+			}
 			var adv dos.Adversary
 			if cse.blocked > 0 {
 				adv = &dos.GroupIsolate{Fraction: cse.blocked, R: rng.New(o.Seed + uint64(n0))}

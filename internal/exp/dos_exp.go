@@ -31,6 +31,12 @@ func E8DoSConnectivity(o Options) *metrics.Table {
 		frac := fracs[cell/2%len(fracs)]
 		late := cell%2 == 0
 		nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(n), N: n})
+		if e := o.auditEngine(fmt.Sprintf("%s/cell%d", o.Exp, cell), o.Seed^uint64(n)); e != nil {
+			nw.SetAudit(e)
+		}
+		if fs := o.cellFaults(cell); fs.Active() {
+			nw.SetFaults(fs)
+		}
 		lateness := 0
 		if late {
 			lateness = 2 * nw.EpochRounds()

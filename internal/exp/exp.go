@@ -7,6 +7,8 @@
 package exp
 
 import (
+	"overlaynet/internal/audit"
+	"overlaynet/internal/fault"
 	"overlaynet/internal/metrics"
 	"overlaynet/internal/trace"
 )
@@ -43,6 +45,54 @@ type Options struct {
 	// Progress, when non-nil, is notified as sweep cells are
 	// registered and completed (cmd/benchtables -progress).
 	Progress *trace.Progress
+
+	// Audit attaches the runtime invariant-audit engine to the networks
+	// built by the reconfiguration drivers (E6/E8/E10/F1). Violations
+	// are reported through Trace (when set) and never change table
+	// output: a clean run renders byte-identical tables with or without
+	// auditing.
+	Audit bool
+	// AuditEvery is the engine's check cadence in ticks (0 means 1,
+	// i.e. every epoch for the core network and every round for the
+	// supernode overlays).
+	AuditEvery int
+	// Faults is a deterministic fault-injection spec the supporting
+	// drivers apply to every network they build. Each sweep cell
+	// derives its injection seed through cellSeed, so the schedule is
+	// independent of Procs and Shards.
+	Faults fault.Spec
+}
+
+// auditEngine builds the invariant engine for one sweep cell, or nil
+// when auditing is off.
+func (o Options) auditEngine(scope string, seed uint64) *audit.Engine {
+	if !o.Audit {
+		return nil
+	}
+	every := o.AuditEvery
+	if every == 0 {
+		every = 1
+	}
+	var rep audit.Reporter
+	if o.Trace != nil {
+		rep = o.Trace
+	}
+	return audit.NewEngine(scope, seed, every, rep)
+}
+
+// cellFaults derives the per-cell fault spec: the same Spec with a
+// seed mixed from the cell coordinate, so distinct cells draw
+// independent schedules yet the whole sweep is reproducible for any
+// worker or shard count.
+func (o Options) cellFaults(cell int) fault.Spec {
+	if !o.Faults.Active() {
+		return fault.Spec{}
+	}
+	base := o.Faults.Seed
+	if base == 0 {
+		base = o.Seed
+	}
+	return o.Faults.WithSeed(cellSeed(base, 0xf1, uint64(cell)))
 }
 
 // sizes returns quick or full sweep sizes.
@@ -85,5 +135,6 @@ func All() []Experiment {
 		{"X3", "Extension (§7.2): rapid sampling on k-ary hypercubes", X3KAryRapidSampling},
 		{"X4", "Extension (§7.2): the reconfigured k-ary hypercube network under DoS", X4KAryNetwork},
 		{"S1", "Scale: one simulated network at n up to 100k, sharded kernel", S1ScaleFlood},
+		{"F1", "Audit: which invariants survive which fault rates (drop/dup/crash sweep)", F1FaultMatrix},
 	}
 }

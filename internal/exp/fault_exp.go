@@ -1,0 +1,182 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"overlaynet/internal/audit"
+	"overlaynet/internal/core"
+	"overlaynet/internal/dos"
+	"overlaynet/internal/fault"
+	"overlaynet/internal/metrics"
+	"overlaynet/internal/rng"
+	"overlaynet/internal/sim"
+	"overlaynet/internal/splitmerge"
+	"overlaynet/internal/trace"
+)
+
+// f1Specs is the fault matrix: message-level faults, crash-restart, and
+// their combinations, against the no-fault control.
+func f1Specs(quick bool) []fault.Spec {
+	if quick {
+		return []fault.Spec{
+			{},
+			{Drop: 0.05},
+			{Crash: 0.1},
+		}
+	}
+	return []fault.Spec{
+		{},
+		{Drop: 0.01},
+		{Drop: 0.05},
+		{Dup: 0.01},
+		{Drop: 0.02, Dup: 0.02},
+		{Crash: 0.1, Restart: 1},
+		{Drop: 0.01, Crash: 0.1, Restart: 2},
+	}
+}
+
+// failedInvariants renders the engine's verdict: every registered
+// invariant that reported at least one violation, or "-".
+func failedInvariants(e *audit.Engine) string {
+	var bad []string
+	for _, name := range e.Invariants() {
+		if e.CountFor(name) > 0 {
+			bad = append(bad, name)
+		}
+	}
+	if len(bad) == 0 {
+		return "-"
+	}
+	return strings.Join(bad, "+")
+}
+
+// F1FaultMatrix records which runtime invariants survive which fault
+// rates, with the audit engine always attached. The reconfiguration
+// network (§4) takes crash-restart through the join protocol: a crashed
+// node loses its volatile state, departs, and rejoins as a fresh member
+// sponsored by a survivor after Restart epochs. The split/merge overlay
+// (§6) takes message faults at its supernode queues and crashes as
+// scheduled unresponsiveness, with an added DoS adversary to compound
+// the stress. Work conservation and budget accounting must hold at
+// every fault rate; exact issued==served conservation is expected to
+// hold only in the no-message-fault rows.
+func F1FaultMatrix(o Options) *metrics.Table {
+	t := metrics.NewTable("F1  Invariant audit under deterministic fault injection",
+		"system", "faults", "epochs", "crashes", "rejoins", "msg drops", "msg dups", "violations", "failed invariants", "healthy")
+	specs := f1Specs(o.Quick)
+	t.AddRows(RunRows(o, 2*len(specs), func(cell int) [][]string {
+		spec := specs[cell%len(specs)].WithSeed(cellSeed(o.Seed, 0xf1a, uint64(cell%len(specs))))
+		if cell < len(specs) {
+			return f1Core(o, cell, spec)
+		}
+		return f1SplitMerge(o, cell, spec)
+	}))
+	return t
+}
+
+// f1Core runs the §4 reconfiguration network under spec, auditing every
+// epoch. Crash-restart is driven at the churn interface: the crash
+// schedule picks victims among current members each epoch, they leave
+// (volatile state gone), and rejoin through the §4 join protocol once
+// their downtime expires.
+func f1Core(o Options, cell int, spec fault.Spec) [][]string {
+	n := 64
+	epochs := 4
+	if o.Quick {
+		epochs = 2
+	}
+	seed := cellSeed(o.Seed, 0xf1, uint64(cell))
+	scope := fmt.Sprintf("%s/cell%d", o.Exp, cell)
+
+	// A cell-local recorder supplies the fault-drop/duplication counts
+	// and receives the violation events; it never streams anywhere, so
+	// it cannot interfere with a shared -events recorder.
+	rec := trace.New()
+	every := o.AuditEvery
+	if every == 0 {
+		every = 1
+	}
+	eng := audit.NewEngine(scope, seed, every, rec)
+
+	nw := core.NewNetwork(coreConfig(o, seed, n))
+	nw.SetTrace(rec, scope)
+	nw.SetAudit(eng)
+	if inj := spec.Injector(); inj != nil {
+		nw.SetInjector(inj)
+	}
+
+	crashes, rejoins := 0, 0
+	recoverAt := map[int]int{} // epoch -> nodes due back
+	healthy := true
+	for e := 0; e < epochs; e++ {
+		var joins []core.JoinSpec
+		var leaves []int
+		if spec.Crash > 0 {
+			members := nw.Members()
+			var surv []int
+			for _, id := range members {
+				// Keep a quorum: never crash below half the network.
+				if spec.Crashes(e, uint64(id)) && len(members)-len(leaves) > n/2 {
+					leaves = append(leaves, id)
+				} else {
+					surv = append(surv, id)
+				}
+			}
+			crashes += len(leaves)
+			recoverAt[e+spec.RestartEpochs()] += len(leaves)
+			if k := recoverAt[e]; k > 0 {
+				delete(recoverAt, e)
+				for i := 0; i < k; i++ {
+					joins = append(joins, core.JoinSpec{Sponsor: surv[i%len(surv)]})
+				}
+				rejoins += k
+			}
+		}
+		rep, _ := nw.RunEpoch(joins, leaves)
+		healthy = healthy && rep.Connected && rep.Valid
+		nw.ResetWork() // keep the round log bounded across epochs
+	}
+	nw.Shutdown()
+
+	drops := rec.DropCount(sim.DropFaultInjected)
+	dups := rec.Counters().DupExtraCopies
+	return [][]string{metrics.Row("reconfig §4", spec.String(), epochs,
+		crashes, rejoins, drops, dups, eng.Count(), failedInvariants(eng), healthy)}
+}
+
+// f1SplitMerge runs the §6 split/merge overlay under spec plus a late
+// DoS adversary, auditing every round.
+func f1SplitMerge(o Options, cell int, spec fault.Spec) [][]string {
+	n0 := 256
+	epochs := 3
+	if o.Quick {
+		n0 = 128
+		epochs = 2
+	}
+	seed := cellSeed(o.Seed, 0xf1, uint64(cell))
+	scope := fmt.Sprintf("%s/cell%d", o.Exp, cell)
+
+	rec := trace.New()
+	every := o.AuditEvery
+	if every == 0 {
+		every = 1
+	}
+	eng := audit.NewEngine(scope, seed, every, rec)
+
+	nw := splitmerge.New(splitmerge.Config{Seed: seed, N0: n0})
+	nw.SetAudit(eng)
+	nw.SetFaults(spec)
+	adv := &dos.GroupIsolate{Fraction: 0.25, R: rng.New(seed + 17)}
+	buf := &dos.Buffer{Lateness: 2 * nw.EpochRounds()}
+	disc := 0
+	for _, rep := range nw.Run(adv, buf, epochs*nw.EpochRounds()) {
+		if rep.Measured && !rep.Connected {
+			disc++
+		}
+	}
+	st := nw.StatsSnapshot()
+	healthy := disc == 0 && nw.Eq1Holds()
+	return [][]string{metrics.Row("splitmerge §6", spec.String(), epochs,
+		st.Crashes, st.Restarts, st.FaultDrops, st.FaultDups, eng.Count(), failedInvariants(eng), healthy)}
+}

@@ -1,0 +1,239 @@
+// Package fault is the deterministic fault-injection layer: seed-derived
+// message drop/duplication applied between send and deliver, and
+// crash-restart schedules for nodes (a crashed node loses its volatile
+// state and must rejoin through the paper's §4 join protocol, or is
+// treated as unresponsive for a configurable number of epochs in the
+// centrally simulated networks).
+//
+// Every decision is a pure hash of (seed, message or node identity) —
+// never a sequential RNG stream — so outcomes are byte-reproducible for
+// any worker or shard count: the same message is dropped, the same node
+// crashes, no matter how the simulation is scheduled. See sim.Injector
+// for why purity is load-bearing.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"overlaynet/internal/sim"
+)
+
+// Spec configures the fault model. The zero value injects nothing.
+type Spec struct {
+	// Seed derives every fault decision. Drivers should derive it from
+	// the per-cell experiment seed (exp.cellSeed) so fault schedules are
+	// independent of -procs/-shards.
+	Seed uint64
+	// Drop is the per-message probability of being lost in transit.
+	Drop float64
+	// Dup is the per-message probability of being delivered twice.
+	Dup float64
+	// Crash is the per-node, per-epoch probability of crashing: the node
+	// loses its volatile state and is gone (or unresponsive) for Restart
+	// epochs, then rejoins.
+	Crash float64
+	// Restart is how many epochs a crashed node stays down before it
+	// rejoins; 0 means the default of 1.
+	Restart int
+}
+
+// ParseSpec parses a comma-separated key=value list, e.g.
+// "drop=0.01,dup=0.001,crash=0.05,restart=2". Keys: drop, dup, crash
+// (probabilities in [0,1]), restart (epochs, >= 1), seed (uint64).
+// The empty string parses to the zero Spec.
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return spec, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return spec, fmt.Errorf("fault: %q is not key=value", part)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "drop", "dup", "crash":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return spec, fmt.Errorf("fault: %s: %v", key, err)
+			}
+			switch key {
+			case "drop":
+				spec.Drop = f
+			case "dup":
+				spec.Dup = f
+			case "crash":
+				spec.Crash = f
+			}
+		case "restart":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return spec, fmt.Errorf("fault: restart: %v", err)
+			}
+			spec.Restart = n
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return spec, fmt.Errorf("fault: seed: %v", err)
+			}
+			spec.Seed = n
+		default:
+			return spec, fmt.Errorf("fault: unknown key %q (want drop, dup, crash, restart, or seed)", key)
+		}
+	}
+	return spec, spec.Validate()
+}
+
+// Validate reports whether the spec's rates are usable.
+func (s Spec) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"drop", s.Drop}, {"dup", s.Dup}, {"crash", s.Crash}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("fault: %s=%g outside [0,1]", p.name, p.v)
+		}
+	}
+	if s.Drop+s.Dup > 1 {
+		return fmt.Errorf("fault: drop+dup=%g exceeds 1", s.Drop+s.Dup)
+	}
+	if s.Restart < 0 {
+		return fmt.Errorf("fault: restart=%d is negative", s.Restart)
+	}
+	return nil
+}
+
+// Active reports whether the spec injects any fault at all.
+func (s Spec) Active() bool { return s.Drop > 0 || s.Dup > 0 || s.Crash > 0 }
+
+// WithSeed returns a copy with the seed replaced; drivers use it to bind
+// a shared command-line spec to each sweep cell's deterministic seed.
+func (s Spec) WithSeed(seed uint64) Spec {
+	s.Seed = seed
+	return s
+}
+
+// String renders the spec in ParseSpec's format (stable key order,
+// zero-valued keys omitted; "none" for the zero spec).
+func (s Spec) String() string {
+	var parts []string
+	if s.Drop > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", s.Drop))
+	}
+	if s.Dup > 0 {
+		parts = append(parts, fmt.Sprintf("dup=%g", s.Dup))
+	}
+	if s.Crash > 0 {
+		parts = append(parts, fmt.Sprintf("crash=%g", s.Crash))
+		if s.Restart > 1 {
+			parts = append(parts, fmt.Sprintf("restart=%d", s.Restart))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// RestartEpochs returns how long a crashed node stays down (>= 1).
+func (s Spec) RestartEpochs() int {
+	if s.Restart < 1 {
+		return 1
+	}
+	return s.Restart
+}
+
+// Injector returns the message-level injector for this spec, or nil if
+// neither drop nor dup is enabled — callers pass the result straight to
+// sim.Network.SetInjector, and nil keeps the kernel on its fast path.
+func (s Spec) Injector() *Injector {
+	if s.Drop == 0 && s.Dup == 0 {
+		return nil
+	}
+	return &Injector{seed: s.Seed, drop: s.Drop, dup: s.Dup}
+}
+
+// Distinct salts keep the message-fate and crash-schedule hash streams
+// independent of each other (and of exp.cellSeed's mixing constants).
+const (
+	saltMessage = 0xd6e8feb86659fd93
+	saltCrash   = 0xa0761d6478bd642f
+)
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over uint64.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// unit maps a hash to a float in [0, 1) using its top 53 bits.
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// Injector decides the fate of individual messages. It implements
+// sim.Injector; the centrally simulated networks (supernode,
+// splitmerge) call CopiesAt with queue indices instead of send
+// sequences.
+type Injector struct {
+	seed      uint64
+	drop, dup float64
+}
+
+// copies maps one hashed decision to a delivery count: the unit interval
+// is split into [0,drop) -> lost, [1-dup,1) -> duplicated, else normal.
+func (in *Injector) copies(h uint64) int {
+	u := unit(h)
+	switch {
+	case u < in.drop:
+		return 0
+	case u >= 1-in.dup:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Deliveries implements sim.Injector: a pure function of the message
+// identity (round, sender, receiver, per-sender send sequence).
+func (in *Injector) Deliveries(round int, from, to sim.NodeID, seq uint64) int {
+	h := in.seed ^ saltMessage
+	h = mix64(h + uint64(round)*0x9e3779b97f4a7c15)
+	h = mix64(h + uint64(from))
+	h = mix64(h + uint64(to))
+	h = mix64(h + seq)
+	return in.copies(h)
+}
+
+// CopiesAt is Deliveries for centrally simulated message queues, where
+// the (round, from, to, index-in-queue) tuple identifies a message the
+// same way a send sequence does.
+func (in *Injector) CopiesAt(round int, from, to uint64, index int) int {
+	return in.Deliveries(round, sim.NodeID(from), sim.NodeID(to), uint64(index))
+}
+
+// Crashes reports whether node id crashes at the start of the given
+// epoch — a pure hash, so the schedule is identical no matter which
+// worker evaluates it or in what order.
+func (s Spec) Crashes(epoch int, id uint64) bool {
+	if s.Crash == 0 {
+		return false
+	}
+	h := s.Seed ^ saltCrash
+	h = mix64(h + uint64(epoch)*0x9e3779b97f4a7c15)
+	h = mix64(h + id)
+	return unit(h) < s.Crash
+}

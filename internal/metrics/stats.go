@@ -123,11 +123,26 @@ func Summarize(xs []float64) Summary {
 		s.StdDev = math.Sqrt(variance)
 	}
 	q := func(p float64) float64 {
-		idx := int(p * float64(len(sorted)-1))
-		return sorted[idx]
+		return sorted[quantileIndex(len(sorted), p)]
 	}
 	s.P50, s.P90, s.P99 = q(0.50), q(0.90), q(0.99)
 	return s
+}
+
+// quantileIndex returns the nearest-rank index of the p-quantile for a
+// sample of length n > 0, clamped into [0, n-1] so out-of-range p (or
+// floating-point spill at p = 1) can never index past the slice. Both
+// Summarize and PercentileSortedInt64 resolve quantiles through this
+// one rule, so they always agree.
+func quantileIndex(n int, p float64) int {
+	idx := int(p * float64(n-1))
+	if idx < 0 {
+		return 0
+	}
+	if idx >= n {
+		return n - 1
+	}
+	return idx
 }
 
 // PercentileSortedInt64 returns the p-quantile (0 ≤ p ≤ 1) of a sample
@@ -139,14 +154,7 @@ func PercentileSortedInt64(sorted []int64, p float64) int64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(p * float64(len(sorted)-1))
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
+	return sorted[quantileIndex(len(sorted), p)]
 }
 
 // SummarizeInts is Summarize for integer samples.

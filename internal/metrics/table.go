@@ -62,6 +62,16 @@ func (t *Table) AddRows(rows [][]string) {
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 
+// Rows returns a copy of the data rows, so tests and tooling can
+// inspect cell values without reparsing the rendered text.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
 // String renders the table with aligned columns.
 func (t *Table) String() string {
 	widths := make([]int, len(t.header))

@@ -2,9 +2,41 @@ package sampling
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"overlaynet/internal/sim"
 )
+
+// BudgetStats tallies the sampling protocol's request budget across all
+// nodes of a network, for the audit layer's conservation check: every
+// request issued is answered by exactly one served grant (so with no
+// message faults Issued == Served after each sampling window), and
+// Refused counts extraction fallbacks where an empty multiset forced a
+// node to substitute itself. ReqBatches/RespBatches count the Send
+// calls, which reconcile against the RoundWork message totals of the
+// sampling rounds. Fields are atomic because every node goroutine of a
+// network shares one BudgetStats.
+type BudgetStats struct {
+	Issued, Served, Refused atomic.Int64
+	ReqBatches, RespBatches atomic.Int64
+}
+
+// BudgetSnapshot is a plain-value copy of BudgetStats.
+type BudgetSnapshot struct {
+	Issued, Served, Refused, ReqBatches, RespBatches int64
+}
+
+// Snapshot reads the counters; call it only between rounds (the driver
+// side), when no node goroutine is mutating them.
+func (b *BudgetStats) Snapshot() BudgetSnapshot {
+	return BudgetSnapshot{
+		Issued:      b.Issued.Load(),
+		Served:      b.Served.Load(),
+		Refused:     b.Refused.Load(),
+		ReqBatches:  b.ReqBatches.Load(),
+		RespBatches: b.RespBatches.Load(),
+	}
+}
 
 // RapidHGraphInline runs the per-node part of Algorithm 1 inside an
 // existing node protocol, so that longer-lived protocols (the
@@ -21,6 +53,13 @@ import (
 // extraction-from-empty events.
 func RapidHGraphInline(ctx *sim.Ctx, p HGraphParams, self int, neighbors []int,
 	idOf func(int) sim.NodeID, onOther func(sim.Message), fail *int) []int {
+	return RapidHGraphInlineStats(ctx, p, self, neighbors, idOf, onOther, fail, nil)
+}
+
+// RapidHGraphInlineStats is RapidHGraphInline with an optional shared
+// budget tally (nil skips all accounting).
+func RapidHGraphInlineStats(ctx *sim.Ctx, p HGraphParams, self int, neighbors []int,
+	idOf func(int) sim.NodeID, onOther func(sim.Message), fail *int, stats *BudgetStats) []int {
 
 	r := ctx.RNG()
 	T := p.T()
@@ -33,6 +72,9 @@ func RapidHGraphInline(ctx *sim.Ctx, p HGraphParams, self int, neighbors []int,
 			if fail != nil {
 				*fail++
 			}
+			if stats != nil {
+				stats.Refused.Add(1)
+			}
 			return int32(self)
 		}
 		return w
@@ -44,6 +86,9 @@ func RapidHGraphInline(ctx *sim.Ctx, p HGraphParams, self int, neighbors []int,
 		for j := 0; j < mi; j++ {
 			targets[j] = extract()
 		}
+		if stats != nil {
+			stats.Issued.Add(int64(mi))
+		}
 		sort.Slice(targets, func(a, b int) bool { return targets[a] < targets[b] })
 		for j := 0; j < mi; {
 			k := j
@@ -52,6 +97,9 @@ func RapidHGraphInline(ctx *sim.Ctx, p HGraphParams, self int, neighbors []int,
 			}
 			count := k - j
 			ctx.Send(idOf(int(targets[j])), reqBatch{Count: int32(count)}, count*idBits)
+			if stats != nil {
+				stats.ReqBatches.Add(1)
+			}
 			j = k
 		}
 	}
@@ -78,6 +126,10 @@ func RapidHGraphInline(ctx *sim.Ctx, p HGraphParams, self int, neighbors []int,
 				ids[k] = extract()
 			}
 			ctx.Send(m.From, respBatch{IDs: ids}, len(ids)*idBits)
+			if stats != nil {
+				stats.Served.Add(int64(rb.Count))
+				stats.RespBatches.Add(1)
+			}
 		}
 		inbox = ctx.NextRound()
 		collected := make([]int32, 0, p.M(i))

@@ -48,6 +48,7 @@ type shardAcc struct {
 
 	recvDrops    []dropEvent // blocked-receiver delivery-round drops, position order
 	sendDrops    []dropEvent // send-step drops, sender position order
+	dups         []dupEvent  // injected duplications, sender position order
 	inboxSamples []int64
 	bitsSamples  []int64
 
@@ -63,6 +64,7 @@ func (a *shardAcc) reset() {
 	a.anyHalted = false
 	a.recvDrops = a.recvDrops[:0]
 	a.sendDrops = a.sendDrops[:0]
+	a.dups = a.dups[:0]
 	a.inboxSamples = a.inboxSamples[:0]
 	a.bitsSamples = a.bitsSamples[:0]
 	a.recvNS, a.sendNS = 0, 0
@@ -185,6 +187,13 @@ func (n *Network) stepSharded() (messages int, totalBits, maxBits int64, anyHalt
 		for w := range n.acc {
 			for _, d := range n.acc[w].sendDrops {
 				tr.MessageDropped(n.round, d.reason, d.from, d.to, d.bits)
+			}
+		}
+		if n.faultObs != nil {
+			for w := range n.acc {
+				for _, d := range n.acc[w].dups {
+					n.faultObs.MessageDuplicated(n.round, d.from, d.to, d.bits, d.copies)
+				}
 			}
 		}
 		for w := range n.acc {

@@ -149,6 +149,15 @@ type Network struct {
 	shardObs   ShardObserver
 	traceInbox []int64
 	traceBits  []int64
+
+	// injector, when non-nil, is consulted for every otherwise-
+	// deliverable message (see inject.go). faultObs caches whether the
+	// tracer wants duplication events; dupScratch buffers them on the
+	// serial path so they replay after the send step, matching the
+	// sharded call order.
+	injector   Injector
+	faultObs   FaultObserver
+	dupScratch []dupEvent
 }
 
 // NewNetwork returns an empty network.
@@ -356,6 +365,12 @@ func (n *Network) Step() {
 		// Send step: drain outboxes in deterministic spawn order,
 		// appending each message to its receiver's fill buffer.
 		messages, totalBits, maxBits, anyHalted = n.sendRange(0, len(n.order), 0, int32(len(n.slots)), nil)
+		if len(n.dupScratch) > 0 {
+			for _, d := range n.dupScratch {
+				n.faultObs.MessageDuplicated(n.round, d.from, d.to, d.bits, d.copies)
+			}
+			n.dupScratch = n.dupScratch[:0]
+		}
 	}
 
 	if anyHalted {
@@ -455,6 +470,7 @@ func (n *Network) receiveRange(plo, phi int, acc *shardAcc) {
 // round exactly.
 func (n *Network) sendRange(plo, phi int, dlo, dhi int32, acc *shardAcc) (messages int, totalBits, maxBits int64, anyHalted bool) {
 	tr := n.tracer
+	inj := n.injector
 	slots := n.slots
 	blocked, anyB := n.blocked, n.blockedAny
 	for p, norder := 0, len(n.order); p < norder; p++ {
@@ -476,7 +492,10 @@ func (n *Network) sendRange(plo, phi int, dlo, dhi int32, acc *shardAcc) (messag
 					}
 				}
 			}
-		} else {
+		} else if inj == nil {
+			// Fast path: no fault injection. This loop body is kept
+			// free of the injector branch so a detached injector costs
+			// one pointer check per sender, not one per message.
 			for i := range out {
 				m := &out[i]
 				t := m.slot
@@ -487,6 +506,67 @@ func (n *Network) sendRange(plo, phi int, dlo, dhi int32, acc *shardAcc) (messag
 					if t >= dlo && t < dhi {
 						rcv := &slots[t]
 						rcv.inbox[rcv.fill] = append(rcv.inbox[rcv.fill], *m)
+					}
+				} else if mine && tr != nil {
+					reason := DropBlockedReceiverSendRound
+					if t < 0 {
+						reason = DropDeadReceiver
+					}
+					if acc != nil {
+						acc.sendDrops = append(acc.sendDrops, dropEvent{
+							from: m.From, to: m.To, bits: m.Bits, reason: reason,
+						})
+					} else {
+						tr.MessageDropped(n.round, reason, m.From, m.To, m.Bits)
+					}
+				}
+				if mine {
+					st.bits += int64(m.Bits)
+				}
+			}
+			if mine {
+				messages += len(out)
+			}
+		} else {
+			for i := range out {
+				m := &out[i]
+				t := m.slot
+				if t >= 0 && !(anyB && blocked.test(t)) {
+					// Fault injection: the injector is a pure function
+					// of the message identity, so the delivering worker
+					// and the accounting worker (which may differ under
+					// sharding) reach the same decision.
+					deliver := t >= dlo && t < dhi
+					if deliver || (mine && tr != nil) {
+						copies := inj.Deliveries(n.round, m.From, m.To, m.seq)
+						if deliver {
+							rcv := &slots[t]
+							for c := 0; c < copies; c++ {
+								rcv.inbox[rcv.fill] = append(rcv.inbox[rcv.fill], *m)
+							}
+						}
+						if mine && tr != nil {
+							if copies == 0 {
+								if acc != nil {
+									acc.sendDrops = append(acc.sendDrops, dropEvent{
+										from: m.From, to: m.To, bits: m.Bits,
+										reason: DropFaultInjected,
+									})
+								} else {
+									tr.MessageDropped(n.round, DropFaultInjected, m.From, m.To, m.Bits)
+								}
+							} else if copies > 1 && n.faultObs != nil {
+								if acc != nil {
+									acc.dups = append(acc.dups, dupEvent{
+										from: m.From, to: m.To, bits: m.Bits, copies: copies,
+									})
+								} else {
+									n.dupScratch = append(n.dupScratch, dupEvent{
+										from: m.From, to: m.To, bits: m.Bits, copies: copies,
+									})
+								}
+							}
+						}
 					}
 				} else if mine && tr != nil {
 					reason := DropBlockedReceiverSendRound

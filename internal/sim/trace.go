@@ -25,6 +25,11 @@ const (
 	DropBlockedReceiverDeliveryRound
 	// DropDeadReceiver: the receiver id does not (or no longer) exist.
 	DropDeadReceiver
+	// DropFaultInjected: an attached Injector (see inject.go) decided to
+	// drop the message in transit. Unlike the blocking-related reasons
+	// this one is synthetic — the message counted as sent and would have
+	// been delivered.
+	DropFaultInjected
 	// NumDropReasons sizes per-reason counter arrays.
 	NumDropReasons
 )
@@ -34,6 +39,7 @@ var dropReasonNames = [NumDropReasons]string{
 	"blocked-receiver-send-round",
 	"blocked-receiver-delivery-round",
 	"dead-receiver",
+	"fault-injected",
 }
 
 func (r DropReason) String() string {
@@ -53,6 +59,12 @@ type RoundStats struct {
 	Alive   int // nodes alive at the start of the round
 	Blocked int // of those, blocked in this round
 	Work    RoundWork
+	// Delivered is the number of messages handed to nodes in this
+	// round's receive step (the sum of the inbox sizes below). It is a
+	// sum over per-node samples, so it is identical for every shard
+	// count. audit.WorkAuditor reconciles it against the previous
+	// round's Messages and drop events.
+	Delivered int64
 	// Delivered-inbox size distribution across alive nodes (blocked
 	// nodes receive nothing and contribute 0).
 	InboxP50, InboxP95, InboxMax int64
@@ -69,10 +81,12 @@ type RoundStats struct {
 // Drop accounting reconciles with the work log as follows: for every
 // round, Work.Messages (sends by non-blocked senders) equals the number
 // of messages delivered into inboxes plus the MessageDropped calls with
-// reasons DropDeadReceiver and DropBlockedReceiverSendRound for that
-// round. DropBlockedSender drops are *not* part of Work.Messages, and
-// DropBlockedReceiverDeliveryRound drops were counted as Messages in
-// the preceding round (their send round).
+// reasons DropDeadReceiver, DropBlockedReceiverSendRound, and
+// DropFaultInjected for that round, minus the extra copies reported via
+// FaultObserver.MessageDuplicated (each adds copies-1 inbox entries
+// beyond the single counted send). DropBlockedSender drops are *not*
+// part of Work.Messages, and DropBlockedReceiverDeliveryRound drops
+// were counted as Messages in the preceding round (their send round).
 type Tracer interface {
 	// RoundStart fires after the round counter is advanced, before
 	// delivery: alive is the number of participating nodes, blocked how
@@ -111,6 +125,7 @@ type ShardObserver interface {
 func (n *Network) SetTracer(t Tracer) {
 	n.tracer = t
 	n.shardObs, _ = t.(ShardObserver)
+	n.faultObs, _ = t.(FaultObserver)
 }
 
 // traceRoundStart counts blocked members in spawn order, emits the
@@ -153,6 +168,9 @@ func (n *Network) traceRoundEnd(alive, nblocked, messages int, totalBits, maxBit
 		},
 	}
 	if len(n.traceInbox) > 0 {
+		for _, v := range n.traceInbox {
+			stats.Delivered += v
+		}
 		slices.Sort(n.traceInbox)
 		stats.InboxP50 = metrics.PercentileSortedInt64(n.traceInbox, 0.50)
 		stats.InboxP95 = metrics.PercentileSortedInt64(n.traceInbox, 0.95)

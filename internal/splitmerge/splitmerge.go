@@ -26,7 +26,9 @@ import (
 	"math"
 	"sort"
 
+	"overlaynet/internal/audit"
 	"overlaynet/internal/dos"
+	"overlaynet/internal/fault"
 	"overlaynet/internal/graph"
 	"overlaynet/internal/hypercube"
 	"overlaynet/internal/rng"
@@ -47,6 +49,26 @@ type Config struct {
 	MeasureEvery int
 }
 
+// Validate reports whether the configuration is usable, so CLIs can
+// turn bad flag values into error messages instead of stack traces.
+// New still panics on the same conditions.
+func (cfg Config) Validate() error {
+	c := cfg.C
+	if c == 0 {
+		c = 4
+	}
+	if c < 0 {
+		return fmt.Errorf("splitmerge: group-size constant %d must be positive", c)
+	}
+	if cfg.Epsilon < 0 {
+		return fmt.Errorf("splitmerge: epsilon %g must be positive", cfg.Epsilon)
+	}
+	if cfg.N0 < 8*c {
+		return fmt.Errorf("splitmerge: n0 = %d too small for c = %d (need at least %d)", cfg.N0, c, 8*c)
+	}
+	return nil
+}
+
 // Stats aggregates protocol health counters.
 type Stats struct {
 	Rounds       int
@@ -65,6 +87,10 @@ type Stats struct {
 	// Eq1Violations counts supernodes violating Equation (1) after a
 	// completed split/merge normalization.
 	Eq1Violations int
+	FaultDrops    int // supernode messages lost to injected faults
+	FaultDups     int // supernode messages duplicated by injected faults
+	Crashes       int // node-crash events from the fault schedule
+	Restarts      int // crashed nodes that came back
 }
 
 // RoundReport summarizes one round.
@@ -137,6 +163,14 @@ type Network struct {
 	blockedHist   [3]map[sim.NodeID]bool
 	pendingAssign [][]sim.NodeID
 	stats         Stats
+
+	// audit: optional invariant engine, ticked once per Step.
+	// faults/inj: optional deterministic fault layer — see package
+	// supernode for the crash-as-blocked composition semantics.
+	audit      *audit.Engine
+	faults     fault.Spec
+	inj        *fault.Injector
+	wasCrashed map[sim.NodeID]bool
 }
 
 // New builds the initial network: the label tree starts at the unique
@@ -153,8 +187,8 @@ func New(cfg Config) *Network {
 	if cfg.MeasureEvery == 0 {
 		cfg.MeasureEvery = 1
 	}
-	if cfg.N0 < 8*cfg.C {
-		panic(fmt.Sprintf("splitmerge: n0 = %d too small for c = %d", cfg.N0, cfg.C))
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	nw := &Network{
 		cfg:       cfg,
@@ -259,6 +293,109 @@ func (nw *Network) Eq1Holds() bool {
 		}
 	}
 	return true
+}
+
+// SetAudit attaches (or, with nil, detaches) an invariant engine. The
+// registered checkers run every engine-tick against the committed
+// topology: Equation (1)'s group-size band, Lemma 18's dimension
+// spread, membership-index consistency, and connectivity of the
+// non-blocked subgraph.
+func (nw *Network) SetAudit(e *audit.Engine) {
+	nw.audit = e
+	if e == nil {
+		return
+	}
+	e.Register("eq1-group-size", func() []audit.Violation {
+		c := nw.cfg.C
+		var out []audit.Violation
+		for _, s := range nw.supers {
+			d := s.label.Dim()
+			if n := len(s.members); n < c*d-c || n > 2*c*d {
+				out = append(out, audit.Violation{
+					Detail: fmt.Sprintf("group %v (dim %d) has %d members, Equation (1) band is [%d, %d]",
+						s.label, d, n, c*d-c, 2*c*d),
+				})
+			}
+		}
+		return out
+	})
+	e.Register("dim-spread", func() []audit.Violation {
+		if min, max := nw.DimRange(); max-min > 2 {
+			return []audit.Violation{{
+				Detail: fmt.Sprintf("dimension spread %d exceeds Lemma 18 bound 2 (min %d, max %d)", max-min, min, max),
+			}}
+		}
+		return nil
+	})
+	e.Register("membership", nw.checkMembership)
+	e.Register("splitmerge-connectivity", func() []audit.Violation {
+		if !nw.ConnectedNow() {
+			return []audit.Violation{{Detail: "non-blocked committed members are disconnected"}}
+		}
+		return nil
+	})
+}
+
+// SetFaults installs a deterministic fault schedule (zero Spec
+// disables). Message faults apply to the supernode request/response
+// queues; the crash schedule composes into every round's blocked set.
+func (nw *Network) SetFaults(spec fault.Spec) {
+	nw.faults = spec
+	nw.inj = spec.Injector()
+	if spec.Crash > 0 && nw.wasCrashed == nil {
+		nw.wasCrashed = make(map[sim.NodeID]bool)
+	}
+}
+
+func (nw *Network) crashedNow(id sim.NodeID) bool {
+	for k := 0; k < nw.faults.RestartEpochs(); k++ {
+		if nw.faults.Crashes(nw.epoch-k, uint64(id)) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMembership verifies that every committed member sits in exactly
+// one group and that the nodeSuper index agrees with group membership.
+func (nw *Network) checkMembership() []audit.Violation {
+	var out []audit.Violation
+	bad := func(id sim.NodeID, detail string) {
+		if len(out) < 16 {
+			out = append(out, audit.Violation{Nodes: []uint64{uint64(id)}, Detail: detail})
+		}
+	}
+	seen := make(map[sim.NodeID]int32, len(nw.nodeSuper))
+	for x, s := range nw.supers {
+		for _, id := range s.members {
+			if prev, dup := seen[id]; dup {
+				bad(id, fmt.Sprintf("node %d appears in groups %d and %d", id, prev, x))
+				continue
+			}
+			seen[id] = int32(x)
+			if got, ok := nw.nodeSuper[id]; !ok || got != int32(x) {
+				bad(id, fmt.Sprintf("nodeSuper index says %d for node %d, membership says %d", got, id, x))
+			}
+		}
+	}
+	for id := range nw.nodeSuper {
+		if _, ok := seen[id]; !ok {
+			bad(id, fmt.Sprintf("node %d indexed but missing from every group", id))
+		}
+	}
+	return out
+}
+
+// CorruptGroupForTest deliberately desynchronizes the membership index
+// for the first committed member, so tests can verify the audit engine
+// reports the inconsistency within its check cadence.
+func (nw *Network) CorruptGroupForTest() {
+	for x, s := range nw.supers {
+		if len(s.members) > 0 {
+			nw.nodeSuper[s.members[0]] = int32((x + 1) % len(nw.supers))
+			return
+		}
+	}
 }
 
 // Join introduces a new node through the given sponsor and returns its
@@ -395,6 +532,30 @@ func (nw *Network) leader(s *super) sim.NodeID {
 // Step executes one round under the given blocked set.
 func (nw *Network) Step(blocked map[sim.NodeID]bool) RoundReport {
 	nw.round++
+	if nw.faults.Crash > 0 {
+		// Compose the crash schedule into this round's blocked set; see
+		// package supernode for the semantics (crashed ≈ blocked + stale
+		// view; restart recovers via the every-round S(x) broadcast).
+		merged := make(map[sim.NodeID]bool, len(blocked))
+		for id, b := range blocked {
+			if b {
+				merged[id] = true
+			}
+		}
+		for _, id := range nw.Members() {
+			if nw.crashedNow(id) {
+				merged[id] = true
+				if !nw.wasCrashed[id] {
+					nw.wasCrashed[id] = true
+					nw.stats.Crashes++
+				}
+			} else if nw.wasCrashed[id] {
+				delete(nw.wasCrashed, id)
+				nw.stats.Restarts++
+			}
+		}
+		blocked = merged
+	}
 	nw.blockedHist[2] = nw.blockedHist[1]
 	nw.blockedHist[1] = nw.blockedHist[0]
 	nw.blockedHist[0] = blocked
@@ -465,6 +626,8 @@ func (nw *Network) Step(blocked map[sim.NodeID]bool) RoundReport {
 			nw.stats.Disconnected++
 		}
 	}
+	nw.audit.SetEpoch(nw.epoch)
+	nw.audit.Tick(nw.round)
 	return rep
 }
 
@@ -500,9 +663,43 @@ func (nw *Network) simulationRound(pr int, leaders []sim.NodeID) {
 			continue
 		}
 		for _, vs := range nw.supers[oi].virt {
-			if vs.w == w {
+			if vs.w != w {
+				continue
+			}
+			if nw.inj == nil {
 				vs.reqs = append(vs.reqs, dv.reqs...)
 				vs.resps = append(vs.resps, dv.resps...)
+				continue
+			}
+			// Fault injection at the delivery merge. Each entry's fate is
+			// a pure function of (round, endpoints, queue index): dv.reqs/
+			// dv.resps build order is deterministic (supers are scanned in
+			// label order), and each virtual vertex receives from exactly
+			// one dv, so the outcome is independent of this map's
+			// iteration order. Responses offset the from-id past the
+			// 32-bit virtual-label space to keep their hash stream
+			// disjoint from requests.
+			for idx, rq := range dv.reqs {
+				switch nw.inj.CopiesAt(nw.round, uint64(rq.from)+1, uint64(w)+1, idx) {
+				case 0:
+					nw.stats.FaultDrops++
+				case 1:
+					vs.reqs = append(vs.reqs, rq)
+				default:
+					nw.stats.FaultDups++
+					vs.reqs = append(vs.reqs, rq, rq)
+				}
+			}
+			for idx, rp := range dv.resps {
+				switch nw.inj.CopiesAt(nw.round, uint64(rp.v)+1+(1<<32), uint64(w)+1, idx) {
+				case 0:
+					nw.stats.FaultDrops++
+				case 1:
+					vs.resps = append(vs.resps, rp)
+				default:
+					nw.stats.FaultDups++
+					vs.resps = append(vs.resps, rp, rp)
+				}
 			}
 		}
 	}

@@ -27,7 +27,9 @@ import (
 	"math"
 	"sort"
 
+	"overlaynet/internal/audit"
 	"overlaynet/internal/dos"
+	"overlaynet/internal/fault"
 	"overlaynet/internal/graph"
 	"overlaynet/internal/hypercube"
 	"overlaynet/internal/rng"
@@ -60,6 +62,39 @@ type Config struct {
 	RandomLeader bool
 }
 
+// Validate reports whether the configuration is usable, so CLIs can
+// turn bad flag values into error messages instead of stack traces.
+// New still panics on the same conditions.
+func (cfg Config) Validate() error {
+	if cfg.N < 64 {
+		return fmt.Errorf("supernode: n = %d too small (need at least 64)", cfg.N)
+	}
+	k := cfg.K
+	if k == 0 {
+		k = 2
+	}
+	if k < 2 {
+		return fmt.Errorf("supernode: arity %d < 2", k)
+	}
+	c := cfg.C
+	if c == 0 {
+		c = 1
+	}
+	if c < 0 {
+		return fmt.Errorf("supernode: group-size constant %g must be positive", c)
+	}
+	if cfg.Epsilon < 0 {
+		return fmt.Errorf("supernode: epsilon %g must be positive", cfg.Epsilon)
+	}
+	// The smallest cube has dimension 2, so k^2 supernodes must fit the
+	// group-size budget n/(c·log₂ n).
+	if limit := float64(cfg.N) / (c * math.Log2(float64(cfg.N))); float64(k)*float64(k) > limit {
+		return fmt.Errorf("supernode: arity %d too large for n = %d (needs %d supernodes, budget %.1f)",
+			k, cfg.N, k*k, limit)
+	}
+	return nil
+}
+
 // RoundReport summarizes one communication round.
 type RoundReport struct {
 	Round   int
@@ -88,6 +123,10 @@ type Stats struct {
 	Disconnected  int   // rounds measured disconnected
 	MeasuredTotal int   // rounds where connectivity was measured
 	MaxNodeBits   int64 // peak per-node round work over the run
+	FaultDrops    int   // supernode messages lost to injected faults
+	FaultDups     int   // supernode messages duplicated by injected faults
+	Crashes       int   // node-crash events from the fault schedule
+	Restarts      int   // crashed nodes that came back
 }
 
 type supReq struct {
@@ -138,13 +177,25 @@ type Network struct {
 	idBits       int
 	supBits      int
 	groupBitsAvg int
+
+	// audit: optional invariant engine, ticked once per Step.
+	// faults/inj: optional deterministic fault layer — inj drops or
+	// duplicates supernode messages at the central-queue merge, and the
+	// crash schedule composes crashed nodes into every round's blocked
+	// set (a crashed node is unresponsive, loses epoch updates, and on
+	// restart recovers state through the paper's every-round S(x)
+	// broadcast). wasCrashed tracks restart counting only.
+	audit      *audit.Engine
+	faults     fault.Spec
+	inj        *fault.Injector
+	wasCrashed map[sim.NodeID]bool
 }
 
 // New builds the network with nodes assigned to groups independently
 // and uniformly at random (the paper's initial condition).
 func New(cfg Config) *Network {
-	if cfg.N < 64 {
-		panic(fmt.Sprintf("supernode: n = %d too small", cfg.N))
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	if cfg.C == 0 {
 		cfg.C = 1
@@ -157,9 +208,6 @@ func New(cfg Config) *Network {
 	}
 	if cfg.K == 0 {
 		cfg.K = 2
-	}
-	if cfg.K < 2 {
-		panic(fmt.Sprintf("supernode: arity %d < 2", cfg.K))
 	}
 	nw := &Network{cfg: cfg, r: rng.New(cfg.Seed)}
 	// Largest power-of-two dimension d with k^d ≤ n/(C·log₂ n).
@@ -269,6 +317,104 @@ func (nw *Network) Snapshot() *dos.Snapshot {
 	return &dos.Snapshot{Round: nw.round, Groups: cloneGroups(nw.groups), Adj: nw.adj}
 }
 
+// SetAudit attaches an invariant-audit engine (nil detaches): the
+// connectivity and group-partition checkers are registered and the
+// engine ticks once per Step.
+func (nw *Network) SetAudit(e *audit.Engine) {
+	nw.audit = e
+	if e == nil {
+		return
+	}
+	e.Register("supernode-connectivity", func() []audit.Violation {
+		if !nw.ConnectedNow() {
+			return []audit.Violation{{Detail: fmt.Sprintf(
+				"round %d: non-blocked nodes disconnected under current knowledge", nw.round)}}
+		}
+		return nil
+	})
+	e.Register("supernode-groups", nw.checkGroups)
+}
+
+// SetFaults attaches a deterministic fault specification: message
+// drop/duplication applies to the supernode-level queues, and the crash
+// schedule takes nodes out for spec.RestartEpochs() epochs at a time.
+// The zero spec detaches.
+func (nw *Network) SetFaults(spec fault.Spec) {
+	nw.faults = spec
+	nw.inj = spec.Injector()
+	if spec.Crash > 0 && nw.wasCrashed == nil {
+		nw.wasCrashed = make(map[sim.NodeID]bool)
+	}
+}
+
+// crashedNow reports whether node id is down in the current epoch: the
+// pure crash schedule marks it for spec.RestartEpochs() epochs starting
+// at its crash epoch, so the answer is identical no matter when or
+// where it is evaluated.
+func (nw *Network) crashedNow(id sim.NodeID) bool {
+	for k := 0; k < nw.faults.RestartEpochs(); k++ {
+		if nw.faults.Crashes(nw.epoch-k, uint64(id)) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkGroups verifies the group partition: every node is in exactly
+// one group, and its nodeGroup pointer names that group.
+func (nw *Network) checkGroups() []audit.Violation {
+	seen := make([]int32, nw.cfg.N) // group+1 where each node was found
+	var bad []uint64
+	var detail string
+	for x, g := range nw.groups {
+		for _, id := range g {
+			v := int(id) - 1
+			if v < 0 || v >= nw.cfg.N {
+				bad = append(bad, uint64(id))
+				detail = "group member id out of range"
+				continue
+			}
+			if seen[v] != 0 {
+				bad = append(bad, uint64(id))
+				detail = "node appears in more than one group"
+				continue
+			}
+			seen[v] = int32(x) + 1
+		}
+	}
+	for v := 0; v < nw.cfg.N; v++ {
+		switch {
+		case seen[v] == 0:
+			bad = append(bad, uint64(v+1))
+			detail = "node missing from every group"
+		case seen[v]-1 != nw.nodeGroup[v]:
+			bad = append(bad, uint64(v+1))
+			detail = "nodeGroup pointer disagrees with group membership"
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	if len(bad) > 16 {
+		bad = bad[:16]
+	}
+	return []audit.Violation{{Detail: fmt.Sprintf("%s (%d nodes affected)", detail, len(bad)), Nodes: bad}}
+}
+
+// CorruptGroupForTest deliberately desynchronizes the group partition
+// (one node's nodeGroup pointer stops matching its group) so tests can
+// prove the audit layer reports it within one check interval. Never
+// call it outside tests.
+func (nw *Network) CorruptGroupForTest() {
+	for x, g := range nw.groups {
+		if len(g) > 0 {
+			v := int(g[0]) - 1
+			nw.nodeGroup[v] = int32((x + 1) % nw.nSuper)
+			return
+		}
+	}
+}
+
 // resetPrimitive reinitializes the simulated Algorithm 2 state for a
 // new epoch.
 func (nw *Network) resetPrimitive() {
@@ -312,6 +458,33 @@ func (nw *Network) leader(x int) int {
 // Step executes one communication round under the given blocked set.
 func (nw *Network) Step(blocked map[sim.NodeID]bool) RoundReport {
 	nw.round++
+	if nw.faults.Crash > 0 {
+		// Compose the crash schedule into this round's blocked set: a
+		// crashed node is unresponsive exactly like a DoS-blocked one,
+		// loses epoch updates while down (its viewEpoch goes stale —
+		// volatile state), and on restart rejoins through the every-round
+		// S(x) broadcast.
+		merged := make(map[sim.NodeID]bool, len(blocked))
+		for id, b := range blocked {
+			if b {
+				merged[id] = true
+			}
+		}
+		for v := 0; v < nw.cfg.N; v++ {
+			id := sim.NodeID(v + 1)
+			if nw.crashedNow(id) {
+				merged[id] = true
+				if !nw.wasCrashed[id] {
+					nw.wasCrashed[id] = true
+					nw.stats.Crashes++
+				}
+			} else if nw.wasCrashed[id] {
+				delete(nw.wasCrashed, id)
+				nw.stats.Restarts++
+			}
+		}
+		blocked = merged
+	}
 	nw.blockedHist[2] = nw.blockedHist[1]
 	nw.blockedHist[1] = nw.blockedHist[0]
 	nw.blockedHist[0] = blocked
@@ -385,6 +558,8 @@ func (nw *Network) Step(blocked map[sim.NodeID]bool) RoundReport {
 			nw.stats.Disconnected++
 		}
 	}
+	nw.audit.SetEpoch(nw.epoch)
+	nw.audit.Tick(nw.round)
 	return rep
 }
 
@@ -476,9 +651,42 @@ func (nw *Network) simulationRound(pr int, leaders []int) {
 			}
 		}
 	}
+	if nw.inj == nil {
+		for x := range newReqs {
+			nw.reqs[x] = append(nw.reqs[x], newReqs[x]...)
+			nw.resps[x] = append(nw.resps[x], newResps[x]...)
+		}
+		return
+	}
+	// Fault injection at the central-queue merge point: each queued entry
+	// stands for one inter-supernode message, identified by a tuple that
+	// is a pure function of this round's protocol state, so the outcome
+	// is byte-identical for any driver configuration. Responses use a
+	// from-id offset by nSuper to keep their hash stream disjoint from
+	// requests between the same pair.
 	for x := range newReqs {
-		nw.reqs[x] = append(nw.reqs[x], newReqs[x]...)
-		nw.resps[x] = append(nw.resps[x], newResps[x]...)
+		for idx, rq := range newReqs[x] {
+			switch nw.inj.CopiesAt(nw.round, uint64(rq.from)+1, uint64(x)+1, idx) {
+			case 0:
+				nw.stats.FaultDrops++
+			case 1:
+				nw.reqs[x] = append(nw.reqs[x], rq)
+			default:
+				nw.stats.FaultDups++
+				nw.reqs[x] = append(nw.reqs[x], rq, rq)
+			}
+		}
+		for idx, rp := range newResps[x] {
+			switch nw.inj.CopiesAt(nw.round, uint64(rp.v)+uint64(nw.nSuper)+1, uint64(x)+1, idx) {
+			case 0:
+				nw.stats.FaultDrops++
+			case 1:
+				nw.resps[x] = append(nw.resps[x], rp)
+			default:
+				nw.stats.FaultDups++
+				nw.resps[x] = append(nw.resps[x], rp, rp)
+			}
+		}
 	}
 }
 

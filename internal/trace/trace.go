@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"overlaynet/internal/audit"
 	"overlaynet/internal/sim"
 )
 
@@ -36,16 +37,23 @@ const maxTraceShards = 64
 // since the Recorder was created.
 type Event struct {
 	TSMicros int64  `json:"ts_us"`
-	Kind     string `json:"kind"` // round_start, round_end, spawn, kill, block, drop
+	Kind     string `json:"kind"` // round_start, round_end, spawn, kill, block, drop, dup, violation
 	Scope    string `json:"scope,omitempty"`
 	Round    int    `json:"round"`
 	Node     uint64 `json:"node,omitempty"`
 	From     uint64 `json:"from,omitempty"`
 	To       uint64 `json:"to,omitempty"`
-	Reason   string `json:"reason,omitempty"`
+	Reason   string `json:"reason,omitempty"` // drop reason, or invariant name on violations
 	Bits     int    `json:"bits,omitempty"`
 	Alive    int    `json:"alive,omitempty"`
 	Blocked  int    `json:"blocked,omitempty"`
+	// Copies (on dup events) is the delivered copy count; Detail, Epoch,
+	// Seed, and Nodes carry the structured report on violation events.
+	Copies int      `json:"copies,omitempty"`
+	Detail string   `json:"detail,omitempty"`
+	Epoch  int      `json:"epoch,omitempty"`
+	Seed   uint64   `json:"seed,omitempty"`
+	Nodes  []uint64 `json:"nodes,omitempty"`
 	// Stats carries the round summary on round_end events.
 	Stats *sim.RoundStats `json:"stats,omitempty"`
 	// Shard timing, on shard_round events only (sharded kernels with a
@@ -87,6 +95,11 @@ type Counters struct {
 	Cells     uint64            `json:"cells"`
 	Epochs    uint64            `json:"epochs"`
 	Drops     map[string]uint64 `json:"drops"` // by sim.DropReason name
+	// DupExtraCopies counts inbox entries beyond the first created by
+	// injected duplication (copies-1 per duplicated message);
+	// Violations counts invariant-audit reports.
+	DupExtraCopies uint64 `json:"dup_extra_copies,omitempty"`
+	Violations     uint64 `json:"violations,omitempty"`
 	// Per-shard busy time (µs) in the simulator's receive and send
 	// phases, indexed by shard id — populated only when a sharded
 	// network ran under this recorder. The imbalance between entries
@@ -105,6 +118,7 @@ type Recorder struct {
 	spawns, kills, blocks atomic.Uint64
 	cells, epochs         atomic.Uint64
 	drops                 [sim.NumDropReasons]atomic.Uint64
+	dupExtra, violations  atomic.Uint64
 
 	// Per-shard phase busy time; maxTraceShards matches the simulator's
 	// shard cap. shardsSeen is the high-water shard count observed.
@@ -224,11 +238,16 @@ func (r *Recorder) Counters() Counters {
 	for i := range r.drops {
 		c.Drops[sim.DropReason(i).String()] = r.drops[i].Load()
 	}
+	c.DupExtraCopies = r.dupExtra.Load()
+	c.Violations = r.violations.Load()
 	// Per the sim.Tracer reconciliation contract: delivered = sends by
-	// non-blocked senders minus the send-round drops.
+	// non-blocked senders minus the send-round drops (including
+	// injected ones), plus the extra copies injected duplication added.
 	c.Delivered = c.Messages -
 		c.Drops[sim.DropDeadReceiver.String()] -
-		c.Drops[sim.DropBlockedReceiverSendRound.String()]
+		c.Drops[sim.DropBlockedReceiverSendRound.String()] -
+		c.Drops[sim.DropFaultInjected.String()] +
+		c.DupExtraCopies
 	if n := int(r.shardsSeen.Load()); n > 0 {
 		c.ShardRecvUS = make([]uint64, n)
 		c.ShardSendUS = make([]uint64, n)
@@ -239,6 +258,37 @@ func (r *Recorder) Counters() Counters {
 	}
 	return c
 }
+
+// ReportViolation implements audit.Reporter: invariant violations are
+// counted and emitted as "violation" events, so they reach JSONL
+// streams, manifests (via Counters), and cmd/tracestats alongside the
+// rest of the telemetry.
+func (r *Recorder) ReportViolation(v audit.Violation) {
+	r.violations.Add(1)
+	// Unlike round/message telemetry, violations are rare and
+	// load-bearing, so they are always retained and streamed — not gated
+	// behind RecordEvents. The audit engine caps what it reports.
+	ev := Event{
+		TSMicros: time.Since(r.start).Microseconds(),
+		Kind:     "violation",
+		Scope:    v.Scope,
+		Round:    v.Round,
+		Reason:   v.Invariant,
+		Detail:   v.Detail,
+		Epoch:    v.Epoch,
+		Seed:     v.Seed,
+		Nodes:    v.Nodes,
+	}
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	if r.jsonl != nil {
+		r.jsonl.Encode(eventLine{Type: "event", Event: ev})
+	}
+	r.mu.Unlock()
+}
+
+// ViolationCount returns the number of invariant violations reported.
+func (r *Recorder) ViolationCount() uint64 { return r.violations.Load() }
 
 // DropCount returns the aggregate count for one drop reason.
 func (r *Recorder) DropCount(reason sim.DropReason) uint64 {
@@ -356,6 +406,17 @@ func (t *simTracer) ShardRound(round, shard int, recvUS, sendUS int64) {
 	if t.rec.wantsEvents() {
 		t.rec.emit(Event{TSMicros: t.now(), Kind: "shard_round", Scope: t.scope,
 			Round: round, Shard: shard, RecvUS: recvUS, SendUS: sendUS})
+	}
+}
+
+// MessageDuplicated implements sim.FaultObserver: injected duplications
+// accumulate the extra-copy counter the Delivered reconciliation uses.
+func (t *simTracer) MessageDuplicated(round int, from, to sim.NodeID, bits, copies int) {
+	t.rec.dupExtra.Add(uint64(copies - 1))
+	if t.rec.wantsEvents() {
+		t.rec.emit(Event{TSMicros: t.now(), Kind: "dup", Scope: t.scope,
+			Round: round, From: uint64(from), To: uint64(to),
+			Bits: bits, Copies: copies})
 	}
 }
 
