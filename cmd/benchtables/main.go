@@ -3,11 +3,11 @@
 //
 // Usage:
 //
-//	benchtables [-quick] [-seed N] [-only E8[,E9,…]] [-procs N]
+//	benchtables [-quick] [-seed N] [-only E8[,E9,…]] [-recover] [-procs N]
 //	           [-shards N] [-list] [-audit] [-audit-every N]
 //	           [-faults drop=0.01,dup=0.001,crash=0.05,restart=2]
-//	           [-cpuprofile F] [-trace F] [-events F] [-manifest F]
-//	           [-progress] [-http ADDR]
+//	           [-cell-timeout D] [-cpuprofile F] [-trace F] [-events F]
+//	           [-manifest F] [-progress] [-http ADDR]
 //
 // Sweep cells run on -procs workers (default: all CPUs), and each
 // simulated network runs its rounds on -shards intra-round workers
@@ -31,6 +31,17 @@
 //	-http ADDR   serve expvar counters (/debug/vars, including the
 //	             live trace counter snapshot) and net/http/pprof
 //	             (/debug/pprof/) for profiling long sweeps.
+//
+// Robustness:
+//
+//	-recover        run the self-healing recovery experiment (R1):
+//	                shorthand for adding R1 to the -only selection.
+//	-cell-timeout D arm the per-cell stall watchdog: a sweep cell that
+//	                makes no progress for D wall-clock time (e.g. 5m)
+//	                fails the run with a diagnostic naming the cell
+//	                instead of hanging the sweep. 0 disables. Purely
+//	                wall-clock — it never changes table contents of
+//	                cells that do finish.
 package main
 
 import (
@@ -137,6 +148,8 @@ func main() {
 	auditOn := flag.Bool("audit", false, "attach the runtime invariant-audit engine to the reconfiguration experiments")
 	faultsFlag := flag.String("faults", "", "deterministic fault injection, e.g. drop=0.01,dup=0.001,crash=0.05,restart=2")
 	auditEvery := flag.Int("audit-every", 0, "invariant check cadence in engine ticks (0 = every tick)")
+	recoverOnly := flag.Bool("recover", false, "run the self-healing recovery experiment (adds R1 to -only)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell stall watchdog (e.g. 5m); 0 disables")
 	flag.Parse()
 
 	faultSpec, err := fault.ParseSpec(*faultsFlag)
@@ -170,9 +183,12 @@ func main() {
 			want[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
+	if *recoverOnly {
+		want["R1"] = true
+	}
 
 	opts := exp.Options{Seed: *seed, Quick: *quick, Procs: *procs, Shards: *shards,
-		Audit: *auditOn, AuditEvery: *auditEvery, Faults: faultSpec}
+		Audit: *auditOn, AuditEvery: *auditEvery, Faults: faultSpec, CellTimeout: *cellTimeout}
 
 	// Telemetry wiring. A single recorder spans every experiment; it
 	// aggregates counters and spans (events stay off — a full sweep

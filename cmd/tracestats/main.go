@@ -1,7 +1,8 @@
 // Command tracestats summarizes a telemetry file produced by
 // benchtables -trace (Chrome trace_events JSON) or -events (JSONL):
 // per-experiment wall time, the slowest sweep cells, drop-reason
-// totals, simulator round throughput, and — when the run used a
+// totals, simulator round throughput, invariant-audit violations and
+// recovery episodes (per-invariant MTTR), and — when the run used a
 // sharded simulator kernel — the per-shard wall-time balance of the
 // receive/send phases, so delivery skew across workers is visible.
 //
@@ -43,8 +44,19 @@ type summary struct {
 	exps       map[string]*expAgg
 	counters   map[string]uint64
 	violations []violationRec
+	recoveries []recoveryRec
 	minTS      int64
 	maxTS      int64
+}
+
+// recoveryRec is one closed break episode from the stream: an invariant
+// first violated at brokenAt was observed clean again at cleanAt.
+type recoveryRec struct {
+	scope     string
+	invariant string
+	brokenAt  int
+	cleanAt   int
+	rounds    int
 }
 
 // violationRec is one invariant-audit violation event from the stream.
@@ -135,10 +147,13 @@ type jsonlRecord struct {
 	DurUS   int64  `json:"dur_us"`
 	TSMicro int64  `json:"ts_us"`
 	// event fields (violation events carry the invariant name in
-	// "reason" plus a human-readable detail)
-	Round  int    `json:"round"`
-	Reason string `json:"reason"`
-	Detail string `json:"detail"`
+	// "reason" plus a human-readable detail; recovery events add the
+	// clean round and the episode's MTTR)
+	Round      int    `json:"round"`
+	Reason     string `json:"reason"`
+	Detail     string `json:"detail"`
+	CleanRound int    `json:"clean_round"`
+	MTTRRounds int    `json:"mttr_rounds"`
 	// counters fields
 	Rounds    uint64            `json:"rounds"`
 	Messages  uint64            `json:"messages"`
@@ -150,6 +165,8 @@ type jsonlRecord struct {
 	Epochs    uint64            `json:"epochs"`
 	DupExtra  uint64            `json:"dup_extra_copies"`
 	ViolCount uint64            `json:"violations"`
+	RecCount  uint64            `json:"recoveries"`
+	RecRounds uint64            `json:"recovery_rounds"`
 	Drops     map[string]uint64 `json:"drops"`
 	// Per-shard phase busy time from sharded simulator rounds.
 	ShardRecvUS []uint64 `json:"shard_recv_us"`
@@ -185,9 +202,15 @@ func loadJSONL(data []byte, s *summary) error {
 			}
 		case "event":
 			s.observeTS(rec.TSMicro, 0)
-			if rec.Kind == "violation" {
+			switch rec.Kind {
+			case "violation":
 				s.violations = append(s.violations, violationRec{
 					scope: rec.Scope, round: rec.Round, invariant: rec.Reason, detail: rec.Detail,
+				})
+			case "recovery":
+				s.recoveries = append(s.recoveries, recoveryRec{
+					scope: rec.Scope, invariant: rec.Reason,
+					brokenAt: rec.Round, cleanAt: rec.CleanRound, rounds: rec.MTTRRounds,
 				})
 			}
 		case "counters":
@@ -201,6 +224,8 @@ func loadJSONL(data []byte, s *summary) error {
 			s.counters["epochs"] = rec.Epochs
 			s.counters["dup_extra_copies"] = rec.DupExtra
 			s.counters["violations"] = rec.ViolCount
+			s.counters["recoveries"] = rec.RecCount
+			s.counters["recovery_rounds"] = rec.RecRounds
 			for k, v := range rec.Drops {
 				s.counters["drop:"+k] = v
 			}
@@ -267,6 +292,61 @@ func printShardBalance(s *summary) {
 	for _, i := range ids {
 		b := byShard[i]
 		fmt.Printf("    shard %-3d recv %10.1f ms  send %10.1f ms\n", i, ms(int64(b.recv)), ms(int64(b.send)))
+	}
+}
+
+// printRecoveries reports the self-healing verdict: closed break
+// episodes from the recovery tracker, with per-invariant episode counts
+// and MTTR (mean and worst, in protocol rounds). The counters line
+// works even when individual events were not retained.
+func printRecoveries(s *summary) {
+	count := s.counters["recoveries"]
+	if n := uint64(len(s.recoveries)); n > count {
+		count = n
+	}
+	if count == 0 {
+		return
+	}
+	fmt.Printf("  recoveries     %d closed break episodes", count)
+	if rr, ok := s.counters["recovery_rounds"]; ok && s.counters["recoveries"] > 0 {
+		fmt.Printf(", mean MTTR %.1f rounds", float64(rr)/float64(s.counters["recoveries"]))
+	}
+	fmt.Println()
+	if len(s.recoveries) == 0 {
+		return
+	}
+	type invAgg struct {
+		episodes int
+		total    int
+		worst    int
+	}
+	byInv := map[string]*invAgg{}
+	for _, rec := range s.recoveries {
+		a := byInv[rec.invariant]
+		if a == nil {
+			a = &invAgg{}
+			byInv[rec.invariant] = a
+		}
+		a.episodes++
+		a.total += rec.rounds
+		if rec.rounds > a.worst {
+			a.worst = rec.rounds
+		}
+	}
+	var invs []string
+	for k := range byInv {
+		invs = append(invs, k)
+	}
+	sort.Strings(invs)
+	for _, k := range invs {
+		a := byInv[k]
+		fmt.Printf("    %-33s %d episodes  mean MTTR %.1f rounds  worst %d\n",
+			k, a.episodes, float64(a.total)/float64(a.episodes), a.worst)
+	}
+	show := min(len(s.recoveries), 5)
+	for _, rec := range s.recoveries[:show] {
+		fmt.Printf("    e.g. %s [%s] broken@%d clean@%d (%d rounds)\n",
+			rec.scope, rec.invariant, rec.brokenAt, rec.cleanAt, rec.rounds)
 	}
 }
 
@@ -357,6 +437,8 @@ func main() {
 			fmt.Printf("    e.g. %s round %d [%s]: %s\n", rec.scope, rec.round, rec.invariant, rec.detail)
 		}
 	}
+
+	printRecoveries(s)
 
 	if len(s.exps) > 0 {
 		fmt.Println("  per experiment:")

@@ -80,6 +80,12 @@ type Engine struct {
 	count      int
 	violations []Violation
 	byName     map[string]int
+
+	// Recovery tracking (recovery.go): invariant -> round of the first
+	// violation of the currently open break episode, plus the closed
+	// episodes in completion order.
+	brokenAt   map[string]int
+	recoveries []Recovery
 }
 
 // NewEngine returns an engine that runs its checkers on every k-th Tick
@@ -89,7 +95,8 @@ func NewEngine(scope string, seed uint64, every int, rep Reporter) *Engine {
 	if every < 1 {
 		every = 1
 	}
-	return &Engine{scope: scope, seed: seed, every: every, rep: rep, byName: map[string]int{}}
+	return &Engine{scope: scope, seed: seed, every: every, rep: rep,
+		byName: map[string]int{}, brokenAt: map[string]int{}}
 }
 
 // Register adds a named checker. Registration order is the check order.
@@ -127,20 +134,26 @@ func (e *Engine) Tick(round int) {
 	}
 }
 
-// RunNow runs all checkers immediately, regardless of cadence.
+// RunNow runs all checkers immediately, regardless of cadence, and
+// feeds the pass's verdict to the recovery tracker: invariants that
+// stayed quiet while a break episode was open are now clean, closing
+// the episode at this round.
 func (e *Engine) RunNow(round int) {
 	if e == nil {
 		return
 	}
+	violated := map[string]bool{}
 	for i, check := range e.checks {
 		for _, v := range check() {
 			if v.Invariant == "" {
 				v.Invariant = e.names[i]
 			}
 			v.Round = round
+			violated[v.Invariant] = true
 			e.Report(v)
 		}
 	}
+	e.observeRun(round, violated)
 }
 
 // Report records one violation (stamping scope/seed/epoch defaults) and
@@ -162,6 +175,9 @@ func (e *Engine) Report(v Violation) {
 	}
 	e.count++
 	e.byName[v.Invariant]++
+	if _, open := e.brokenAt[v.Invariant]; !open {
+		e.brokenAt[v.Invariant] = v.Round
+	}
 	if len(e.violations) < maxRetained {
 		e.violations = append(e.violations, v)
 	}

@@ -1,0 +1,88 @@
+// Recovery tracking: the engine timestamps when each invariant first
+// breaks and when it is next observed clean again, turning the audit
+// log into mean-time-to-recover measurements. The paper proves the
+// three networks never *enter* an illegal state under its adversaries;
+// the recovery tracker measures the complementary self-healing
+// question — once a partition or state corruption has broken an
+// invariant, how many rounds do the repair protocols need to make the
+// auditors go quiet again.
+package audit
+
+// Recovery is one closed break episode for a single invariant: the
+// round of the first violation after a clean period, the round of the
+// first clean full audit pass afterwards, and their difference (the
+// episode's time-to-recover in rounds).
+type Recovery struct {
+	Invariant string `json:"invariant"`
+	Scope     string `json:"scope,omitempty"`
+	Seed      uint64 `json:"seed"`
+	// BrokenAt is the round of the first violation of the episode.
+	BrokenAt int `json:"broken_at"`
+	// CleanAt is the round of the first full checker pass after
+	// BrokenAt in which the invariant held again.
+	CleanAt int `json:"clean_at"`
+	// Rounds is CleanAt - BrokenAt: the episode's recovery time.
+	Rounds int `json:"rounds"`
+}
+
+// RecoveryReporter is an optional Reporter extension: reporters that
+// implement it (trace.Recorder does) additionally receive closed
+// recovery episodes as they complete.
+type RecoveryReporter interface {
+	ReportRecovery(r Recovery)
+}
+
+// observeRun closes the recovery bookkeeping for one full checker pass:
+// violated holds the registered invariant names that fired during this
+// RunNow (episodes are opened in Report, which sees every violation). A
+// registered name that stayed quiet while an episode was open closes
+// the episode at round. Only RunNow calls this — violations reported
+// from outside a checker pass (work ledgers, panics) open episodes via
+// Report but can never be observed clean, so they surface through
+// OpenBreaks instead.
+func (e *Engine) observeRun(round int, violated map[string]bool) {
+	for _, name := range e.names {
+		open, isOpen := e.brokenAt[name]
+		if violated[name] {
+			continue
+		}
+		if isOpen {
+			rec := Recovery{
+				Invariant: name,
+				Scope:     e.scope,
+				Seed:      e.seed,
+				BrokenAt:  open,
+				CleanAt:   round,
+				Rounds:    round - open,
+			}
+			delete(e.brokenAt, name)
+			e.recoveries = append(e.recoveries, rec)
+			if rr, ok := e.rep.(RecoveryReporter); ok {
+				rr.ReportRecovery(rec)
+			}
+		}
+	}
+}
+
+// Recoveries returns a copy of the closed break episodes in the order
+// they completed.
+func (e *Engine) Recoveries() []Recovery {
+	if e == nil {
+		return nil
+	}
+	return append([]Recovery(nil), e.recoveries...)
+}
+
+// OpenBreaks returns the invariants that are currently broken (an
+// episode was opened and has not yet been observed clean), mapped to
+// the round of their first violation.
+func (e *Engine) OpenBreaks() map[string]int {
+	if e == nil || len(e.brokenAt) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(e.brokenAt))
+	for name, round := range e.brokenAt {
+		out[name] = round
+	}
+	return out
+}

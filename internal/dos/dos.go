@@ -69,6 +69,9 @@ type Random struct {
 func (a *Random) SelectBlocked(round, n int, snap *Snapshot) map[sim.NodeID]bool {
 	ids := a.IDs()
 	k := int(a.Fraction * float64(len(ids)))
+	if k > len(ids) { // saturated budget (Fraction ≥ 1) blocks everyone
+		k = len(ids)
+	}
 	blocked := make(map[sim.NodeID]bool, k)
 	perm := a.R.Perm(len(ids))
 	for _, i := range perm[:k] {

@@ -26,7 +26,7 @@ func E11AnonRouting(o Options) *metrics.Table {
 	}
 	ns := o.sizes([]int{256}, []int{512, 1024})
 	fracs := o.sizes([]int{0}, []int{0, 25, 40, 45})
-	t.AddRows(RunRows(o, len(ns)*len(fracs), func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, len(ns)*len(fracs), func(cell int) [][]string {
 		n := ns[cell/len(fracs)]
 		frac := fracs[cell%len(fracs)]
 		{
@@ -67,7 +67,7 @@ func E11AnonRouting(o Options) *metrics.Table {
 				fmt.Sprintf("%.1f%%", 100*float64(replied)/float64(requests)),
 				4, metrics.Entropy(counts), math.Log2(float64(n)))}
 		}
-	}))
+	})))
 	return t
 }
 
@@ -79,7 +79,7 @@ func E12RobustDHT(o Options) *metrics.Table {
 		"n", "k", "d", "blocked", "budget", "served", "failed", "max rounds", "max congestion", "log^3 n")
 	ns12 := o.sizes([]int{256}, []int{256, 1024, 4096})
 	mults := o.sizes([]int{1}, []int{0, 1, 4})
-	t.AddRows(RunRows(o, len(ns12)*len(mults), func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, len(ns12)*len(mults), func(cell int) [][]string {
 		n := ns12[cell/len(mults)]
 		mult := mults[cell%len(mults)]
 		{
@@ -104,7 +104,7 @@ func E12RobustDHT(o Options) *metrics.Table {
 			return [][]string{metrics.Row(n, d.K(), d.D(), blockCount, budget, st.Served, st.Failed,
 				st.MaxRounds, st.MaxCongestion, metrics.PolylogEnvelope(n, 3, 1))}
 		}
-	}))
+	})))
 	return t
 }
 
@@ -114,7 +114,7 @@ func E13PubSub(o Options) *metrics.Table {
 	t := metrics.NewTable("E13  §7.3 — publish-subscribe on the robust DHT",
 		"n", "publications", "topics", "published", "failed", "fetched ok", "agg rounds")
 	ns13 := o.sizes([]int{256}, []int{256, 1024})
-	t.AddRows(RunRows(o, len(ns13), func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, len(ns13), func(cell int) [][]string {
 		n := ns13[cell]
 		d := dht.New(dht.Config{Seed: o.Seed ^ uint64(n), N: n})
 		ps := pubsub.New(d)
@@ -139,6 +139,6 @@ func E13PubSub(o Options) *metrics.Table {
 			}
 		}
 		return [][]string{metrics.Row(n, pubsPerBatch, st.Topics, st.Published, st.Failed, fetched, st.Rounds)}
-	}))
+	})))
 	return t
 }

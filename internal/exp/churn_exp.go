@@ -31,7 +31,7 @@ func E6ReconfigChurn(o Options) *metrics.Table {
 	if o.Quick {
 		nadv = 2
 	}
-	t.AddRows(RunRows(o, len(ns)*nadv, func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, len(ns)*nadv, func(cell int) [][]string {
 		n := ns[cell/nadv]
 		advs := []struct {
 			name string
@@ -75,7 +75,7 @@ func E6ReconfigChurn(o Options) *metrics.Table {
 		return [][]string{metrics.Row(n, a.name, epochs, rounds,
 			fmt.Sprintf("%.2f", math.Log2(math.Log2(float64(n)))),
 			connected, valid, failures)}
-	}))
+	})))
 	return t
 }
 
@@ -86,7 +86,7 @@ func E7CongestionSegments(o Options) *metrics.Table {
 	t := metrics.NewTable("E7  Lemmas 11/12 — congestion and empty segments per reconfiguration",
 		"n", "max chosen", "max empty segment", "log2 n", "polylog env (4 log^2)", "max bits/node-round")
 	ns := o.sizes([]int{64}, []int{64, 256, 1024, 2048})
-	t.AddRows(RunRows(o, len(ns), func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, len(ns), func(cell int) [][]string {
 		n := ns[cell]
 		nw := core.NewNetwork(coreConfig(o, o.Seed^uint64(n), n))
 		if o.Trace != nil {
@@ -114,6 +114,6 @@ func E7CongestionSegments(o Options) *metrics.Table {
 		nw.Shutdown()
 		return [][]string{metrics.Row(n, maxChosen, maxSeg, fmt.Sprintf("%.1f", math.Log2(float64(n))),
 			metrics.PolylogEnvelope(n, 2, 4), maxBits)}
-	}))
+	})))
 	return t
 }

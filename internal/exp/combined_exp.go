@@ -34,7 +34,7 @@ func E10ChurnDoS(o Options) *metrics.Table {
 	if o.Quick {
 		cases = cases[2:3]
 	}
-	t.AddRows(RunRows(o, len(n0s)*len(cases), func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, len(n0s)*len(cases), func(cell int) [][]string {
 		n0 := n0s[cell/len(cases)]
 		cse := cases[cell%len(cases)]
 		{
@@ -85,6 +85,6 @@ func E10ChurnDoS(o Options) *metrics.Table {
 				st.MaxDimSpread, st.Eq1Violations == 0 && nw.Eq1Holds(),
 				st.Splits, st.Merges+st.ForcedMerges, nw.N())}
 		}
-	}))
+	})))
 	return t
 }

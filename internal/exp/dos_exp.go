@@ -26,7 +26,7 @@ func E8DoSConnectivity(o Options) *metrics.Table {
 	if o.Quick {
 		fracs = []float64{0.4}
 	}
-	t.AddRows(RunRows(o, len(ns)*len(fracs)*2, func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, len(ns)*len(fracs)*2, func(cell int) [][]string {
 		n := ns[cell/(len(fracs)*2)]
 		frac := fracs[cell/2%len(fracs)]
 		late := cell%2 == 0
@@ -51,7 +51,7 @@ func E8DoSConnectivity(o Options) *metrics.Table {
 			}
 		}
 		return [][]string{metrics.Row(n, frac, fmt.Sprintf("%d", lateness), len(reports), disc, nw.StatsSnapshot().Stalls)}
-	}))
+	})))
 	return t
 }
 
@@ -66,7 +66,7 @@ func E9GroupBalance(o Options) *metrics.Table {
 	if o.Quick {
 		fracs = fracs[1:]
 	}
-	t.AddRows(RunRows(o, len(ns)*len(fracs), func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, len(ns)*len(fracs), func(cell int) [][]string {
 		n := ns[cell/len(fracs)]
 		frac := fracs[cell%len(fracs)]
 		nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(n), N: n, MeasureEvery: -1})
@@ -104,7 +104,7 @@ func E9GroupBalance(o Options) *metrics.Table {
 		sizes := nw.GroupSizes()
 		s := metrics.SummarizeInts(sizes)
 		return [][]string{metrics.Row(n, nw.NSuper(), s.Mean, s.Min, s.Max, frac, maxFrac, allAvail)}
-	}))
+	})))
 	return t
 }
 
@@ -118,7 +118,7 @@ func A2SyncRule(o Options) *metrics.Table {
 	if o.Quick {
 		n = 256
 	}
-	t.AddRows(RunRows(o, 2, func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, 2, func(cell int) [][]string {
 		random := cell == 1
 		nw := supernode.New(supernode.Config{Seed: o.Seed, N: n, RandomLeader: random})
 		adv := &dos.GroupIsolate{Fraction: 0.4, R: rng.New(o.Seed + 7)}
@@ -136,7 +136,7 @@ func A2SyncRule(o Options) *metrics.Table {
 		}
 		st := nw.StatsSnapshot()
 		return [][]string{metrics.Row(name, len(reports), disc, st.Stalls, st.EmptyGroups)}
-	}))
+	})))
 	return t
 }
 

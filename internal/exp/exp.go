@@ -7,6 +7,8 @@
 package exp
 
 import (
+	"time"
+
 	"overlaynet/internal/audit"
 	"overlaynet/internal/fault"
 	"overlaynet/internal/metrics"
@@ -31,6 +33,12 @@ type Options struct {
 	// defers to the OVERLAYNET_SHARDS environment variable, then 1.
 	// Any value yields byte-identical tables.
 	Shards int
+	// CellTimeout, when positive, arms the runner's stall watchdog: a
+	// sweep cell that fails to finish within this wall-clock budget is
+	// abandoned and reported as an error (cmd/benchtables -cell-timeout).
+	// Zero disables the watchdog. Wall-clock only — it never influences
+	// the deterministic output of cells that do finish.
+	CellTimeout time.Duration
 
 	// Exp labels telemetry with the running experiment's id
 	// (cmd/benchtables sets it; empty is fine for direct driver
@@ -136,5 +144,6 @@ func All() []Experiment {
 		{"X4", "Extension (§7.2): the reconfigured k-ary hypercube network under DoS", X4KAryNetwork},
 		{"S1", "Scale: one simulated network at n up to 100k, sharded kernel", S1ScaleFlood},
 		{"F1", "Audit: which invariants survive which fault rates (drop/dup/crash sweep)", F1FaultMatrix},
+		{"R1", "Recovery: partition & state-corruption MTTR with degraded-mode service", R1Recovery},
 	}
 }

@@ -23,7 +23,7 @@ func A3ExpansionMatters(o Options) *metrics.Table {
 	t := metrics.NewTable("A3  Ablation — the primitive needs expansion (identical walk lengths)",
 		"graph", "n", "degree", "walk length", "mean dist to sample", "uniform mean dist", "locality ratio")
 	sides := o.sizes([]int{12}, []int{16, 24, 32})
-	t.AddRows(RunRows(o, len(sides), func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, len(sides), func(cell int) [][]string {
 		side := sides[cell]
 		n := side * side
 		walk := 1 << bitsCeilLog2(4*int(math.Log2(float64(n))))
@@ -58,7 +58,7 @@ func A3ExpansionMatters(o Options) *metrics.Table {
 		meanDist, uniDist := expanderSampleDistance(g.Neighbors, n, res2.Samples)
 		rows = append(rows, metrics.Row("H-graph", n, 4, walk, meanDist, uniDist, meanDist/uniDist))
 		return rows
-	}))
+	})))
 	return t
 }
 
@@ -144,7 +144,7 @@ func X1ChurnRateLimit(o Options) *metrics.Table {
 	if o.Quick {
 		epochs = 2
 	}
-	t.AddRows(RunRows(o, len(fracs), func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, len(fracs), func(cell int) [][]string {
 		f := fracs[cell]
 		frac := float64(f) / 100
 		nw := splitmerge.New(splitmerge.Config{Seed: o.Seed, N0: n0})
@@ -183,7 +183,7 @@ func X1ChurnRateLimit(o Options) *metrics.Table {
 		st := nw.StatsSnapshot()
 		return [][]string{metrics.Row(fmt.Sprintf("%d%%", f), epochs, disc, st.Stalls, st.AssignFails,
 			st.Eq1Violations == 0 && nw.Eq1Holds(), st.MaxDimSpread, nw.N())}
-	}))
+	})))
 	return t
 }
 
@@ -201,7 +201,7 @@ func X2CrashFailures(o Options) *metrics.Table {
 		n = 256
 	}
 	fracs := o.sizes([]int{20}, []int{10, 25, 40, 48})
-	t.AddRows(RunRows(o, len(fracs), func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, len(fracs), func(cell int) [][]string {
 		f := fracs[cell]
 		frac := float64(f) / 100
 		nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(f), N: n})
@@ -222,7 +222,7 @@ func X2CrashFailures(o Options) *metrics.Table {
 			}
 		}
 		return [][]string{metrics.Row(frac, rounds, disc, nw.StatsSnapshot().Stalls, nw.Epoch())}
-	}))
+	})))
 	return t
 }
 
@@ -237,7 +237,7 @@ func X4KAryNetwork(o Options) *metrics.Table {
 	if o.Quick {
 		cases = cases[1:2]
 	}
-	t.AddRows(RunRows(o, len(cases)*2, func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, len(cases)*2, func(cell int) [][]string {
 		c := cases[cell/2]
 		late := cell%2 == 0
 		nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(c[0]), N: c[1], K: c[0]})
@@ -256,7 +256,7 @@ func X4KAryNetwork(o Options) *metrics.Table {
 		}
 		return [][]string{metrics.Row(c[0], c[1], nw.NSuper(), nw.EpochRounds(),
 			fmt.Sprintf("%d", lateness), disc, nw.StatsSnapshot().Stalls)}
-	}))
+	})))
 	return t
 }
 
@@ -270,7 +270,7 @@ func X3KAryRapidSampling(o Options) *metrics.Table {
 	if o.Quick {
 		cases = cases[:1]
 	}
-	t.AddRows(RunRows(o, len(cases), func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, len(cases), func(cell int) [][]string {
 		c := cases[cell]
 		p := sampling.KAryParams{K: c[0], Dim: c[1], Epsilon: 1, C: 2, Shards: o.Shards}
 		res := sampling.RapidKAry(o.Seed^uint64(c[0]*100+c[1]), p)
@@ -288,6 +288,6 @@ func X3KAryRapidSampling(o Options) *metrics.Table {
 		}
 		return [][]string{metrics.Row(c[0], c[1], n, res.Rounds, p.Samples(),
 			metrics.TVDistanceUniform(counts), 3*metrics.ExpectedTVUniform(n, total), res.Failures)}
-	}))
+	})))
 	return t
 }

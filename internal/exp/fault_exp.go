@@ -65,13 +65,13 @@ func F1FaultMatrix(o Options) *metrics.Table {
 	t := metrics.NewTable("F1  Invariant audit under deterministic fault injection",
 		"system", "faults", "epochs", "crashes", "rejoins", "msg drops", "msg dups", "violations", "failed invariants", "healthy")
 	specs := f1Specs(o.Quick)
-	t.AddRows(RunRows(o, 2*len(specs), func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, 2*len(specs), func(cell int) [][]string {
 		spec := specs[cell%len(specs)].WithSeed(cellSeed(o.Seed, 0xf1a, uint64(cell%len(specs))))
 		if cell < len(specs) {
 			return f1Core(o, cell, spec)
 		}
 		return f1SplitMerge(o, cell, spec)
-	}))
+	})))
 	return t
 }
 

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -17,10 +18,10 @@ func TestRunCellsOrderAndCoverage(t *testing.T) {
 	for _, procs := range []int{1, 2, 7, 64} {
 		o := Options{Procs: procs}
 		var calls atomic.Int64
-		got := RunCells(o, 23, func(cell int) int {
+		got := mustCells(RunCells(o, 23, func(cell int) int {
 			calls.Add(1)
 			return cell * cell
-		})
+		}))
 		if calls.Load() != 23 {
 			t.Fatalf("procs=%d: %d calls, want 23", procs, calls.Load())
 		}
@@ -36,16 +37,19 @@ func TestRunCellsOrderAndCoverage(t *testing.T) {
 // cell order regardless of scheduling.
 func TestRunRowsFlattensInOrder(t *testing.T) {
 	o := Options{Procs: 8}
-	rows := RunRows(o, 10, func(cell int) [][]string {
-		out := make([][]string, cell%3)
+	rows, err := RunRows(o, 10, func(cell int) [][]string {
+		out := make([][]string, cell%3+1)
 		for i := range out {
 			out[i] = []string{fmt.Sprintf("%d.%d", cell, i)}
 		}
 		return out
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []string{}
 	for cell := 0; cell < 10; cell++ {
-		for i := 0; i < cell%3; i++ {
+		for i := 0; i < cell%3+1; i++ {
 			want = append(want, fmt.Sprintf("%d.%d", cell, i))
 		}
 	}
@@ -55,6 +59,80 @@ func TestRunRowsFlattensInOrder(t *testing.T) {
 	for i := range rows {
 		if rows[i][0] != want[i] {
 			t.Fatalf("row %d = %q, want %q", i, rows[i][0], want[i])
+		}
+	}
+}
+
+// TestRunCellsRejectsEmptySweep checks the validated-config path: a
+// driver asking for zero (or negative) cells gets an error instead of
+// an empty table that looks like success.
+func TestRunCellsRejectsEmptySweep(t *testing.T) {
+	o := Options{Exp: "EZ"}
+	for _, ncells := range []int{0, -3} {
+		_, err := RunCells(o, ncells, func(cell int) int { return cell })
+		if err == nil {
+			t.Fatalf("ncells=%d: want empty-sweep error, got nil", ncells)
+		}
+	}
+	if _, err := RunCells(Options{Procs: -1}, 4, func(cell int) int { return cell }); err == nil {
+		t.Fatal("Procs=-1: want validation error, got nil")
+	}
+	if _, err := RunCells(Options{CellTimeout: -time.Second}, 4, func(cell int) int { return cell }); err == nil {
+		t.Fatal("CellTimeout<0: want validation error, got nil")
+	}
+}
+
+// TestRunRowsRejectsZeroRowCell checks that a cell rendering no rows —
+// a zero-node or otherwise degenerate configuration — fails the sweep
+// loudly instead of silently shrinking the table.
+func TestRunRowsRejectsZeroRowCell(t *testing.T) {
+	o := Options{Exp: "EZ", Procs: 2}
+	_, err := RunRows(o, 5, func(cell int) [][]string {
+		if cell == 3 {
+			return nil
+		}
+		return [][]string{{fmt.Sprint(cell)}}
+	})
+	if err == nil {
+		t.Fatal("want zero-row cell error, got nil")
+	}
+	if want := "cell 3"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the offending cell (%q)", err, want)
+	}
+}
+
+// TestRunCellsWatchdog checks the stall detector: a cell that makes no
+// progress within CellTimeout is abandoned with a diagnostic naming the
+// cell, the remaining cells still run, and their results survive.
+func TestRunCellsWatchdog(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	o := Options{Exp: "EW", Procs: 4, CellTimeout: 50 * time.Millisecond}
+	var done atomic.Int64
+	got, err := RunCells(o, 6, func(cell int) int {
+		if cell == 2 {
+			<-block // livelocked cell: never finishes on its own
+			return -1
+		}
+		done.Add(1)
+		return cell * 10
+	})
+	if err == nil {
+		t.Fatal("want watchdog error for stalled cell, got nil")
+	}
+	if !strings.Contains(err.Error(), "cell 2") || !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("watchdog diagnostic %q does not name the stalled cell", err)
+	}
+	if done.Load() != 5 {
+		t.Fatalf("%d healthy cells completed, want 5", done.Load())
+	}
+	for i, v := range got {
+		want := i * 10
+		if i == 2 {
+			want = 0 // abandoned cell leaves its zero value
+		}
+		if v != want {
+			t.Fatalf("cell %d = %d, want %d", i, v, want)
 		}
 	}
 }
@@ -101,7 +179,7 @@ func TestRunCellsTelemetry(t *testing.T) {
 	prog := trace.NewProgress(io.Discard, time.Hour)
 	o := Options{Seed: 42, Procs: 4, Exp: "EX", Trace: rec, Progress: prog}
 	const ncells = 9
-	RunCells(o, ncells, func(cell int) int { return cell })
+	mustCells(RunCells(o, ncells, func(cell int) int { return cell }))
 	prog.Close()
 
 	spans := rec.Spans()

@@ -26,7 +26,7 @@ func E1RapidSamplingHGraph(o Options) *metrics.Table {
 	t := metrics.NewTable("E1  Theorem 2 — rapid node sampling in H-graphs (d=8, alpha=2, eps=1, c=2)",
 		"n", "rounds", "loglog n", "samples/node", "TV", "3x envelope", "failures")
 	ns := o.sizes([]int{128, 256}, []int{256, 512, 1024, 2048})
-	t.AddRows(RunRows(o, len(ns), func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, len(ns), func(cell int) [][]string {
 		n := ns[cell]
 		p := expParams(o, n)
 		h := hgraph.Random(rng.New(cellSeed(o.Seed, uint64(n))), n, p.D)
@@ -42,7 +42,7 @@ func E1RapidSamplingHGraph(o Options) *metrics.Table {
 		return [][]string{metrics.Row(n, res.Rounds, fmt.Sprintf("%.2f", math.Log2(math.Log2(float64(n)))),
 			p.Samples(), metrics.TVDistanceUniform(counts),
 			3*metrics.ExpectedTVUniform(n, total), res.Failures)}
-	}))
+	})))
 	return t
 }
 
@@ -53,7 +53,7 @@ func E2CommunicationWork(o Options) *metrics.Table {
 	t := metrics.NewTable("E2  Theorem 2 — communication work per node per round",
 		"n", "max bits/node-round", "log^k n envelope", "ratio", "total Mbits")
 	ns := o.sizes([]int{128, 256}, []int{256, 512, 1024, 2048})
-	t.AddRows(RunRows(o, len(ns), func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, len(ns), func(cell int) [][]string {
 		n := ns[cell]
 		p := expParams(o, n)
 		h := hgraph.Random(rng.New(cellSeed(o.Seed, uint64(n))), n, p.D)
@@ -62,7 +62,7 @@ func E2CommunicationWork(o Options) *metrics.Table {
 		env := metrics.PolylogEnvelope(n, k, 1)
 		return [][]string{metrics.Row(n, res.MaxNodeBits, env, float64(res.MaxNodeBits)/env,
 			float64(res.TotalBits)/1e6)}
-	}))
+	})))
 	return t
 }
 
@@ -72,7 +72,7 @@ func E3RapidSamplingHypercube(o Options) *metrics.Table {
 	t := metrics.NewTable("E3  Theorem 3 — rapid node sampling in the hypercube (eps=1, c=2)",
 		"dim", "n", "rounds", "samples/node", "TV", "3x envelope", "failures")
 	dims := o.sizes([]int{4}, []int{2, 4, 8})
-	t.AddRows(RunRows(o, len(dims), func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, len(dims), func(cell int) [][]string {
 		dim := dims[cell]
 		p := sampling.HypercubeParams{Dim: dim, Epsilon: 1, C: 2, Shards: o.Shards}
 		res := sampling.RapidHypercube(o.Seed^uint64(dim), p)
@@ -87,7 +87,7 @@ func E3RapidSamplingHypercube(o Options) *metrics.Table {
 		}
 		return [][]string{metrics.Row(dim, n, res.Rounds, p.Samples(),
 			metrics.TVDistanceUniform(counts), 3*metrics.ExpectedTVUniform(n, total), res.Failures)}
-	}))
+	})))
 	return t
 }
 
@@ -100,7 +100,7 @@ func E4RapidVsWalk(o Options) *metrics.Table {
 		"topology", "n", "walk rounds", "rapid rounds", "speed-up", "walk TV", "rapid TV")
 	ns := o.sizes([]int{128}, []int{256, 1024, 2048})
 	dims := o.sizes([]int{4}, []int{4, 8})
-	t.AddRows(RunRows(o, len(ns)+len(dims), func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, len(ns)+len(dims), func(cell int) [][]string {
 		if cell < len(ns) {
 			n := ns[cell]
 			p := expParams(o, n)
@@ -120,7 +120,7 @@ func E4RapidVsWalk(o Options) *metrics.Table {
 		return [][]string{metrics.Row("hypercube", n, base.Rounds, rapid.Rounds,
 			fmt.Sprintf("%.1fx", float64(base.Rounds)/float64(rapid.Rounds)),
 			tvOf(base.Samples, n), tvOf(rapid.Samples, n))}
-	}))
+	})))
 	return t
 }
 
@@ -149,12 +149,12 @@ func E5SuccessProbability(o Options) *metrics.Table {
 	if o.Quick {
 		cases = cases[:3]
 	}
-	t.AddRows(RunRows(o, len(cases), func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, len(cases), func(cell int) [][]string {
 		cse := cases[cell]
 		p := sampling.HGraphParams{N: n, D: 8, Alpha: 2, Epsilon: cse.eps, C: cse.c}
 		res := sampling.RapidHGraph(o.Seed, h, p)
 		return [][]string{metrics.Row(cse.eps, cse.c, p.M(0), res.Failures, float64(res.Failures)/float64(n))}
-	}))
+	})))
 	return t
 }
 
@@ -168,7 +168,7 @@ func A1BudgetAblation(o Options) *metrics.Table {
 	r := rng.New(o.Seed)
 	h := hgraph.Random(r, n, 8)
 	epss := o.sizes([]int{1}, []int{1, 2, 4})
-	t.AddRows(RunRows(o, 2*len(epss), func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, 2*len(epss), func(cell int) [][]string {
 		eps := epss[cell/2]
 		flat := cell%2 == 1
 		epsilon := float64(eps) / 4
@@ -182,7 +182,7 @@ func A1BudgetAblation(o Options) *metrics.Table {
 			name = "flat"
 		}
 		return [][]string{metrics.Row(name, epsilon, p.M(0), res.Failures, res.MaxNodeBits)}
-	}))
+	})))
 	return t
 }
 
@@ -197,11 +197,11 @@ func E14PointerDoubling(o Options) *metrics.Table {
 	t := metrics.NewTable("E14  Lemma 4 — pointer doubling across a cycle",
 		"n", "distance", "rounds to know antipode", "log2(distance)")
 	ns := o.sizes([]int{64}, []int{64, 128, 256})
-	t.AddRows(RunRows(o, len(ns), func(cell int) [][]string {
+	t.AddRows(mustRows(RunRows(o, len(ns), func(cell int) [][]string {
 		n := ns[cell]
 		rounds := pointerDoublingRounds(o.Seed, n, o.Shards)
 		return [][]string{metrics.Row(n, n/2, rounds, fmt.Sprintf("%.1f", math.Log2(float64(n/2))))}
-	}))
+	})))
 	return t
 }
 

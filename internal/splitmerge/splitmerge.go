@@ -328,6 +328,7 @@ func (nw *Network) SetAudit(e *audit.Engine) {
 		return nil
 	})
 	e.Register("membership", nw.checkMembership)
+	e.Register("label-coverage", nw.checkLabelCoverage)
 	e.Register("splitmerge-connectivity", func() []audit.Violation {
 		if !nw.ConnectedNow() {
 			return []audit.Violation{{Detail: "non-blocked committed members are disconnected"}}
@@ -605,7 +606,10 @@ func (nw *Network) Step(blocked map[sim.NodeID]bool) RoundReport {
 				continue
 			}
 			for _, u := range s.members {
-				if u != id && !nw.blocked(u, 1) && !nw.blocked(u, 2) {
+				// A partition window severs cross-component links: peers
+				// on the far side cannot deliver the S(x) state.
+				if u != id && !nw.blocked(u, 1) && !nw.blocked(u, 2) &&
+					!nw.faults.CutsEdge(nw.round, uint64(id), uint64(u)) {
 					nw.viewEpoch[id] = nw.epoch
 					break
 				}
@@ -911,12 +915,21 @@ func (nw *Network) normalize() {
 				continue
 			}
 			sib := s.label.Sibling()
+			lbl := s.label
 			j := nw.findLabel(sib)
 			if j < 0 {
-				// The sibling was split: merge its whole subtree.
+				// The sibling was split: merge its whole subtree first,
+				// then fall through to the sibling merge below. Stopping
+				// after the subtree merge would never converge when the
+				// re-assembled sibling is itself above the split
+				// threshold — the next iteration's split pass would undo
+				// it and the undersized group would starve forever.
 				nw.mergeSubtree(sib)
 				nw.stats.ForcedMerges++
-			} else {
+				j = nw.findLabel(sib)
+				i = nw.findLabel(lbl) // indices shifted by the subtree merge
+			}
+			if i >= 0 && j >= 0 {
 				nw.mergeInto(i, j)
 				nw.stats.Merges++
 			}
@@ -1022,8 +1035,18 @@ func (nw *Network) Snapshot() *dos.Snapshot {
 }
 
 // ConnectedNow reports whether the non-blocked committed members form a
-// connected graph under each node's (possibly stale) knowledge.
+// connected graph under each node's (possibly stale) knowledge. While a
+// partition window is open, cross-component knowledge edges are treated
+// as down — no message can traverse them.
 func (nw *Network) ConnectedNow() bool {
+	g, alive, _ := nw.knowledgeGraph()
+	return g.IsConnectedRestricted(alive)
+}
+
+// knowledgeGraph materializes the knowledge-based overlay ConnectedNow
+// tests over the committed members (in Members() order), minus any edge
+// a currently open partition window severs.
+func (nw *Network) knowledgeGraph() (*graph.Graph, []bool, []sim.NodeID) {
 	members := nw.Members()
 	idx := make(map[sim.NodeID]int, len(members))
 	for i, id := range members {
@@ -1036,7 +1059,7 @@ func (nw *Network) ConnectedNow() bool {
 	g := graph.New(len(members))
 	seen := make(map[int64]bool)
 	addEdge := func(a, b int) {
-		if a == b {
+		if a == b || nw.faults.CutsEdge(nw.round, uint64(members[a]), uint64(members[b])) {
 			return
 		}
 		if a > b {
@@ -1070,7 +1093,7 @@ func (nw *Network) ConnectedNow() bool {
 			link(y)
 		}
 	}
-	return g.IsConnectedRestricted(alive)
+	return g, alive, members
 }
 
 // Run drives the network under the adversary for the given rounds,

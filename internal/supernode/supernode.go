@@ -532,7 +532,10 @@ func (nw *Network) Step(blocked map[sim.NodeID]bool) RoundReport {
 		}
 		x := nw.nodeGroup[v]
 		for _, u := range nw.groups[x] {
-			if u != id && !nw.blocked(u, 1) && !nw.blocked(u, 2) {
+			// A partition window severs cross-component links: a peer on
+			// the far side cannot deliver the S(x) state even if available.
+			if u != id && !nw.blocked(u, 1) && !nw.blocked(u, 2) &&
+				!nw.faults.CutsEdge(nw.round, uint64(id), uint64(u)) {
 				nw.viewEpoch[v] = cur
 				break
 			}
@@ -781,17 +784,32 @@ func (nw *Network) estimateWork() int64 {
 
 // ConnectedNow reports whether the non-blocked nodes form a connected
 // graph under each node's current knowledge (stale nodes contribute
-// the edges of the epoch they last received).
+// the edges of the epoch they last received). While a partition window
+// is open, cross-component knowledge edges are treated as down — no
+// message can traverse them, so they cannot carry the overlay.
 func (nw *Network) ConnectedNow() bool {
+	return nw.knowledgeGraph().IsConnectedRestricted(nw.aliveNow())
+}
+
+func (nw *Network) aliveNow() []bool {
 	n := nw.cfg.N
 	alive := make([]bool, n)
 	for v := 0; v < n; v++ {
 		alive[v] = !nw.blocked(sim.NodeID(v+1), 0)
 	}
+	return alive
+}
+
+// knowledgeGraph materializes the knowledge-based overlay ConnectedNow
+// tests: each node contributes the clique and bipartite edges of the
+// epoch it last received, minus any edge a currently open partition
+// window severs.
+func (nw *Network) knowledgeGraph() *graph.Graph {
+	n := nw.cfg.N
 	g := graph.New(n)
 	seen := make(map[int64]bool)
 	addEdge := func(a, b int) {
-		if a == b {
+		if a == b || nw.faults.CutsEdge(nw.round, uint64(a)+1, uint64(b)+1) {
 			return
 		}
 		if a > b {
@@ -816,7 +834,7 @@ func (nw *Network) ConnectedNow() bool {
 			}
 		}
 	}
-	return g.IsConnectedRestricted(alive)
+	return g
 }
 
 // Run drives the network for the given number of rounds under the

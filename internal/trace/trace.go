@@ -37,7 +37,7 @@ const maxTraceShards = 64
 // since the Recorder was created.
 type Event struct {
 	TSMicros int64  `json:"ts_us"`
-	Kind     string `json:"kind"` // round_start, round_end, spawn, kill, block, drop, dup, violation
+	Kind     string `json:"kind"` // round_start, round_end, spawn, kill, block, drop, dup, violation, recovery
 	Scope    string `json:"scope,omitempty"`
 	Round    int    `json:"round"`
 	Node     uint64 `json:"node,omitempty"`
@@ -56,6 +56,11 @@ type Event struct {
 	Nodes  []uint64 `json:"nodes,omitempty"`
 	// Stats carries the round summary on round_end events.
 	Stats *sim.RoundStats `json:"stats,omitempty"`
+	// CleanRound and MTTRRounds appear on recovery events only: Round is
+	// the episode's first violation, CleanRound the first clean audit
+	// pass after it, MTTRRounds their difference.
+	CleanRound int `json:"clean_round,omitempty"`
+	MTTRRounds int `json:"mttr_rounds,omitempty"`
 	// Shard timing, on shard_round events only (sharded kernels with a
 	// ShardObserver-aware tracer — every Recorder tracer is one). These
 	// are wall-clock measurements: useful for skew diagnosis, never
@@ -100,6 +105,12 @@ type Counters struct {
 	// Violations counts invariant-audit reports.
 	DupExtraCopies uint64 `json:"dup_extra_copies,omitempty"`
 	Violations     uint64 `json:"violations,omitempty"`
+	// Recoveries counts closed break episodes (invariant broken, then
+	// observed clean again); RecoveryRounds is the sum of their
+	// per-episode recovery times, so RecoveryRounds/Recoveries is the
+	// run's mean time to recover in rounds.
+	Recoveries     uint64 `json:"recoveries,omitempty"`
+	RecoveryRounds uint64 `json:"recovery_rounds,omitempty"`
 	// Per-shard busy time (µs) in the simulator's receive and send
 	// phases, indexed by shard id — populated only when a sharded
 	// network ran under this recorder. The imbalance between entries
@@ -119,6 +130,7 @@ type Recorder struct {
 	cells, epochs         atomic.Uint64
 	drops                 [sim.NumDropReasons]atomic.Uint64
 	dupExtra, violations  atomic.Uint64
+	recoveries, mttr      atomic.Uint64
 
 	// Per-shard phase busy time; maxTraceShards matches the simulator's
 	// shard cap. shardsSeen is the high-water shard count observed.
@@ -240,6 +252,8 @@ func (r *Recorder) Counters() Counters {
 	}
 	c.DupExtraCopies = r.dupExtra.Load()
 	c.Violations = r.violations.Load()
+	c.Recoveries = r.recoveries.Load()
+	c.RecoveryRounds = r.mttr.Load()
 	// Per the sim.Tracer reconciliation contract: delivered = sends by
 	// non-blocked senders minus the send-round drops (including
 	// injected ones), plus the extra copies injected duplication added.
@@ -289,6 +303,35 @@ func (r *Recorder) ReportViolation(v audit.Violation) {
 
 // ViolationCount returns the number of invariant violations reported.
 func (r *Recorder) ViolationCount() uint64 { return r.violations.Load() }
+
+// ReportRecovery implements audit.RecoveryReporter: closed break
+// episodes are counted (with their recovery times summed for MTTR) and
+// emitted as "recovery" events. Like violations they are rare and
+// load-bearing, so they are always retained and streamed regardless of
+// RecordEvents.
+func (r *Recorder) ReportRecovery(rec audit.Recovery) {
+	r.recoveries.Add(1)
+	r.mttr.Add(uint64(rec.Rounds))
+	ev := Event{
+		TSMicros:   time.Since(r.start).Microseconds(),
+		Kind:       "recovery",
+		Scope:      rec.Scope,
+		Round:      rec.BrokenAt,
+		Reason:     rec.Invariant,
+		Seed:       rec.Seed,
+		CleanRound: rec.CleanAt,
+		MTTRRounds: rec.Rounds,
+	}
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	if r.jsonl != nil {
+		r.jsonl.Encode(eventLine{Type: "event", Event: ev})
+	}
+	r.mu.Unlock()
+}
+
+// RecoveryCount returns the number of closed break episodes reported.
+func (r *Recorder) RecoveryCount() uint64 { return r.recoveries.Load() }
 
 // DropCount returns the aggregate count for one drop reason.
 func (r *Recorder) DropCount(reason sim.DropReason) uint64 {
