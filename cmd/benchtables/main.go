@@ -81,6 +81,7 @@ type manifest struct {
 	NumCPU       int                  `json:"num_cpu"`
 	TotalSeconds float64              `json:"total_seconds"`
 	Experiments  []manifestExperiment `json:"experiments"`
+	ScalePoints  []manifestScalePoint `json:"scale_points,omitempty"`
 	Counters     *trace.Counters      `json:"counters,omitempty"`
 }
 
@@ -89,6 +90,19 @@ type manifestExperiment struct {
 	Claim   string  `json:"claim"`
 	Rows    int     `json:"rows"`
 	Seconds float64 `json:"seconds"`
+}
+
+// manifestScalePoint is one size point of a scale experiment, from the
+// recorder's kind-"scale" spans: the measured round throughput and the
+// per-node communication footprint at one network size, so the perf
+// trajectory of every recorded run is attributable alongside its
+// tables.
+type manifestScalePoint struct {
+	Exp          string  `json:"exp"`
+	N            int     `json:"n"`
+	Rounds       int     `json:"rounds"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	BytesPerNode float64 `json:"bytes_per_node"`
 }
 
 // gitRev resolves the source revision: the VCS stamp the Go toolchain
@@ -150,6 +164,7 @@ func main() {
 	auditEvery := flag.Int("audit-every", 0, "invariant check cadence in engine ticks (0 = every tick)")
 	recoverOnly := flag.Bool("recover", false, "run the self-healing recovery experiment (adds R1 to -only)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell stall watchdog (e.g. 5m); 0 disables")
+	maskWall := flag.Bool("maskwall", false, "blank wall-clock table columns (rounds/sec) so output can be diffed across runs and machines")
 	flag.Parse()
 
 	faultSpec, err := fault.ParseSpec(*faultsFlag)
@@ -260,6 +275,9 @@ func main() {
 			o.Exp = e.ID
 			start := time.Now()
 			tbl := e.Run(o)
+			if *maskWall {
+				exp.MaskWallClock(tbl)
+			}
 			results[i] = result{table: tbl.String(), rows: tbl.NumRows(), elapsed: time.Since(start)}
 			if rec != nil {
 				rec.ExperimentSpan(e.ID, o.Seed, tbl.NumRows(), start)
@@ -312,6 +330,18 @@ func main() {
 			})
 		}
 		if rec != nil {
+			for _, s := range rec.Spans() {
+				if s.Kind != "scale" {
+					continue
+				}
+				m.ScalePoints = append(m.ScalePoints, manifestScalePoint{
+					Exp:          s.Scope,
+					N:            s.N,
+					Rounds:       s.Rounds,
+					RoundsPerSec: s.RoundsPerSec,
+					BytesPerNode: s.BytesPerNode,
+				})
+			}
 			c := rec.Counters()
 			m.Counters = &c
 		}

@@ -45,8 +45,19 @@ type summary struct {
 	counters   map[string]uint64
 	violations []violationRec
 	recoveries []recoveryRec
+	scales     []scaleRec
 	minTS      int64
 	maxTS      int64
+}
+
+// scaleRec is one size point of a scale experiment (kind "scale"
+// spans): round throughput and per-node communication at one n.
+type scaleRec struct {
+	scope        string
+	n            int
+	rounds       int
+	roundsPerSec float64
+	bytesPerNode float64
 }
 
 // recoveryRec is one closed break episode from the stream: an invariant
@@ -131,6 +142,18 @@ func loadChrome(data []byte, s *summary) error {
 			s.addCell(exp, cell, ev.TS, ev.Dur)
 		case "epoch":
 			s.epochs++
+		case "scale":
+			exp, _ := ev.Args["exp"].(string)
+			rec := scaleRec{scope: exp}
+			if v, ok := ev.Args["n"].(float64); ok {
+				rec.n = int(v)
+			}
+			if v, ok := ev.Args["rounds"].(float64); ok {
+				rec.rounds = int(v)
+			}
+			rec.roundsPerSec, _ = ev.Args["rounds_per_sec"].(float64)
+			rec.bytesPerNode, _ = ev.Args["bytes_per_node"].(float64)
+			s.scales = append(s.scales, rec)
 		}
 	}
 	return nil
@@ -146,6 +169,10 @@ type jsonlRecord struct {
 	StartUS int64  `json:"start_us"`
 	DurUS   int64  `json:"dur_us"`
 	TSMicro int64  `json:"ts_us"`
+	// scale-span fields
+	N            int     `json:"n"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	BytesPerNode float64 `json:"bytes_per_node"`
 	// event fields (violation events carry the invariant name in
 	// "reason" plus a human-readable detail; recovery events add the
 	// clean round and the episode's MTTR)
@@ -196,6 +223,12 @@ func loadJSONL(data []byte, s *summary) error {
 				s.addCell(rec.Scope, rec.Cell, rec.StartUS, rec.DurUS)
 			case "epoch":
 				s.epochs++
+				s.observeTS(rec.StartUS, rec.DurUS)
+			case "scale":
+				s.scales = append(s.scales, scaleRec{
+					scope: rec.Scope, n: rec.N, rounds: int(rec.Rounds),
+					roundsPerSec: rec.RoundsPerSec, bytesPerNode: rec.BytesPerNode,
+				})
 				s.observeTS(rec.StartUS, rec.DurUS)
 			default:
 				s.observeTS(rec.StartUS, rec.DurUS)
@@ -350,6 +383,30 @@ func printRecoveries(s *summary) {
 	}
 }
 
+// printScaleSpans reports the scale-experiment size points: at each n,
+// the measured wall-clock round throughput and the per-node
+// communication footprint of one network run.
+func printScaleSpans(s *summary) {
+	if len(s.scales) == 0 {
+		return
+	}
+	sort.SliceStable(s.scales, func(i, j int) bool {
+		if s.scales[i].scope != s.scales[j].scope {
+			return s.scales[i].scope < s.scales[j].scope
+		}
+		return s.scales[i].n < s.scales[j].n
+	})
+	fmt.Printf("  scale points   %d\n", len(s.scales))
+	for _, rec := range s.scales {
+		label := rec.scope
+		if label == "" {
+			label = "(unlabeled)"
+		}
+		fmt.Printf("    %-6s n=%-9d %2d rounds  %8.1f rounds/sec  %8.1f bytes/node-round\n",
+			label, rec.n, rec.rounds, rec.roundsPerSec, rec.bytesPerNode)
+	}
+}
+
 func main() {
 	top := flag.Int("top", 10, "number of slowest cells to list")
 	flag.Parse()
@@ -459,6 +516,7 @@ func main() {
 	}
 
 	printShardBalance(s)
+	printScaleSpans(s)
 
 	if len(s.spans) > 0 && *top > 0 {
 		sort.Slice(s.spans, func(i, j int) bool { return s.spans[i].durUS > s.spans[j].durUS })

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// epochTranscript runs a fixed churn schedule through a Network in the
+// given execution mode and shard count and serializes everything
+// observable: each epoch's report and final-id list, plus the membership
+// and per-member neighborhoods after every epoch.
+func epochTranscript(coroutine bool, shards int) string {
+	nw := NewNetwork(Config{Seed: 42, N0: 24, D: 6, Shards: shards, Coroutine: coroutine})
+	defer nw.Shutdown()
+	out := ""
+	schedule := []struct {
+		joins  int
+		leaves []int
+	}{
+		{joins: 3, leaves: nil},
+		{joins: 0, leaves: []int{2, 7}},
+		{joins: 2, leaves: []int{0, 25}},
+		{joins: 1, leaves: []int{11}},
+	}
+	for e, step := range schedule {
+		members := nw.Members()
+		joins := make([]JoinSpec, step.joins)
+		for j := range joins {
+			joins[j] = JoinSpec{Sponsor: members[(e*5+j*3)%len(members)]}
+		}
+		rep, ids := nw.RunEpoch(joins, step.leaves)
+		out += fmt.Sprintf("epoch %d: report=%+v new-ids=%v\n", e, rep, ids)
+		ms := append([]int(nil), nw.Members()...)
+		sort.Ints(ms)
+		out += fmt.Sprintf("members=%v\n", ms)
+		for _, m := range ms {
+			out += fmt.Sprintf("  %d -> %v\n", m, nw.NeighborsOf(m))
+		}
+	}
+	return out
+}
+
+// TestCoroutineHandlerEpochIdentity pins the §4 protocol's execution
+// -mode equivalence: the event-driven state-machine members and the
+// legacy blocking-coroutine members must produce identical epoch
+// reports, joiner id assignments, membership, and topology — at every
+// shard count. The handler port is a pure re-expression of the same
+// program, so any divergence is a bug, not drift.
+func TestCoroutineHandlerEpochIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mode identity matrix is not a -short test")
+	}
+	base := epochTranscript(false, 1)
+	for _, tc := range []struct {
+		name      string
+		coroutine bool
+		shards    int
+	}{
+		{"handler/shards=4", false, 4},
+		{"coroutine/shards=1", true, 1},
+		{"coroutine/shards=4", true, 4},
+	} {
+		if got := epochTranscript(tc.coroutine, tc.shards); got != base {
+			t.Errorf("%s: transcript diverges from handler/shards=1:\n--- base\n%s--- got\n%s",
+				tc.name, base, got)
+		}
+	}
+}

@@ -29,6 +29,14 @@ type Config struct {
 	// Shards is forwarded to sim.Config.Shards (intra-round simulator
 	// workers); the epoch traces are identical for any value.
 	Shards int
+	// Coroutine runs node programs in the legacy blocking-coroutine form
+	// (one adapter goroutine per node) instead of event-driven handlers.
+	// Both forms are transcriptions of the same protocol and produce
+	// byte-identical epoch traces at a fixed seed — the regression tests
+	// compare them — so this exists for that comparison and as a
+	// debugging aid (coroutine stacks show the protocol position),
+	// not as a performance option.
+	Coroutine bool
 }
 
 // Validate reports whether the configuration is usable. CLIs call it on
@@ -398,11 +406,16 @@ func (nw *Network) NeighborsOf(id int) []int {
 
 func (nw *Network) idOf(v int) sim.NodeID { return sim.NodeID(v + 1) }
 
-// spawnMember starts the protocol goroutine of a node that is already
-// part of the topology.
+// spawnMember starts the protocol node of a member that is already part
+// of the topology: an event-driven coreNode handler by default, or the
+// equivalent coroutine program under Config.Coroutine.
 func (nw *Network) spawnMember(id int, succ, pred []int32) {
 	st := &slot{}
 	nw.slots[id] = st
+	if !nw.cfg.Coroutine {
+		nw.net.SpawnHandler(nw.idOf(id), &coreNode{nw: nw, id: id, st: st, succ: succ, pred: pred})
+		return
+	}
 	nw.net.Spawn(nw.idOf(id), func(ctx *sim.Ctx) {
 		nw.memberLoop(ctx, id, st, succ, pred)
 	})
@@ -413,6 +426,10 @@ func (nw *Network) spawnMember(id int, succ, pred []int32) {
 func (nw *Network) spawnJoiner(id, sponsor int) {
 	st := &slot{}
 	nw.slots[id] = st
+	if !nw.cfg.Coroutine {
+		nw.net.SpawnHandler(nw.idOf(id), &coreNode{nw: nw, id: id, st: st, joining: true, sponsor: sponsor})
+		return
+	}
 	nw.net.Spawn(nw.idOf(id), func(ctx *sim.Ctx) {
 		plan := nw.plan
 		idBits := sim.IDBits(plan.params.N)

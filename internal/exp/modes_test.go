@@ -1,0 +1,47 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"overlaynet/internal/sim"
+)
+
+// floodWork runs the scale experiments' flood program for a few rounds
+// in the chosen execution mode and returns the serialized Work() log.
+func floodWork(t *testing.T, n, shards int, coroutine bool) []byte {
+	t.Helper()
+	net := sim.NewNetwork(sim.Config{Seed: 42, Shards: shards, SizeHint: n})
+	buildFlood(net, n, 4, sim.IDBits(n), coroutine)
+	net.Run(6)
+	net.Shutdown()
+	b, err := json.Marshal(net.Work())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFloodWorkByteIdenticalAcrossModes pins the experiment-level mode
+// equivalence for the randomized flood workload that S1/S2 run: the
+// handler form and its coroutine twin draw from the same per-node
+// generators, so their work accounting must be byte-identical — in
+// every {mode} × {shards} combination.
+func TestFloodWorkByteIdenticalAcrossModes(t *testing.T) {
+	const n = 500
+	base := floodWork(t, n, 1, false)
+	for _, tc := range []struct {
+		name      string
+		shards    int
+		coroutine bool
+	}{
+		{"handler/shards=4", 4, false},
+		{"coroutine/shards=1", 1, true},
+		{"coroutine/shards=4", 4, true},
+	} {
+		if got := floodWork(t, n, tc.shards, tc.coroutine); !bytes.Equal(got, base) {
+			t.Errorf("%s: Work() log diverges from handler/shards=1", tc.name)
+		}
+	}
+}

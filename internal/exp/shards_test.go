@@ -13,13 +13,16 @@ import (
 // telemetry attached. The drivers chosen cover the three ways
 // experiments reach the simulator — the sampling primitives (E1), the
 // reconfiguration network (E6), a raw-kernel protocol (E14) — plus the
-// scale sweep whose whole point is the sharded kernel (S1).
+// scale sweeps whose whole point is the sharded kernel (S1, and S2 with
+// its wall-clock column masked, since round throughput legitimately
+// varies with the worker count).
 func TestTablesByteIdenticalAcrossShards(t *testing.T) {
 	drivers := map[string]func(Options) *metrics.Table{
 		"E1":  E1RapidSamplingHGraph,
 		"E6":  E6ReconfigChurn,
 		"E14": E14PointerDoubling,
 		"S1":  S1ScaleFlood,
+		"S2":  func(o Options) *metrics.Table { return MaskWallClock(S2ScaleFloodEvent(o)) },
 	}
 	for name, run := range drivers {
 		for _, traced := range []bool{false, true} {

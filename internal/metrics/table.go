@@ -113,3 +113,27 @@ func (t *Table) String() string {
 	}
 	return b.String()
 }
+
+// MaskColumn replaces every data cell of column i with placeholder.
+// Regression tests use it to blank wall-clock columns before comparing
+// renderings across machines or execution modes; out-of-range columns
+// are ignored.
+func (t *Table) MaskColumn(i int, placeholder string) {
+	if i < 0 || i >= len(t.header) {
+		return
+	}
+	for _, row := range t.rows {
+		row[i] = placeholder
+	}
+}
+
+// FindColumn returns the index of the first header containing substr,
+// or -1 if none does.
+func (t *Table) FindColumn(substr string) int {
+	for i, h := range t.header {
+		if strings.Contains(h, substr) {
+			return i
+		}
+	}
+	return -1
+}

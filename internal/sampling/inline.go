@@ -1,7 +1,6 @@
 package sampling
 
 import (
-	"sort"
 	"sync/atomic"
 
 	"overlaynet/internal/sim"
@@ -14,8 +13,9 @@ import (
 // Refused counts extraction fallbacks where an empty multiset forced a
 // node to substitute itself. ReqBatches/RespBatches count the Send
 // calls, which reconcile against the RoundWork message totals of the
-// sampling rounds. Fields are atomic because every node goroutine of a
-// network shares one BudgetStats.
+// sampling rounds. Fields are atomic because every node of a network —
+// handler nodes running concurrently on shard workers as much as proc
+// goroutines — shares one BudgetStats.
 type BudgetStats struct {
 	Issued, Served, Refused atomic.Int64
 	ReqBatches, RespBatches atomic.Int64
@@ -57,103 +57,21 @@ func RapidHGraphInline(ctx *sim.Ctx, p HGraphParams, self int, neighbors []int,
 }
 
 // RapidHGraphInlineStats is RapidHGraphInline with an optional shared
-// budget tally (nil skips all accounting).
+// budget tally (nil skips all accounting). It is the blocking-coroutine
+// driver of the HGraphSampler state machine: both forms share one
+// implementation, so they consume randomness, send messages, and tally
+// budgets identically.
 func RapidHGraphInlineStats(ctx *sim.Ctx, p HGraphParams, self int, neighbors []int,
 	idOf func(int) sim.NodeID, onOther func(sim.Message), fail *int, stats *BudgetStats) []int {
 
-	r := ctx.RNG()
-	T := p.T()
-	idBits := sim.IDBits(p.N)
-	var M Multiset[int32]
-
-	extract := func() int32 {
-		w, ok := M.Extract(r)
-		if !ok {
-			if fail != nil {
-				*fail++
-			}
-			if stats != nil {
-				stats.Refused.Add(1)
-			}
-			return int32(self)
-		}
-		return w
-	}
-
-	sendRequests := func(i int) {
-		mi := p.M(i)
-		targets := make([]int32, mi)
-		for j := 0; j < mi; j++ {
-			targets[j] = extract()
-		}
-		if stats != nil {
-			stats.Issued.Add(int64(mi))
-		}
-		sort.Slice(targets, func(a, b int) bool { return targets[a] < targets[b] })
-		for j := 0; j < mi; {
-			k := j
-			for k < mi && targets[k] == targets[j] {
-				k++
-			}
-			count := k - j
-			ctx.Send(idOf(int(targets[j])), reqBatch{Count: int32(count)}, count*idBits)
-			if stats != nil {
-				stats.ReqBatches.Add(1)
-			}
-			j = k
-		}
-	}
-
-	// Phase 1 (local): walks of length 1.
-	m0 := p.M(0)
-	for j := 0; j < m0; j++ {
-		M.Add(int32(neighbors[r.Intn(len(neighbors))]))
-	}
-	sendRequests(1)
-
-	for i := 1; i <= T; i++ {
+	var s HGraphSampler
+	s.Start(ctx, p, self, neighbors, idOf, fail, stats)
+	for {
 		inbox := ctx.NextRound()
-		for _, m := range inbox {
-			rb, ok := m.Payload.(reqBatch)
-			if !ok {
-				if onOther != nil {
-					onOther(m)
-				}
-				continue
-			}
-			ids := make([]int32, rb.Count)
-			for k := range ids {
-				ids[k] = extract()
-			}
-			ctx.Send(m.From, respBatch{IDs: ids}, len(ids)*idBits)
-			if stats != nil {
-				stats.Served.Add(int64(rb.Count))
-				stats.RespBatches.Add(1)
-			}
-		}
-		inbox = ctx.NextRound()
-		collected := make([]int32, 0, p.M(i))
-		for _, m := range inbox {
-			rb, ok := m.Payload.(respBatch)
-			if !ok {
-				if onOther != nil {
-					onOther(m)
-				}
-				continue
-			}
-			collected = append(collected, rb.IDs...)
-		}
-		M.Reset(collected)
-		if i < T {
-			sendRequests(i + 1)
+		if s.HandleRound(ctx, inbox, onOther) {
+			return s.Samples()
 		}
 	}
-
-	out := make([]int, M.Len())
-	for k, w := range M.Items() {
-		out[k] = int(w)
-	}
-	return out
 }
 
 // InlineRounds returns the number of NextRound calls RapidHGraphInline

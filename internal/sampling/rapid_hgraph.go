@@ -30,11 +30,40 @@ type respBatch struct {
 	IDs []int32
 }
 
+// rapidNode is one sampling node in event-driven form: its first round
+// starts the HGraphSampler, the following 2·T() rounds feed it, and the
+// node departs once its samples are in (matching the round in which the
+// coroutine form's proc returned).
+type rapidNode struct {
+	s       HGraphSampler
+	started bool
+	v       int
+	h       *hgraph.HGraph
+	p       HGraphParams
+	idOf    func(int) sim.NodeID
+	res     *RapidResult
+	fail    *int
+}
+
+func (nd *rapidNode) OnRound(ctx *sim.Ctx, inbox []sim.Message) bool {
+	if !nd.started {
+		nd.started = true
+		nd.s.Start(ctx, nd.p, nd.v, nd.h.Neighbors(nd.v), nd.idOf, nd.fail, nil)
+		return true
+	}
+	if nd.s.HandleRound(ctx, inbox, nil) {
+		nd.res.Samples[nd.v] = nd.s.Samples()
+		return false
+	}
+	return true
+}
+
 // RapidHGraph runs Algorithm 1 (rapid node sampling in ℍ-graphs) as a
 // distributed protocol: every node samples p.Samples() vertices, each
 // the endpoint of an independent simple random walk of length 2^T,
 // which by Lemma 2 is almost uniform over V. The run takes
-// p.Rounds() = O(log log n) communication rounds.
+// p.Rounds() = O(log log n) communication rounds. Nodes are event-
+// driven handlers, so a run costs no per-node goroutines.
 func RapidHGraph(seed uint64, h *hgraph.HGraph, p HGraphParams) *RapidResult {
 	if err := p.Validate(); err != nil {
 		panic(err)
@@ -47,9 +76,8 @@ func RapidHGraph(seed uint64, h *hgraph.HGraph, p HGraphParams) *RapidResult {
 	idOf := func(v int) sim.NodeID { return sim.NodeID(v + 1) }
 
 	for v := 0; v < n; v++ {
-		v := v
-		net.Spawn(idOf(v), func(ctx *sim.Ctx) {
-			res.Samples[v] = RapidHGraphInline(ctx, p, v, h.Neighbors(v), idOf, nil, &failures[v])
+		net.SpawnHandler(idOf(v), &rapidNode{
+			v: v, h: h, p: p, idOf: idOf, res: res, fail: &failures[v],
 		})
 	}
 	net.Run(p.Rounds())

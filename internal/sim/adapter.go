@@ -1,0 +1,107 @@
+package sim
+
+// procAdapter runs a blocking-coroutine Proc on top of the event-driven
+// handler kernel. The proc gets a private goroutine; the adapter's
+// OnRound resumes it for one round and blocks until it parks again in
+// Ctx.NextRound (or returns), so from the kernel's point of view the
+// node is an ordinary inline handler. Both channels are buffered with
+// capacity 1: every exchange is a strict ping-pong between the kernel
+// side and the proc goroutine, and the buffer lets the kill wake-up in
+// Shutdown's first phase proceed without waiting for each unwind in
+// turn.
+//
+// Lifecycle (all transitions happen on the kernel side — in OnRound,
+// stop, or interrupt — never concurrently for one node):
+//
+//	adapterNew    — no goroutine yet; started lazily by the first OnRound
+//	adapterParked — goroutine alive, parked in NextRound (or about to be)
+//	adapterDone   — goroutine exited (proc returned or was unwound)
+type procAdapter struct {
+	net    *Network
+	proc   Proc
+	resume chan []Message
+	yield  chan bool
+	state  uint8
+	kill   bool // read by the proc goroutine after a resume receive
+}
+
+const (
+	adapterNew uint8 = iota
+	adapterParked
+	adapterDone
+)
+
+// OnRound implements Handler by resuming the proc goroutine for one
+// round. Returns false once the proc has returned.
+func (a *procAdapter) OnRound(ctx *Ctx, inbox []Message) bool {
+	if a.state == adapterNew {
+		a.state = adapterParked
+		a.resume = make(chan []Message, 1)
+		a.yield = make(chan bool, 1)
+		ctx.adapter = a
+		a.net.adapterLive.Add(1)
+		go a.run(ctx)
+	}
+	a.resume <- inbox
+	if <-a.yield {
+		return true
+	}
+	a.retire()
+	return false
+}
+
+// run is the proc goroutine: it delivers the first inbox through
+// Ctx.FirstInbox, runs the proc to completion, and converts the
+// haltSignal unwind (a kill arriving at a NextRound park point) into a
+// normal exit. The final yield <- false hands control back to whichever
+// kernel-side call (OnRound or stop) is waiting.
+func (a *procAdapter) run(ctx *Ctx) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(haltSignal); !ok {
+				panic(r)
+			}
+		}
+		a.yield <- false
+	}()
+	first := <-a.resume
+	if a.kill {
+		panic(haltSignal{})
+	}
+	ctx.pendingFirst = first
+	a.proc(ctx)
+}
+
+// interrupt wakes a parked proc goroutine with the kill flag set and
+// does not wait for the unwind (the buffered resume channel makes the
+// send non-blocking). Shutdown uses it to overlap all unwinds before
+// stop collects them.
+func (a *procAdapter) interrupt() {
+	if a.state != adapterParked {
+		return
+	}
+	a.kill = true
+	a.resume <- nil
+}
+
+// stop synchronously unwinds a parked proc goroutine; a no-op if it
+// never started or already exited. Called from freeSlot when a killed
+// (rather than returned) coroutine node is reaped, and from Shutdown
+// after interrupt.
+func (a *procAdapter) stop() {
+	if a.state != adapterParked {
+		return
+	}
+	if !a.kill {
+		a.kill = true
+		a.resume <- nil
+	}
+	<-a.yield
+	a.retire()
+}
+
+// retire marks the goroutine gone and updates the leak-audit counter.
+func (a *procAdapter) retire() {
+	a.state = adapterDone
+	a.net.adapterLive.Add(-1)
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"testing"
 )
@@ -32,28 +33,69 @@ func floodNetShards(n, fanout, shards int) *Network {
 	return net
 }
 
+// floodBenchHandler is floodNet's send pattern as one shared handler
+// value: per-node identity comes from the Ctx, so spawning a node costs
+// no closure or boxed payload — the per-node footprint the n=1M rows
+// measure is the kernel's own (slot + Ctx + recycled buffers).
+type floodBenchHandler struct {
+	n, fanout int
+	payload   any // one pre-boxed value shared by every send
+}
+
+func (h *floodBenchHandler) OnRound(ctx *Ctx, _ []Message) bool {
+	idx := int(ctx.ID()) - 1
+	for j := 0; j < h.fanout; j++ {
+		to := NodeID((idx+j*7+1)%h.n + 1)
+		ctx.Send(to, h.payload, 32)
+	}
+	return true
+}
+
+// floodHandlerNet is floodNet with event-driven handler nodes: same
+// deterministic send pattern, but no goroutine, channel pair, or stack
+// per node.
+func floodHandlerNet(n, fanout, shards int) *Network {
+	net := NewNetwork(Config{Seed: 1, Shards: shards, SizeHint: n})
+	h := &floodBenchHandler{n: n, fanout: fanout, payload: any(0)}
+	for i := 0; i < n; i++ {
+		net.SpawnHandler(NodeID(i+1), h)
+	}
+	return net
+}
+
 // BenchmarkStep measures the per-round cost of the simulator kernel
 // under a flood pattern (every node sends every round) and a sparse
 // pattern (1-in-16 nodes send), the two regimes the experiment drivers
-// live in. Allocations per round must stay near zero in steady state:
-// inbox and outbox buffers are recycled, and there is no sorting pass.
+// live in — each in both execution modes: "flood"/"sparse" rows run
+// blocking coroutines through the adapter (a goroutine + channel pair
+// per node), "handler" rows run the same flood as event-driven handlers
+// inline on the kernel. The handler rows extend to n=1M, which the
+// adapter mode cannot reach in this container's memory budget.
+// Allocations per round must stay near zero in steady state: inbox and
+// outbox buffers are recycled, and there is no sorting pass.
 func BenchmarkStep(b *testing.B) {
 	for _, bc := range []struct {
-		name   string
-		n      int
-		fanout int
-		sparse bool
+		name    string
+		n       int
+		fanout  int
+		sparse  bool
+		handler bool
 	}{
-		{"flood/n=1k", 1000, 4, false},
-		{"flood/n=10k", 10000, 4, false},
-		{"flood/n=100k", 100000, 4, false},
-		{"sparse/n=1k", 1000, 4, true},
-		{"sparse/n=10k", 10000, 4, true},
-		{"sparse/n=100k", 100000, 4, true},
+		{"flood/n=1k", 1000, 4, false, false},
+		{"flood/n=10k", 10000, 4, false, false},
+		{"flood/n=100k", 100000, 4, false, false},
+		{"sparse/n=1k", 1000, 4, true, false},
+		{"sparse/n=10k", 10000, 4, true, false},
+		{"sparse/n=100k", 100000, 4, true, false},
+		{"handler/n=1k", 1000, 4, false, true},
+		{"handler/n=10k", 10000, 4, false, true},
+		{"handler/n=100k", 100000, 4, false, true},
+		{"handler/n=1M", 1000000, 4, false, true},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			var net *Network
-			if bc.sparse {
+			switch {
+			case bc.sparse:
 				net = NewNetwork(Config{Seed: 1})
 				for i := 0; i < bc.n; i++ {
 					idx := i
@@ -69,7 +111,9 @@ func BenchmarkStep(b *testing.B) {
 						}
 					})
 				}
-			} else {
+			case bc.handler:
+				net = floodHandlerNet(bc.n, bc.fanout, 0)
+			default:
 				net = floodNet(bc.n, bc.fanout)
 			}
 			net.DisableWorkLog()
@@ -80,12 +124,19 @@ func BenchmarkStep(b *testing.B) {
 				net.Step()
 			}
 			b.StopTimer()
-			net.Shutdown()
 			if bc.n >= 100000 {
+				// Steady-state footprint with the network still alive:
+				// live heap per node after a forced collection, plus the
+				// process-wide peak-RSS high-water mark.
+				runtime.GC()
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				b.ReportMetric(float64(ms.HeapAlloc)/float64(bc.n), "liveB/node")
 				if mb := readPeakRSSMB(); mb > 0 {
 					b.ReportMetric(mb, "peakRSS-MB")
 				}
 			}
+			net.Shutdown()
 		})
 	}
 }

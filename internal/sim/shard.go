@@ -1,6 +1,6 @@
 // Sharded intra-round execution. With Config.Shards = S > 1, the
-// receive and send steps of a round are partitioned across S workers
-// (the driver goroutine acts as worker 0).
+// compute (receive + handler execution) and send steps of a round are
+// partitioned across S workers (the driver goroutine acts as worker 0).
 //
 // Determinism argument: canonical inbox order — (sender spawn order,
 // send sequence) — is a property of the partition, not the schedule.
@@ -13,9 +13,13 @@
 // in shard order (sums and maxes are associative, and sample slices
 // concatenated in shard order equal the serial iteration order), and
 // tracer drop events are buffered per shard and replayed by the driver
-// in shard order, which again equals the serial call order. The receive
-// step is partitioned by position range the same way; it only touches
-// per-node state, so it parallelizes trivially.
+// in shard order, which again equals the serial call order. The compute
+// step is partitioned by position range the same way; handlers run
+// inline on the worker owning their node's position, touch only their
+// own node's state plus round-constant shared structures (the id map
+// and other slots' identity fields, which never mutate mid-round), and
+// draw randomness from per-node generators, so the partition cannot
+// change any node's behavior.
 package sim
 
 import (
@@ -24,7 +28,7 @@ import (
 )
 
 const (
-	phaseReceive = iota
+	phaseCompute = iota
 	phaseSend
 )
 
@@ -52,7 +56,7 @@ type shardAcc struct {
 	inboxSamples []int64
 	bitsSamples  []int64
 
-	recvNS, sendNS int64 // phase wall times, collected when a ShardObserver is attached
+	computeNS, sendNS int64 // phase wall times, collected when a ShardObserver is attached
 
 	_ [64]byte
 }
@@ -67,7 +71,7 @@ func (a *shardAcc) reset() {
 	a.dups = a.dups[:0]
 	a.inboxSamples = a.inboxSamples[:0]
 	a.bitsSamples = a.bitsSamples[:0]
-	a.recvNS, a.sendNS = 0, 0
+	a.computeNS, a.sendNS = 0, 0
 }
 
 // shardPool is the persistent worker pool: Shards-1 goroutines parked
@@ -125,7 +129,7 @@ func chunk(total, shards, w int) (lo, hi int) {
 }
 
 // runShard executes one worker's share of a phase. Position ranges
-// (spawn order) drive the receive step and the accounting half of the
+// (spawn order) drive the compute step and the accounting half of the
 // send step; slot ranges drive the delivery half. Both are fixed for
 // the duration of a round (spawn and reap happen between rounds).
 func (n *Network) runShard(phase, w int) {
@@ -136,12 +140,12 @@ func (n *Network) runShard(phase, w int) {
 	}
 	acc := &n.acc[w]
 	switch phase {
-	case phaseReceive:
+	case phaseCompute:
 		acc.reset()
 		plo, phi := chunk(len(n.order), n.shards, w)
-		n.receiveRange(plo, phi, acc)
+		n.computeRange(plo, phi, acc)
 		if timed {
-			acc.recvNS = time.Since(t0).Nanoseconds()
+			acc.computeNS = time.Since(t0).Nanoseconds()
 		}
 	case phaseSend:
 		plo, phi := chunk(len(n.order), n.shards, w)
@@ -154,13 +158,12 @@ func (n *Network) runShard(phase, w int) {
 	}
 }
 
-// stepSharded is the Shards > 1 body of Step: the same
-// receive / compute / send round, with receive and send fanned out to
-// the pool and the per-shard results merged deterministically.
+// stepSharded is the Shards > 1 body of Step: the same compute / send
+// round, with both phases fanned out to the pool and the per-shard
+// results merged deterministically.
 func (n *Network) stepSharded() (messages int, totalBits, maxBits int64, anyHalted bool) {
 	n.ensurePool()
-	n.runPhase(phaseReceive)
-	n.barrier.Wait()
+	n.runPhase(phaseCompute)
 	n.runPhase(phaseSend)
 
 	tr := n.tracer
@@ -203,7 +206,7 @@ func (n *Network) stepSharded() (messages int, totalBits, maxBits int64, anyHalt
 		if n.shardObs != nil {
 			for w := range n.acc {
 				a := &n.acc[w]
-				n.shardObs.ShardRound(n.round, w, a.recvNS/1e3, a.sendNS/1e3)
+				n.shardObs.ShardRound(n.round, w, a.computeNS/1e3, a.sendNS/1e3)
 			}
 		}
 	}

@@ -11,6 +11,15 @@ import (
 // receivers, departures, kills, and late spawns — and returns the
 // work log plus the tracer's view (nil tracer ⇒ nil stats).
 func churnScenario(shards int, traced bool) ([]RoundWork, *countingTracer) {
+	return churnScenarioMode(shards, traced, false)
+}
+
+// churnScenarioMode is churnScenario with a choice of execution mode:
+// handler nodes called inline by the kernel, or the same programs in
+// blocking-coroutine form behind the adapter. Both perform identical
+// randomness draws and sends, so their work logs and tracer views must
+// be byte-identical (TestWorkLogByteIdenticalAcrossModes).
+func churnScenarioMode(shards int, traced, handler bool) ([]RoundWork, *countingTracer) {
 	net := NewNetwork(Config{Seed: 42, Shards: shards})
 	var tr *countingTracer
 	if traced {
@@ -20,13 +29,23 @@ func churnScenario(shards int, traced bool) ([]RoundWork, *countingTracer) {
 	const n = 64
 	spawn := func(i int) {
 		idx := i
+		round := func(ctx *Ctx) {
+			k := int(ctx.RNG().Intn(5))
+			for j := 0; j < k; j++ {
+				// Some targets are dead or not yet spawned on purpose.
+				ctx.Send(NodeID((idx*3+j*11)%(n+8)+1), j, 16+j)
+			}
+		}
+		if handler {
+			net.SpawnHandler(NodeID(i+1), HandlerFunc(func(ctx *Ctx, _ []Message) bool {
+				round(ctx)
+				return true
+			}))
+			return
+		}
 		net.Spawn(NodeID(i+1), func(ctx *Ctx) {
 			for {
-				k := int(ctx.RNG().Intn(5))
-				for j := 0; j < k; j++ {
-					// Some targets are dead or not yet spawned on purpose.
-					ctx.Send(NodeID((idx*3+j*11)%(n+8)+1), j, 16+j)
-				}
+				round(ctx)
 				ctx.NextRound()
 			}
 		})

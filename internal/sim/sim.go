@@ -5,22 +5,33 @@
 // identifier it knows (the overlay-network assumption the sampling
 // primitives exploit).
 //
-// Each node runs its protocol as straight-line Go code in its own
-// goroutine; Ctx.NextRound is the round barrier. All randomness is
-// deterministic: node v's generator is derived from (network seed, v),
-// node goroutines touch only their own state, and inboxes are delivered
-// in canonical (sender spawn order, send sequence) order, so concurrent
-// execution is exactly reproducible.
+// Execution model: node programs are event-driven state machines — a
+// Handler whose OnRound method is invoked inline, once per round, by
+// the kernel (or by one of its shard workers). A handler node owns no
+// goroutine, no channel, and no stack: its entire footprint is its
+// dense slot in the node table plus whatever state the Handler value
+// itself carries, which is what lets a single process simulate millions
+// of nodes. The classic blocking-coroutine API (Spawn with a Proc that
+// parks in Ctx.NextRound) is kept as a thin adapter over the handler
+// kernel: each Proc runs on a private goroutine that the adapter parks
+// between rounds and resumes from its own OnRound, so both styles mix
+// freely in one network and produce byte-identical results.
+//
+// All randomness is deterministic: node v's generator is derived from
+// (network seed, v), node programs touch only their own state, and
+// inboxes are delivered in canonical (sender spawn order, send
+// sequence) order, so results are exactly reproducible for any worker
+// configuration.
 //
 // Layout: every live node occupies a dense int32 slot in a slice-backed
 // node table; the NodeID→slot map is consulted only at the spawn/kill
 // boundary and once per Send (with a per-node cache in front), so the
 // round loop itself performs zero map operations. The per-round
 // DoS-blocked set and the kill-request set are bitsets indexed by slot.
-// With Config.Shards > 1 the receive and send/delivery steps run on a
-// persistent worker pool, partitioned so that results — tables, work
-// logs, and tracer accounting — are byte-identical for every shard
-// count (see shard.go for the argument).
+// With Config.Shards > 1 the compute (receive + handler execution) and
+// send/delivery steps run on a persistent worker pool, partitioned so
+// that results — tables, work logs, and tracer accounting — are
+// byte-identical for every shard count (see shard.go for the argument).
 //
 // DoS semantics follow the paper: a message sent from v to w at round i
 // is received iff v is non-blocked in round i and w is non-blocked in
@@ -32,7 +43,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
-	"sync"
+	"sync/atomic"
 
 	"overlaynet/internal/rng"
 )
@@ -55,10 +66,35 @@ type Message struct {
 	slot int32  // receiver's dense slot, resolved at Send time; -1 = no such node
 }
 
-// Proc is a node protocol. It is invoked in the node's first round; it
-// may compute, call Ctx.Send any number of times, and must call
-// Ctx.NextRound to end its round. Returning ends the node's life (it
-// leaves the network after its final sends are delivered).
+// Handler is an event-driven node program: the kernel calls OnRound
+// once per round, inline, with the messages delivered to the node this
+// round. The handler may call Ctx.Send any number of times and returns
+// whether the node stays in the network; returning false ends the
+// node's life (it leaves after its final sends are delivered, exactly
+// like a Proc returning). The inbox slice is only valid for the
+// duration of the call: the kernel recycles the buffer, so handlers
+// must copy any messages they keep.
+//
+// OnRound may run on any kernel worker, but never concurrently with
+// itself or with another node's handler touching shared mutable state
+// it owns exclusively; like a Proc, a handler must confine itself to
+// its own node's state (plus Ctx) for results to stay deterministic.
+type Handler interface {
+	OnRound(ctx *Ctx, inbox []Message) bool
+}
+
+// HandlerFunc adapts a plain function to the Handler interface.
+type HandlerFunc func(ctx *Ctx, inbox []Message) bool
+
+// OnRound implements Handler.
+func (f HandlerFunc) OnRound(ctx *Ctx, inbox []Message) bool { return f(ctx, inbox) }
+
+// Proc is a node protocol in blocking-coroutine form. It is invoked in
+// the node's first round; it may compute, call Ctx.Send any number of
+// times, and must call Ctx.NextRound to end its round. Returning ends
+// the node's life (it leaves the network after its final sends are
+// delivered). Procs run through a per-node adapter goroutine over the
+// handler kernel; SpawnHandler avoids that cost entirely.
 type Proc func(ctx *Ctx)
 
 // Config configures a Network.
@@ -66,19 +102,32 @@ type Config struct {
 	// Seed determines all randomness in the network.
 	Seed uint64
 	// Shards is the number of workers that partition the intra-round
-	// receive and send/delivery steps. 0 consults the OVERLAYNET_SHARDS
+	// compute and send/delivery steps. 0 consults the OVERLAYNET_SHARDS
 	// environment variable (useful to force the sharded path in CI),
 	// falling back to 1 (fully serial). Any value produces byte-
 	// identical results at a fixed seed; values > 1 only pay off on
 	// multi-core machines and large networks.
 	Shards int
+	// SizeHint, when positive, presizes the node table, id map, and
+	// slot-indexed bitsets for that many nodes. Purely a capacity hint:
+	// it never changes results, only avoids the incremental growth
+	// (and its transient copies) while spawning a large network — worth
+	// setting for the n=1M scale runs, irrelevant below ~100k.
+	SizeHint int
 }
 
 // envShards reads the OVERLAYNET_SHARDS default once.
-var envShards = sync.OnceValue(func() int {
-	v, _ := strconv.Atoi(os.Getenv("OVERLAYNET_SHARDS"))
-	return v
-})
+var envShards = func() func() int {
+	var once atomic.Int64
+	return func() int {
+		if v := once.Load(); v != 0 {
+			return int(v - 1)
+		}
+		v, _ := strconv.Atoi(os.Getenv("OVERLAYNET_SHARDS"))
+		once.Store(int64(v) + 1)
+		return v
+	}
+}()
 
 // maxShards bounds the worker pool; the delivery step scans every
 // outbox once per shard, so very high counts cost more than they win.
@@ -98,15 +147,16 @@ type haltSignal struct{}
 // are reused round after round: while the node consumes one, the send
 // step fills the other, so the steady state allocates nothing. Slots
 // are recycled through a free list when nodes depart; their buffers
-// (and resume channel) stay with the slot for the next occupant.
+// stay with the slot for the next occupant.
 type nodeState struct {
 	id     NodeID
-	resume chan []Message
+	h      Handler
+	ctx    *Ctx
 	outbox []Message
 	inbox  [2][]Message // double-buffered receive queues
 	fill   uint8        // inbox index accepting the current round's sends
 	live   bool         // slot is occupied
-	halted bool         // proc returned or was killed; set before done signal
+	halted bool         // handler returned false or node was killed
 	seq    uint64
 	bits   int64 // sent+received bits in the current round
 }
@@ -128,10 +178,13 @@ type Network struct {
 	blockedAny     bool
 	killReq        bitset // Kill/Shutdown requests, indexed by slot
 
-	barrier sync.WaitGroup // counts nodes still computing this round
-
 	work       []RoundWork
 	recordWork bool
+
+	// adapterLive counts coroutine-adapter goroutines currently alive,
+	// for the teardown leak audit (AdapterGoroutines). Atomic because
+	// shard workers start and retire adapters concurrently.
+	adapterLive atomic.Int64
 
 	// Sharded execution (see shard.go). acc holds one accumulator per
 	// shard; pool is the persistent worker pool, started lazily.
@@ -172,11 +225,22 @@ func NewNetwork(cfg Config) *Network {
 	if shards > maxShards {
 		shards = maxShards
 	}
+	hint := cfg.SizeHint
+	if hint < 0 {
+		hint = 0
+	}
 	n := &Network{
 		root:       rng.New(cfg.Seed),
-		nodes:      make(map[NodeID]int32),
+		nodes:      make(map[NodeID]int32, hint),
 		recordWork: true,
 		shards:     shards,
+	}
+	if hint > 0 {
+		n.slots = make([]nodeState, 0, hint)
+		n.order = make([]int32, 0, hint)
+		n.blocked = growBitset(nil, hint)
+		n.pendingBlocked = growBitset(nil, hint)
+		n.killReq = growBitset(nil, hint)
 	}
 	if shards > 1 {
 		n.acc = make([]shardAcc, shards)
@@ -202,6 +266,12 @@ func (n *Network) Round() int { return n.round }
 
 // NumAlive returns the number of live nodes.
 func (n *Network) NumAlive() int { return len(n.order) }
+
+// AdapterGoroutines returns the number of coroutine-adapter goroutines
+// currently alive. It is 0 for a network of pure handler nodes, and
+// must return to 0 after Shutdown (the teardown leak audit asserts
+// both).
+func (n *Network) AdapterGoroutines() int { return int(n.adapterLive.Load()) }
 
 // Alive returns the ids of live nodes in spawn order.
 func (n *Network) Alive() []NodeID {
@@ -238,11 +308,16 @@ func (n *Network) allocSlot() int32 {
 }
 
 // freeSlot returns a departed node's slot to the free list. Buffer
-// capacity and the resume channel stay with the slot for reuse, but
-// message contents are zeroed so payload references are released and
-// all slot-indexed bits are cleared for the next occupant.
+// capacity stays with the slot for reuse, but message contents are
+// zeroed so payload references are released, the handler and Ctx are
+// dropped, and all slot-indexed bits are cleared for the next occupant.
+// A coroutine adapter whose goroutine is still parked (the node was
+// killed rather than returning) is unwound here.
 func (n *Network) freeSlot(s int32) {
 	st := &n.slots[s]
+	if a, ok := st.h.(*procAdapter); ok {
+		a.stop()
+	}
 	for k := range st.inbox {
 		clear(st.inbox[k])
 		st.inbox[k] = st.inbox[k][:0]
@@ -250,6 +325,8 @@ func (n *Network) freeSlot(s int32) {
 	clear(st.outbox)
 	st.outbox = st.outbox[:0]
 	st.id = 0
+	st.h = nil
+	st.ctx = nil
 	st.live = false
 	st.halted = false
 	st.fill = 0
@@ -261,10 +338,14 @@ func (n *Network) freeSlot(s int32) {
 	n.free = append(n.free, s)
 }
 
-// Spawn adds a node running proc. The node takes part starting with the
-// next Step. Ids must be unique across the lifetime of the network
-// (the paper assumes every id is used at most once).
-func (n *Network) Spawn(id NodeID, proc Proc) {
+// SpawnHandler adds an event-driven node running h. The node takes part
+// starting with the next Step and costs no goroutine, channel, or
+// stack. Ids must be unique across the lifetime of the network (the
+// paper assumes every id is used at most once).
+func (n *Network) SpawnHandler(id NodeID, h Handler) {
+	if h == nil {
+		panic("sim: nil handler")
+	}
 	if _, ok := n.nodes[id]; ok {
 		panic(fmt.Sprintf("sim: duplicate node id %d", id))
 	}
@@ -272,41 +353,27 @@ func (n *Network) Spawn(id NodeID, proc Proc) {
 	st := &n.slots[s]
 	st.id = id
 	st.live = true
-	if st.resume == nil {
-		st.resume = make(chan []Message, 1)
-	}
+	st.h = h
+	st.ctx = &Ctx{net: n, slot: s, rng: *n.root.Split(uint64(id))}
 	n.nodes[id] = s
 	if n.tracer != nil {
 		n.tracer.NodeSpawned(n.round, id)
 	}
 	n.order = append(n.order, s)
-	ctx := &Ctx{net: n, slot: s, resume: st.resume, rng: n.root.Split(uint64(id))}
-	go func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(haltSignal); !ok {
-					panic(r)
-				}
-			}
-			// Re-resolve the slot pointer: the node table may have
-			// grown since spawn, and the resume receives above order
-			// this load after any such growth.
-			n.slots[s].halted = true
-			n.barrier.Done()
-		}()
-		first := <-ctx.resume
-		if n.killReq.test(s) {
-			panic(haltSignal{})
-		}
-		ctx.pendingFirst = first
-		proc(ctx)
-	}()
 }
 
-// Kill forces the node to stop at its next round barrier (a crash: its
-// current-round sends still go out, then it vanishes at the end of the
+// Spawn adds a node running proc in blocking-coroutine form: a thin
+// adapter gives the proc a private goroutine that parks between rounds,
+// at a cost of roughly one goroutine stack plus two channels per node.
+// Prefer SpawnHandler for large networks.
+func (n *Network) Spawn(id NodeID, proc Proc) {
+	n.SpawnHandler(id, &procAdapter{net: n, proc: proc})
+}
+
+// Kill forces the node to stop at its next round barrier (a crash: it
+// performs no further computation, then vanishes at the end of the
 // round — messages addressed to it in its final round are absorbed, not
-// counted as drops, exactly as for a node whose proc returns).
+// counted as drops, exactly as for a node whose program returns).
 func (n *Network) Kill(id NodeID) {
 	if s, ok := n.nodes[id]; ok {
 		n.killReq.set(s)
@@ -336,7 +403,8 @@ func (n *Network) SetBlocked(blocked map[NodeID]bool) {
 	}
 }
 
-// Step executes one synchronous round: deliver, compute, collect sends.
+// Step executes one synchronous round: deliver + compute, then collect
+// sends.
 func (n *Network) Step() {
 	n.blocked, n.pendingBlocked = n.pendingBlocked, n.blocked
 	n.blockedAny, n.pendingAny = n.pendingAny, false
@@ -351,17 +419,15 @@ func (n *Network) Step() {
 	var totalBits, maxBits int64
 	var anyHalted bool
 
-	n.barrier.Add(len(n.order))
 	if n.shards > 1 {
 		messages, totalBits, maxBits, anyHalted = n.stepSharded()
 	} else {
-		// Receive step: hand each node the inbox filled during the
+		// Compute step: hand each node the inbox filled during the
 		// previous send step (empty if blocked in this round — the
 		// "receiver non-blocked in round i+1" half of the rule; the
-		// other half was enforced at send time).
-		n.receiveRange(0, len(n.order), nil)
-		// Compute step: wait for every resumed node to finish its round.
-		n.barrier.Wait()
+		// other half was enforced at send time) and run its handler
+		// inline.
+		n.computeRange(0, len(n.order), nil)
 		// Send step: drain outboxes in deterministic spawn order,
 		// appending each message to its receiver's fill buffer.
 		messages, totalBits, maxBits, anyHalted = n.sendRange(0, len(n.order), 0, int32(len(n.slots)), nil)
@@ -393,14 +459,15 @@ func (n *Network) Step() {
 	}
 }
 
-// receiveRange runs the receive step for spawn-order positions
-// [plo, phi): it clears the node's stale outbox from the previous
-// round, hands over (or, for blocked receivers, drops) the pending
-// inbox, and resumes the node's goroutine. acc != nil buffers tracer
-// events and samples per shard instead of calling the tracer directly
-// (workers must not touch it concurrently); they are replayed in
-// canonical order afterwards.
-func (n *Network) receiveRange(plo, phi int, acc *shardAcc) {
+// computeRange runs the merged receive + compute step for spawn-order
+// positions [plo, phi): it clears the node's stale outbox from the
+// previous round, hands over (or, for blocked receivers, drops) the
+// pending inbox, and invokes the node's handler inline — unless a kill
+// was requested, in which case the node halts without computing.
+// acc != nil buffers tracer events and samples per shard instead of
+// calling the tracer directly (workers must not touch it concurrently);
+// they are replayed in canonical order afterwards.
+func (n *Network) computeRange(plo, phi int, acc *shardAcc) {
 	tr := n.tracer
 	slots := n.slots
 	blocked, anyB := n.blocked, n.blockedAny
@@ -453,7 +520,17 @@ func (n *Network) receiveRange(plo, phi int, acc *shardAcc) {
 				n.traceInbox = append(n.traceInbox, int64(len(box)))
 			}
 		}
-		st.resume <- box
+		// Compute: a killed node halts without running; otherwise the
+		// handler executes inline on this worker. Its sends go to the
+		// node's own outbox and its reads of shared structures (the id
+		// map, other slots' identity fields) are of state that never
+		// mutates during a round, so inline execution is safe and
+		// deterministic under any shard partition.
+		if n.killReq.test(s) {
+			st.halted = true
+		} else if !st.h.OnRound(st.ctx, box) {
+			st.halted = true
+		}
 	}
 }
 
@@ -633,23 +710,24 @@ func (n *Network) Run(rounds int) {
 	}
 }
 
-// Shutdown halts all remaining nodes and reaps their goroutines. It is
-// pure teardown: no round runs, so Round() and the work log are exactly
-// as the last Step left them (no spurious RoundWork entry). Every live
-// node is parked at a resume point (its initial receive or a NextRound
-// barrier), so waking it with its kill bit set unwinds it immediately.
-// The shard worker pool, if started, is stopped as well.
+// Shutdown halts all remaining nodes and reaps any adapter goroutines.
+// It is pure teardown: no round runs, so Round() and the work log are
+// exactly as the last Step left them (no spurious RoundWork entry).
+// Handler nodes simply have their slots recycled; coroutine adapters
+// are woken with their kill flag set (all of them before any is waited
+// on, so the unwinds overlap) and unwind through their NextRound park
+// point. The shard worker pool, if started, is stopped as well.
 func (n *Network) Shutdown() {
-	// Set every kill bit before waking anyone: a woken node re-reads
-	// the shared bitset, so all writes must precede the first resume.
+	// Phase 1: wake every parked adapter goroutine. The resume channels
+	// are buffered, so the wakes do not serialize on the unwinds.
 	for _, s := range n.order {
-		n.killReq.set(s)
+		if a, ok := n.slots[s].h.(*procAdapter); ok {
+			a.interrupt()
+		}
 	}
-	n.barrier.Add(len(n.order))
-	for _, s := range n.order {
-		n.slots[s].resume <- nil
-	}
-	n.barrier.Wait()
+	// Phase 2: freeSlot waits for each unwind (procAdapter.stop is a
+	// no-op for adapters already retired in phase 1's interrupt wait or
+	// never started).
 	for _, s := range n.order {
 		st := &n.slots[s]
 		delete(n.nodes, st.id)
@@ -660,12 +738,17 @@ func (n *Network) Shutdown() {
 }
 
 // Ctx is a node's handle to the network. It must only be used from the
-// node's own goroutine.
+// node's own program — inside its Handler.OnRound call or on its Proc
+// goroutine.
 type Ctx struct {
-	net          *Network
-	slot         int32
-	resume       chan []Message
-	rng          *rng.RNG
+	net  *Network
+	slot int32
+	// rng is embedded by value: a Ctx is heap-allocated and address-
+	// stable for the node's lifetime, so holding the generator inline
+	// saves one allocation per node — at n=1M that is a full object
+	// (plus header) per node of footprint.
+	rng          rng.RNG
+	adapter      *procAdapter // non-nil only for coroutine nodes
 	pendingFirst []Message
 	// lookup is a tiny direct-mapped NodeID→slot cache in front of the
 	// network's id map: protocols overwhelmingly re-send to the same
@@ -685,7 +768,7 @@ type lookupEntry struct {
 }
 
 // resolve maps a receiver id to its dense slot, or -1 if no such node
-// is currently alive. Called from the node's goroutine during the
+// is currently alive. Called from the node's program during the
 // compute step; the id map is never mutated while nodes compute, so
 // the concurrent reads are safe.
 func (c *Ctx) resolve(to NodeID) int32 {
@@ -713,11 +796,12 @@ func (c *Ctx) ID() NodeID { return c.net.slots[c.slot].id }
 func (c *Ctx) Round() int { return c.net.round }
 
 // RNG returns the node's private deterministic generator.
-func (c *Ctx) RNG() *rng.RNG { return c.rng }
+func (c *Ctx) RNG() *rng.RNG { return &c.rng }
 
 // FirstInbox returns the messages delivered in the node's first round.
 // It is empty for freshly spawned nodes (nothing can have been sent to
-// an id before it existed) but exposed for completeness.
+// an id before it existed) but exposed for completeness. Handler nodes
+// receive their first inbox as the first OnRound argument instead.
 func (c *Ctx) FirstInbox() []Message { return c.pendingFirst }
 
 // Send queues a message for delivery in the next round. bits is the
@@ -736,14 +820,20 @@ func (c *Ctx) Send(to NodeID, payload any, bits int) {
 }
 
 // NextRound ends the node's current round and blocks until the next one
-// begins, returning the messages delivered to the node. The returned
-// slice is only valid until the node's following NextRound call: the
-// network recycles inbox buffers, so protocols must copy any messages
-// they keep across rounds.
+// begins, returning the messages delivered to the node. It is the
+// coroutine form's round barrier and must only be called from a Proc;
+// handler nodes receive each round's inbox as an OnRound argument. The
+// returned slice is only valid until the node's following NextRound
+// call: the network recycles inbox buffers, so protocols must copy any
+// messages they keep across rounds.
 func (c *Ctx) NextRound() []Message {
-	c.net.barrier.Done()
-	inbox := <-c.resume
-	if c.net.killReq.test(c.slot) {
+	a := c.adapter
+	if a == nil {
+		panic("sim: Ctx.NextRound called from a handler node (use the OnRound inbox instead)")
+	}
+	a.yield <- true
+	inbox := <-a.resume
+	if a.kill {
 		panic(haltSignal{})
 	}
 	return inbox

@@ -123,6 +123,12 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			ev.Tid = tid
 			ev.Args = map[string]any{"scope": s.Scope, "epoch": s.Epoch, "rounds": s.Rounds,
 				"n_old": s.NOld, "n_new": s.NNew}
+		case "scale":
+			ev.Name = fmt.Sprintf("%s n=%d", s.Scope, s.N)
+			ev.Pid = chromePidHarness
+			ev.Tid = 0
+			ev.Args = map[string]any{"exp": s.Scope, "n": s.N, "rounds": s.Rounds,
+				"rounds_per_sec": s.RoundsPerSec, "bytes_per_node": s.BytesPerNode}
 		default: // experiment
 			ev.Name = s.Name
 			ev.Pid = chromePidHarness

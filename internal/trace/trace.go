@@ -86,6 +86,13 @@ type Span struct {
 	NOld    int    `json:"n_old,omitempty"`
 	NNew    int    `json:"n_new,omitempty"`
 	Rows    int    `json:"rows,omitempty"`
+	// Scale-span fields (kind "scale"): one network run of N nodes for
+	// Rounds rounds, with its measured round throughput and per-node
+	// communication footprint. RoundsPerSec is wall-clock (machine-
+	// dependent); BytesPerNode is deterministic work accounting.
+	N            int     `json:"n,omitempty"`
+	RoundsPerSec float64 `json:"rounds_per_sec,omitempty"`
+	BytesPerNode float64 `json:"bytes_per_node,omitempty"`
 }
 
 // Counters is a consistent-enough snapshot of the recorder's aggregate
@@ -219,6 +226,25 @@ func (r *Recorder) EpochSpan(scope string, epoch, rounds, nOld, nNew int, start 
 		NNew:    nNew,
 		StartUS: r.Since(start),
 		DurUS:   time.Since(start).Microseconds(),
+	})
+}
+
+// ScaleSpan records one size point of a scale experiment: a network of
+// n nodes ran rounds rounds starting at start, achieving roundsPerSec
+// wall-clock throughput at bytesPerNode communication per node-round.
+// These spans feed the benchtables manifest's scale section and the
+// cmd/tracestats scale report.
+func (r *Recorder) ScaleSpan(scope string, n, rounds int, roundsPerSec, bytesPerNode float64, start time.Time) {
+	r.AddSpan(Span{
+		Kind:         "scale",
+		Name:         scope,
+		Scope:        scope,
+		Rounds:       rounds,
+		N:            n,
+		RoundsPerSec: roundsPerSec,
+		BytesPerNode: bytesPerNode,
+		StartUS:      r.Since(start),
+		DurUS:        time.Since(start).Microseconds(),
 	})
 }
 
