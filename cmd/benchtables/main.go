@@ -28,9 +28,31 @@
 //	             every recorded table is attributable to the run that
 //	             produced it.
 //	-progress    print a live cells-done/total + ETA line to stderr.
-//	-http ADDR   serve expvar counters (/debug/vars, including the
-//	             live trace counter snapshot) and net/http/pprof
-//	             (/debug/pprof/) for profiling long sweeps.
+//	-http ADDR   serve the observability endpoints on this address:
+//	             Prometheus text metrics at /metrics, liveness at
+//	             /healthz, expvar counters at /debug/vars (including
+//	             the live trace counter snapshot), and net/http/pprof
+//	             at /debug/pprof/. The listener binds before the sweep
+//	             starts — a bad address fails immediately — and the
+//	             actually-bound address is printed to stderr, so
+//	             ":0" works in tests and scripts. Attach the live
+//	             dashboard with: overlaymon -addr <printed address>.
+//	-linger D    keep the -http server (and the process) up for D
+//	             after the sweep finishes, so dashboards and scrapes
+//	             can read the final state.
+//	-flight N    flight recorder: retain a deterministic sample of
+//	             telemetry events in a bounded ring of N entries
+//	             (0 disables). Exported by -events when full event
+//	             retention is off. Sampling is a pure function of the
+//	             seed and event identity — byte-identical at any
+//	             -procs/-shards setting.
+//	-flight-rate P  flight sampling probability (default 0.01).
+//
+// A metrics registry (internal/obs) is attached whenever any telemetry
+// flag is on: named counters and streaming histograms for the kernel
+// and all three protocol stacks, exported in the manifest's "metrics"
+// field and served at /metrics. Metrics are observation only — tables
+// are byte-identical with the pipeline attached or detached.
 //
 // Robustness:
 //
@@ -49,6 +71,7 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -61,6 +84,7 @@ import (
 
 	"overlaynet/internal/exp"
 	"overlaynet/internal/fault"
+	"overlaynet/internal/obs"
 	"overlaynet/internal/trace"
 )
 
@@ -83,6 +107,10 @@ type manifest struct {
 	Experiments  []manifestExperiment `json:"experiments"`
 	ScalePoints  []manifestScalePoint `json:"scale_points,omitempty"`
 	Counters     *trace.Counters      `json:"counters,omitempty"`
+	// Metrics is the flat snapshot of the obs registry at the end of the
+	// run: every named counter and gauge, plus _count/_sum/_p50/_p95/
+	// _max per histogram.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 type manifestExperiment struct {
@@ -158,7 +186,10 @@ func main() {
 	eventsOut := flag.String("events", "", "write the raw telemetry stream as JSONL")
 	manifestOut := flag.String("manifest", "", "write a run manifest JSON file")
 	progress := flag.Bool("progress", false, "print live sweep progress to stderr")
-	httpAddr := flag.String("http", "", "serve expvar + net/http/pprof on this address (e.g. :6060)")
+	httpAddr := flag.String("http", "", "serve /metrics, /healthz, expvar and net/http/pprof on this address (e.g. :6060, :0 for any free port)")
+	linger := flag.Duration("linger", 0, "keep the -http server up this long after the sweep (e.g. 30s)")
+	flightCap := flag.Int("flight", 0, "flight-recorder ring capacity in events (0 disables)")
+	flightRate := flag.Float64("flight-rate", 0.01, "flight-recorder sampling probability")
 	auditOn := flag.Bool("audit", false, "attach the runtime invariant-audit engine to the reconfiguration experiments")
 	faultsFlag := flag.String("faults", "", "deterministic fault injection, e.g. drop=0.01,dup=0.001,crash=0.05,restart=2")
 	auditEvery := flag.Int("audit-every", 0, "invariant check cadence in engine ticks (0 = every tick)")
@@ -206,22 +237,46 @@ func main() {
 		Audit: *auditOn, AuditEvery: *auditEvery, Faults: faultSpec, CellTimeout: *cellTimeout}
 
 	// Telemetry wiring. A single recorder spans every experiment; it
-	// aggregates counters and spans (events stay off — a full sweep
-	// would retain millions).
+	// aggregates counters and spans (full event retention stays off — a
+	// sweep would retain millions; -flight keeps a bounded deterministic
+	// sample instead). The metrics registry rides along whenever any
+	// telemetry is on: counters and streaming histograms cost O(1) per
+	// event and never perturb tables.
 	var rec *trace.Recorder
-	if *traceOut != "" || *eventsOut != "" || *manifestOut != "" || *httpAddr != "" {
+	var reg *obs.Registry
+	if *traceOut != "" || *eventsOut != "" || *manifestOut != "" || *httpAddr != "" || *flightCap > 0 {
 		rec = trace.New()
+		reg = obs.NewRegistry(0)
+		rec.WithMetrics(reg)
+		if *flightCap > 0 {
+			rec.FlightRecorder(*seed, *flightRate, *flightCap)
+		}
 		opts.Trace = rec
+		opts.Metrics = reg
 	}
 	var prog *trace.Progress
 	if *progress {
 		prog = trace.NewProgress(os.Stderr, 2*time.Second)
 		opts.Progress = prog
 	}
+	// -http binds before the sweep starts: a bad address is a synchronous
+	// startup error, and with ":0" the actually-bound address printed
+	// here is what tests and overlaymon attach to.
+	var srv *http.Server
 	if *httpAddr != "" {
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatalf("-http: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchtables: serving observability endpoints on http://%s (/metrics /healthz /debug/vars /debug/pprof/)\n", ln.Addr())
 		expvar.Publish("overlaynet_trace", rec)
+		// expvar and net/http/pprof register themselves on the default
+		// mux; the obs endpoints join them there.
+		http.Handle("/metrics", reg.MetricsHandler())
+		http.Handle("/healthz", obs.HealthzHandler(reg))
+		srv = &http.Server{}
 		go func() {
-			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "benchtables: -http: %v\n", err)
 			}
 		}()
@@ -344,6 +399,7 @@ func main() {
 			}
 			c := rec.Counters()
 			m.Counters = &c
+			m.Metrics = reg.FlatSnapshot()
 		}
 		f, err := os.Create(*manifestOut)
 		if err != nil {
@@ -357,5 +413,16 @@ func main() {
 		if err := f.Close(); err != nil {
 			fatalf("-manifest: %v", err)
 		}
+	}
+
+	// Keep the observability endpoints readable after the sweep if
+	// asked, then shut the server down cleanly so the listener is
+	// released before exit.
+	if srv != nil {
+		if *linger > 0 {
+			fmt.Fprintf(os.Stderr, "benchtables: sweep done; -http lingering %s\n", *linger)
+			time.Sleep(*linger)
+		}
+		srv.Close()
 	}
 }

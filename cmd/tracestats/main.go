@@ -2,7 +2,8 @@
 // benchtables -trace (Chrome trace_events JSON) or -events (JSONL):
 // per-experiment wall time, the slowest sweep cells, drop-reason
 // totals, simulator round throughput, invariant-audit violations and
-// recovery episodes (per-invariant MTTR), and — when the run used a
+// recovery episodes (per-invariant MTTR), the metrics-registry
+// snapshot (streaming-histogram quantiles), and — when the run used a
 // sharded simulator kernel — the per-shard wall-time balance of the
 // receive/send phases, so delivery skew across workers is visible.
 //
@@ -13,7 +14,10 @@
 //
 // The format is sniffed from the content: a JSON object with a
 // "traceEvents" key is treated as a Chrome trace, anything else as
-// JSONL.
+// JSONL. The exit status is non-zero when the file is missing, empty,
+// unparseable (e.g. truncated mid-line), or contains no telemetry
+// records at all — so scripted pipelines fail loudly instead of
+// printing an all-zero summary.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -39,10 +44,12 @@ type cellStat struct {
 
 // summary is the normalized content of either input format.
 type summary struct {
+	records    int        // telemetry records successfully ingested
 	spans      []cellStat // cell spans only
 	epochs     int
 	exps       map[string]*expAgg
 	counters   map[string]uint64
+	metrics    map[string]float64
 	violations []violationRec
 	recoveries []recoveryRec
 	scales     []scaleRec
@@ -124,10 +131,14 @@ func loadChrome(data []byte, s *summary) error {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return err
 	}
+	if len(f.OverlayCounters) > 0 {
+		s.records++
+	}
 	for k, v := range f.OverlayCounters {
 		s.counters[k] = v
 	}
 	for _, ev := range f.TraceEvents {
+		s.records++
 		s.observeTS(ev.TS, ev.Dur)
 		if ev.Ph != "X" {
 			continue
@@ -181,6 +192,8 @@ type jsonlRecord struct {
 	Detail     string `json:"detail"`
 	CleanRound int    `json:"clean_round"`
 	MTTRRounds int    `json:"mttr_rounds"`
+	// metrics-registry snapshot line
+	Metrics map[string]float64 `json:"metrics"`
 	// counters fields
 	Rounds    uint64            `json:"rounds"`
 	Messages  uint64            `json:"messages"`
@@ -218,6 +231,7 @@ func loadJSONL(data []byte, s *summary) error {
 		}
 		switch rec.Type {
 		case "span":
+			s.records++
 			switch rec.Kind {
 			case "cell":
 				s.addCell(rec.Scope, rec.Cell, rec.StartUS, rec.DurUS)
@@ -234,6 +248,7 @@ func loadJSONL(data []byte, s *summary) error {
 				s.observeTS(rec.StartUS, rec.DurUS)
 			}
 		case "event":
+			s.records++
 			s.observeTS(rec.TSMicro, 0)
 			switch rec.Kind {
 			case "violation":
@@ -246,7 +261,11 @@ func loadJSONL(data []byte, s *summary) error {
 					brokenAt: rec.Round, cleanAt: rec.CleanRound, rounds: rec.MTTRRounds,
 				})
 			}
+		case "metrics":
+			s.records++
+			s.metrics = rec.Metrics
 		case "counters":
+			s.records++
 			s.counters["rounds"] = rec.Rounds
 			s.counters["messages"] = rec.Messages
 			s.counters["delivered"] = rec.Delivered
@@ -281,7 +300,7 @@ func ms(us int64) float64 { return float64(us) / 1e3 }
 // max/mean of the per-shard totals — 1.00 is a perfectly even
 // partition; anything well above means the contiguous slot ranges are
 // carrying skewed delivery load.
-func printShardBalance(s *summary) {
+func printShardBalance(w io.Writer, s *summary) {
 	type shardBusy struct{ recv, send uint64 }
 	byShard := map[int]*shardBusy{}
 	for k, v := range s.counters {
@@ -321,10 +340,10 @@ func printShardBalance(s *summary) {
 	if mean > 0 {
 		balance = float64(maxTotal) / mean
 	}
-	fmt.Printf("  shard balance  %d shards, busy max/mean %.2f\n", len(byShard), balance)
+	fmt.Fprintf(w, "  shard balance  %d shards, busy max/mean %.2f\n", len(byShard), balance)
 	for _, i := range ids {
 		b := byShard[i]
-		fmt.Printf("    shard %-3d recv %10.1f ms  send %10.1f ms\n", i, ms(int64(b.recv)), ms(int64(b.send)))
+		fmt.Fprintf(w, "    shard %-3d recv %10.1f ms  send %10.1f ms\n", i, ms(int64(b.recv)), ms(int64(b.send)))
 	}
 }
 
@@ -332,7 +351,7 @@ func printShardBalance(s *summary) {
 // episodes from the recovery tracker, with per-invariant episode counts
 // and MTTR (mean and worst, in protocol rounds). The counters line
 // works even when individual events were not retained.
-func printRecoveries(s *summary) {
+func printRecoveries(w io.Writer, s *summary) {
 	count := s.counters["recoveries"]
 	if n := uint64(len(s.recoveries)); n > count {
 		count = n
@@ -340,11 +359,11 @@ func printRecoveries(s *summary) {
 	if count == 0 {
 		return
 	}
-	fmt.Printf("  recoveries     %d closed break episodes", count)
+	fmt.Fprintf(w, "  recoveries     %d closed break episodes", count)
 	if rr, ok := s.counters["recovery_rounds"]; ok && s.counters["recoveries"] > 0 {
-		fmt.Printf(", mean MTTR %.1f rounds", float64(rr)/float64(s.counters["recoveries"]))
+		fmt.Fprintf(w, ", mean MTTR %.1f rounds", float64(rr)/float64(s.counters["recoveries"]))
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	if len(s.recoveries) == 0 {
 		return
 	}
@@ -373,12 +392,12 @@ func printRecoveries(s *summary) {
 	sort.Strings(invs)
 	for _, k := range invs {
 		a := byInv[k]
-		fmt.Printf("    %-33s %d episodes  mean MTTR %.1f rounds  worst %d\n",
+		fmt.Fprintf(w, "    %-33s %d episodes  mean MTTR %.1f rounds  worst %d\n",
 			k, a.episodes, float64(a.total)/float64(a.episodes), a.worst)
 	}
 	show := min(len(s.recoveries), 5)
 	for _, rec := range s.recoveries[:show] {
-		fmt.Printf("    e.g. %s [%s] broken@%d clean@%d (%d rounds)\n",
+		fmt.Fprintf(w, "    e.g. %s [%s] broken@%d clean@%d (%d rounds)\n",
 			rec.scope, rec.invariant, rec.brokenAt, rec.cleanAt, rec.rounds)
 	}
 }
@@ -386,7 +405,7 @@ func printRecoveries(s *summary) {
 // printScaleSpans reports the scale-experiment size points: at each n,
 // the measured wall-clock round throughput and the per-node
 // communication footprint of one network run.
-func printScaleSpans(s *summary) {
+func printScaleSpans(w io.Writer, s *summary) {
 	if len(s.scales) == 0 {
 		return
 	}
@@ -396,60 +415,102 @@ func printScaleSpans(s *summary) {
 		}
 		return s.scales[i].n < s.scales[j].n
 	})
-	fmt.Printf("  scale points   %d\n", len(s.scales))
+	fmt.Fprintf(w, "  scale points   %d\n", len(s.scales))
 	for _, rec := range s.scales {
 		label := rec.scope
 		if label == "" {
 			label = "(unlabeled)"
 		}
-		fmt.Printf("    %-6s n=%-9d %2d rounds  %8.1f rounds/sec  %8.1f bytes/node-round\n",
+		fmt.Fprintf(w, "    %-6s n=%-9d %2d rounds  %8.1f rounds/sec  %8.1f bytes/node-round\n",
 			label, rec.n, rec.rounds, rec.roundsPerSec, rec.bytesPerNode)
 	}
 }
 
-func main() {
-	top := flag.Int("top", 10, "number of slowest cells to list")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracestats [-top N] <trace.json|events.jsonl>")
-		os.Exit(2)
+// printMetrics reports the metrics-registry snapshot embedded in the
+// JSONL stream ({"type":"metrics"}): one line per streaming histogram
+// with its sample count and the p50/p95/max reconstructed from the
+// log-scale buckets (≤19% relative error).
+func printMetrics(w io.Writer, s *summary) {
+	if len(s.metrics) == 0 {
+		return
 	}
-	path := flag.Arg(0)
+	var fams []string
+	for k := range s.metrics {
+		if fam, ok := strings.CutSuffix(k, "_p50"); ok {
+			fams = append(fams, fam)
+		}
+	}
+	sort.Strings(fams)
+	fmt.Fprintf(w, "  metrics        %d series in registry snapshot, %d histograms\n",
+		len(s.metrics), len(fams))
+	for _, fam := range fams {
+		if s.metrics[fam+"_count"] == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "    %-33s n=%-10.0f p50 %-10.0f p95 %-10.0f max %.0f\n",
+			fam, s.metrics[fam+"_count"], s.metrics[fam+"_p50"],
+			s.metrics[fam+"_p95"], s.metrics[fam+"_max"])
+	}
+}
+
+// run is the testable body of the command: it parses args, summarizes
+// the named telemetry file onto stdout, and returns the process exit
+// status (errors go to stderr).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracestats", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	top := fs.Int("top", 10, "number of slowest cells to list")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: tracestats [-top N] <trace.json|events.jsonl>")
+		return 2
+	}
+	path := fs.Arg(0)
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracestats: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "tracestats: %v\n", err)
+		return 1
 	}
 
-	s := newSummary()
 	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		fmt.Fprintf(stderr, "tracestats: %s: empty telemetry file\n", path)
+		return 1
+	}
+	s := newSummary()
 	if bytes.HasPrefix(trimmed, []byte("{")) && bytes.Contains(trimmed[:min(len(trimmed), 4096)], []byte(`"traceEvents"`)) {
 		err = loadChrome(data, s)
 	} else {
 		err = loadJSONL(data, s)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracestats: %s: %v\n", path, err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "tracestats: %s: %v (truncated or corrupt telemetry?)\n", path, err)
+		return 1
+	}
+	if s.records == 0 {
+		fmt.Fprintf(stderr, "tracestats: %s: no telemetry records found (wrong file, or a run that wrote nothing?)\n", path)
+		return 1
 	}
 
 	wallUS := int64(0)
 	if s.minTS >= 0 {
 		wallUS = s.maxTS - s.minTS
 	}
-	fmt.Printf("trace %s\n", path)
-	fmt.Printf("  wall span      %.1f ms\n", ms(wallUS))
-	fmt.Printf("  cell spans     %d across %d experiments\n", len(s.spans), len(s.exps))
-	fmt.Printf("  epoch spans    %d\n", s.epochs)
+	fmt.Fprintf(stdout, "trace %s\n", path)
+	fmt.Fprintf(stdout, "  wall span      %.1f ms\n", ms(wallUS))
+	fmt.Fprintf(stdout, "  cell spans     %d across %d experiments\n", len(s.spans), len(s.exps))
+	fmt.Fprintf(stdout, "  epoch spans    %d\n", s.epochs)
 
 	if rounds := s.counters["rounds"]; rounds > 0 {
-		fmt.Printf("  sim rounds     %d", rounds)
+		fmt.Fprintf(stdout, "  sim rounds     %d", rounds)
 		if wallUS > 0 {
-			fmt.Printf("  (%.0f rounds/sec over the traced span)", float64(rounds)/(float64(wallUS)/1e6))
+			fmt.Fprintf(stdout, "  (%.0f rounds/sec over the traced span)", float64(rounds)/(float64(wallUS)/1e6))
 		}
-		fmt.Println()
-		fmt.Printf("  messages       %d sent, %d delivered\n", s.counters["messages"], s.counters["delivered"])
-		fmt.Printf("  lifecycle      %d spawns, %d kills, %d node-round blocks\n",
+		fmt.Fprintln(stdout)
+		fmt.Fprintf(stdout, "  messages       %d sent, %d delivered\n", s.counters["messages"], s.counters["delivered"])
+		fmt.Fprintf(stdout, "  lifecycle      %d spawns, %d kills, %d node-round blocks\n",
 			s.counters["spawns"], s.counters["kills"], s.counters["blocks"])
 	}
 
@@ -464,19 +525,19 @@ func main() {
 	}
 	sort.Strings(dropKeys)
 	if len(dropKeys) > 0 {
-		fmt.Printf("  drops          %d total\n", dropTotal)
+		fmt.Fprintf(stdout, "  drops          %d total\n", dropTotal)
 		for _, k := range dropKeys {
-			fmt.Printf("    %-33s %d\n", strings.TrimPrefix(k, "drop:"), s.counters[k])
+			fmt.Fprintf(stdout, "    %-33s %d\n", strings.TrimPrefix(k, "drop:"), s.counters[k])
 		}
 	}
 	if dup := s.counters["dup_extra_copies"]; dup > 0 {
-		fmt.Printf("  dup extras     %d fault-injected extra copies\n", dup)
+		fmt.Fprintf(stdout, "  dup extras     %d fault-injected extra copies\n", dup)
 	}
 
 	// Invariant-audit verdict: the counter totals violations even when
 	// events were not recorded; individual reports appear when they were.
 	if v := s.counters["violations"]; v > 0 || len(s.violations) > 0 {
-		fmt.Printf("  violations     %d reported by the invariant audit\n", max(v, uint64(len(s.violations))))
+		fmt.Fprintf(stdout, "  violations     %d reported by the invariant audit\n", max(v, uint64(len(s.violations))))
 		byInv := map[string]int{}
 		for _, rec := range s.violations {
 			byInv[rec.invariant]++
@@ -487,18 +548,19 @@ func main() {
 		}
 		sort.Strings(invs)
 		for _, k := range invs {
-			fmt.Printf("    %-33s %d\n", k, byInv[k])
+			fmt.Fprintf(stdout, "    %-33s %d\n", k, byInv[k])
 		}
 		show := min(len(s.violations), 5)
 		for _, rec := range s.violations[:show] {
-			fmt.Printf("    e.g. %s round %d [%s]: %s\n", rec.scope, rec.round, rec.invariant, rec.detail)
+			fmt.Fprintf(stdout, "    e.g. %s round %d [%s]: %s\n", rec.scope, rec.round, rec.invariant, rec.detail)
 		}
 	}
 
-	printRecoveries(s)
+	printRecoveries(stdout, s)
+	printMetrics(stdout, s)
 
 	if len(s.exps) > 0 {
-		fmt.Println("  per experiment:")
+		fmt.Fprintln(stdout, "  per experiment:")
 		var ids []string
 		for id := range s.exps {
 			ids = append(ids, id)
@@ -510,20 +572,25 @@ func main() {
 			if label == "" {
 				label = "(unlabeled)"
 			}
-			fmt.Printf("    %-6s %3d cells  total %8.1f ms  mean %7.1f ms  max %8.1f ms\n",
+			fmt.Fprintf(stdout, "    %-6s %3d cells  total %8.1f ms  mean %7.1f ms  max %8.1f ms\n",
 				label, a.cells, ms(a.totalUS), ms(a.totalUS)/float64(a.cells), ms(a.maxUS))
 		}
 	}
 
-	printShardBalance(s)
-	printScaleSpans(s)
+	printShardBalance(stdout, s)
+	printScaleSpans(stdout, s)
 
 	if len(s.spans) > 0 && *top > 0 {
 		sort.Slice(s.spans, func(i, j int) bool { return s.spans[i].durUS > s.spans[j].durUS })
 		n := min(*top, len(s.spans))
-		fmt.Printf("  slowest %d cells:\n", n)
+		fmt.Fprintf(stdout, "  slowest %d cells:\n", n)
 		for _, c := range s.spans[:n] {
-			fmt.Printf("    %-16s %8.1f ms\n", c.name, ms(c.durUS))
+			fmt.Fprintf(stdout, "    %-16s %8.1f ms\n", c.name, ms(c.durUS))
 		}
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

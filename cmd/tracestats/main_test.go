@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFile drops content into a temp file and returns its path.
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodJSONL = `{"type":"span","kind":"cell","scope":"E1","cell":0,"start_us":10,"dur_us":500}
+{"type":"span","kind":"cell","scope":"E1","cell":1,"start_us":520,"dur_us":700}
+{"type":"event","kind":"violation","scope":"E6","round":12,"reason":"cycle-cover","detail":"broken edge"}
+{"type":"event","kind":"recovery","scope":"E6","round":12,"reason":"cycle-cover","clean_round":15,"mttr_rounds":3}
+{"type":"metrics","metrics":{"overlaynet_rounds_total":40,"overlaynet_inbox_depth_count":100,"overlaynet_inbox_depth_p50":3,"overlaynet_inbox_depth_p95":7,"overlaynet_inbox_depth_max":9,"overlaynet_inbox_depth_sum":320}}
+{"type":"counters","rounds":40,"messages":1000,"delivered":990,"cells":2,"drops":{"target-dead":10}}
+`
+
+func TestRunSummarizesJSONL(t *testing.T) {
+	path := writeFile(t, "events.jsonl", goodJSONL)
+	var out, errOut strings.Builder
+	if code := run([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("run = %d, stderr %q", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"cell spans     2",
+		"sim rounds     40",
+		"1000 sent, 990 delivered",
+		"target-dead",
+		"violations     1",
+		"recoveries     1 closed break episodes",
+		"overlaynet_inbox_depth",
+		"p50 3",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunFailsOnMissingFile(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{filepath.Join(t.TempDir(), "nope.jsonl")}, &out, &errOut); code != 1 {
+		t.Fatalf("run = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "tracestats:") {
+		t.Errorf("stderr missing prefix: %q", errOut.String())
+	}
+}
+
+func TestRunFailsOnEmptyInput(t *testing.T) {
+	for _, content := range []string{"", "\n\n  \n"} {
+		path := writeFile(t, "empty.jsonl", content)
+		var out, errOut strings.Builder
+		if code := run([]string{path}, &out, &errOut); code != 1 {
+			t.Fatalf("run(%q) = %d, want 1", content, code)
+		}
+		if !strings.Contains(errOut.String(), "empty telemetry file") {
+			t.Errorf("stderr = %q, want empty-file message", errOut.String())
+		}
+	}
+}
+
+func TestRunFailsOnTruncatedJSONL(t *testing.T) {
+	// A stream cut mid-line is a parse error with the line number.
+	path := writeFile(t, "trunc.jsonl", goodJSONL[:len(goodJSONL)-40])
+	var out, errOut strings.Builder
+	if code := run([]string{path}, &out, &errOut); code != 1 {
+		t.Fatalf("run = %d, want 1 (stderr %q)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "truncated or corrupt") {
+		t.Errorf("stderr = %q, want truncation hint", errOut.String())
+	}
+}
+
+func TestRunFailsOnZeroRecords(t *testing.T) {
+	// Valid JSON lines, but nothing tracestats recognizes as telemetry.
+	path := writeFile(t, "alien.jsonl", `{"type":"something-else"}`+"\n")
+	var out, errOut strings.Builder
+	if code := run([]string{path}, &out, &errOut); code != 1 {
+		t.Fatalf("run = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "no telemetry records") {
+		t.Errorf("stderr = %q, want no-records message", errOut.String())
+	}
+}
+
+func TestRunUsageError(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("run() with no args = %d, want 2", code)
+	}
+}

@@ -22,10 +22,11 @@ import (
 // is tolerated — but only in rounds following a departure; any other
 // mismatch is reported as a "work-conservation" violation.
 type WorkAuditor struct {
-	next     sim.Tracer
-	shardFwd sim.ShardObserver
-	faultFwd sim.FaultObserver
-	rep      Reporter
+	next      sim.Tracer
+	shardFwd  sim.ShardObserver
+	faultFwd  sim.FaultObserver
+	sampleFwd sim.RoundSampler
+	rep       Reporter
 
 	haveRound  bool
 	prevMsgs   int
@@ -50,6 +51,7 @@ func NewWorkAuditor(rep Reporter, next sim.Tracer) *WorkAuditor {
 	a := &WorkAuditor{next: next, rep: rep}
 	a.shardFwd, _ = next.(sim.ShardObserver)
 	a.faultFwd, _ = next.(sim.FaultObserver)
+	a.sampleFwd, _ = next.(sim.RoundSampler)
 	return a
 }
 
@@ -139,6 +141,24 @@ func (a *WorkAuditor) MessageDuplicated(round int, from, to sim.NodeID, bits, co
 	if a.faultFwd != nil {
 		a.faultFwd.MessageDuplicated(round, from, to, bits, copies)
 	}
+}
+
+// RoundSamples implements sim.RoundSampler by pure forwarding, so an
+// audit splice keeps a metrics-attached Recorder's histograms fed.
+func (a *WorkAuditor) RoundSamples(round int, inbox, bits []int64) {
+	if a.sampleFwd != nil {
+		a.sampleFwd.RoundSamples(round, inbox, bits)
+	}
+}
+
+// ExactRoundStats defers to the wrapped consumer; with no sampling
+// consumer inside, exact percentiles stay on (the auditor itself only
+// needs Delivered, which is always computed).
+func (a *WorkAuditor) ExactRoundStats() bool {
+	if a.sampleFwd != nil {
+		return a.sampleFwd.ExactRoundStats()
+	}
+	return true
 }
 
 // ShardRound implements sim.ShardObserver by pure forwarding, so

@@ -32,6 +32,7 @@ func E11AnonRouting(o Options) *metrics.Table {
 		{
 			fraction := float64(frac) / 100
 			net := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(n), N: n, MeasureEvery: -1})
+			net.SetMetrics(o.stack("supernode"))
 			sy := anon.NewSystem(net, o.Seed+uint64(n))
 			adv := &dos.Random{Fraction: fraction, R: rng.New(o.Seed + uint64(frac)), IDs: blockedIDs(n)}
 			delivered, replied := 0, 0

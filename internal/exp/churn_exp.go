@@ -45,6 +45,7 @@ func E6ReconfigChurn(o Options) *metrics.Table {
 		}
 		a := advs[cell%nadv]
 		nw := core.NewNetwork(coreConfig(o, o.Seed^uint64(n), n))
+		nw.SetMetrics(o.stack("core"))
 		if o.Trace != nil {
 			nw.SetTrace(o.Trace, fmt.Sprintf("%s/cell%d", o.Exp, cell))
 		}
@@ -89,6 +90,7 @@ func E7CongestionSegments(o Options) *metrics.Table {
 	t.AddRows(mustRows(RunRows(o, len(ns), func(cell int) [][]string {
 		n := ns[cell]
 		nw := core.NewNetwork(coreConfig(o, o.Seed^uint64(n), n))
+		nw.SetMetrics(o.stack("core"))
 		if o.Trace != nil {
 			nw.SetTrace(o.Trace, fmt.Sprintf("%s/cell%d", o.Exp, cell))
 		}

@@ -39,6 +39,7 @@ func E10ChurnDoS(o Options) *metrics.Table {
 		cse := cases[cell%len(cases)]
 		{
 			nw := splitmerge.New(splitmerge.Config{Seed: o.Seed ^ uint64(n0), N0: n0})
+			nw.SetMetrics(o.stack("splitmerge"))
 			if e := o.auditEngine(fmt.Sprintf("%s/cell%d", o.Exp, cell), o.Seed^uint64(n0)); e != nil {
 				nw.SetAudit(e)
 			}

@@ -12,6 +12,7 @@ import (
 	"overlaynet/internal/audit"
 	"overlaynet/internal/fault"
 	"overlaynet/internal/metrics"
+	"overlaynet/internal/obs"
 	"overlaynet/internal/trace"
 )
 
@@ -69,6 +70,21 @@ type Options struct {
 	// derives its injection seed through cellSeed, so the schedule is
 	// independent of Procs and Shards.
 	Faults fault.Spec
+
+	// Metrics, when non-nil, is the always-on metrics registry: the
+	// protocol drivers attach per-stack obs.StackMetrics bundles to
+	// every network they build (epochs, stalls, splits/merges, repairs,
+	// group sizes), alongside whatever kernel metrics Trace feeds when
+	// it was built WithMetrics. Like Trace, metrics never perturb the
+	// tables.
+	Metrics *obs.Registry
+}
+
+// stack returns the protocol metric bundle for one stack name, or nil
+// when metrics are detached — drivers call it unconditionally and the
+// nil bundle absorbs every report.
+func (o Options) stack(name string) *obs.StackMetrics {
+	return o.Metrics.StackMetrics(name)
 }
 
 // auditEngine builds the invariant engine for one sweep cell, or nil

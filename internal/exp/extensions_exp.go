@@ -148,6 +148,7 @@ func X1ChurnRateLimit(o Options) *metrics.Table {
 		f := fracs[cell]
 		frac := float64(f) / 100
 		nw := splitmerge.New(splitmerge.Config{Seed: o.Seed, N0: n0})
+		nw.SetMetrics(o.stack("splitmerge"))
 		buf := &dos.Buffer{Lateness: 1}
 		r := rng.New(o.Seed + uint64(f))
 		disc := 0
@@ -205,6 +206,7 @@ func X2CrashFailures(o Options) *metrics.Table {
 		f := fracs[cell]
 		frac := float64(f) / 100
 		nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(f), N: n})
+		nw.SetMetrics(o.stack("supernode"))
 		r := rng.New(o.Seed + uint64(f))
 		crashed := map[sim.NodeID]bool{}
 		for len(crashed) < int(frac*float64(n)) {
@@ -241,6 +243,7 @@ func X4KAryNetwork(o Options) *metrics.Table {
 		c := cases[cell/2]
 		late := cell%2 == 0
 		nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(c[0]), N: c[1], K: c[0]})
+		nw.SetMetrics(o.stack("supernode"))
 		lateness := 0
 		if late {
 			lateness = 2 * nw.EpochRounds()

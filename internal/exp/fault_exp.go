@@ -100,6 +100,7 @@ func f1Core(o Options, cell int, spec fault.Spec) [][]string {
 	eng := audit.NewEngine(scope, seed, every, rec)
 
 	nw := core.NewNetwork(coreConfig(o, seed, n))
+	nw.SetMetrics(o.stack("core"))
 	nw.SetTrace(rec, scope)
 	nw.SetAudit(eng)
 	if inj := spec.Injector(); inj != nil {
@@ -165,6 +166,7 @@ func f1SplitMerge(o Options, cell int, spec fault.Spec) [][]string {
 	eng := audit.NewEngine(scope, seed, every, rec)
 
 	nw := splitmerge.New(splitmerge.Config{Seed: seed, N0: n0})
+	nw.SetMetrics(o.stack("splitmerge"))
 	nw.SetAudit(eng)
 	nw.SetFaults(spec)
 	adv := &dos.GroupIsolate{Fraction: 0.25, R: rng.New(seed + 17)}

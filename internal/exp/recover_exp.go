@@ -144,6 +144,7 @@ func r1Core(o Options, cell, n int, scen r1Scenario) []string {
 	eng, rec := r1Engine(o, cell, seed)
 
 	nw := core.NewNetwork(coreConfig(o, seed, n))
+	nw.SetMetrics(o.stack("core"))
 	defer nw.Shutdown()
 	nw.SetTrace(rec, fmt.Sprintf("%s/cell%d", o.Exp, cell))
 	nw.SetAudit(eng)
@@ -213,6 +214,7 @@ func r1Supernode(o Options, cell, n int, scen r1Scenario) []string {
 	eng, _ := r1Engine(o, cell, seed)
 
 	nw := supernode.New(supernode.Config{Seed: seed, N: n})
+	nw.SetMetrics(o.stack("supernode"))
 	nw.SetAudit(eng)
 	er := nw.EpochRounds()
 	step := func(k int) {
@@ -290,6 +292,7 @@ func r1SplitMerge(o Options, cell, n int, scen r1Scenario) []string {
 	eng, _ := r1Engine(o, cell, seed)
 
 	nw := splitmerge.New(splitmerge.Config{Seed: seed, N0: n})
+	nw.SetMetrics(o.stack("splitmerge"))
 	nw.SetAudit(eng)
 	er := nw.EpochRounds()
 	step := func(k int) {

@@ -68,6 +68,9 @@ func S1ScaleFlood(o Options) *metrics.Table {
 	rows := make([][]string, 0, len(ns))
 	for _, n := range ns {
 		net := sim.NewNetwork(sim.Config{Seed: cellSeed(o.Seed, uint64(n)), Shards: o.Shards})
+		if o.Trace != nil {
+			net.SetTracer(o.Trace.Tracer(fmt.Sprintf("%s/n%d", o.Exp, n)))
+		}
 		idBits := sim.IDBits(n)
 		buildFlood(net, n, fanout, idBits, false)
 		net.Run(rounds)
@@ -114,6 +117,12 @@ func S2ScaleFloodEvent(o Options) *metrics.Table {
 	rows := make([][]string, 0, len(ns))
 	for _, n := range ns {
 		net := sim.NewNetwork(sim.Config{Seed: cellSeed(o.Seed, uint64(n)), Shards: o.Shards, SizeHint: n})
+		if o.Trace != nil {
+			// Metrics-only and flight-recorder tracing keep the kernel's
+			// streaming-histogram path (no per-round percentile sort), so
+			// attaching here stays viable at n=1M.
+			net.SetTracer(o.Trace.Tracer(fmt.Sprintf("%s/n%d", o.Exp, n)))
+		}
 		idBits := sim.IDBits(n)
 		buildFlood(net, n, fanout, idBits, false)
 		start := time.Now()

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText reads a Prometheus text exposition (the WritePrometheus
+// output, or any scrape in the same format) back into a flat
+// name → value map. Labelled series keep their label block verbatim in
+// the key (`name{le="255"}`), bare series use the plain name. Comment
+// and blank lines are skipped. This is the read side cmd/overlaymon
+// and the golden tests use.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Split "name{labels} value [timestamp]" on the last space run
+		// outside the label block.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("obs: line %d: no value in %q", lineNo, line)
+		}
+		key := strings.TrimSpace(line[:i])
+		valStr := strings.TrimSpace(line[i+1:])
+		// A trailing timestamp would make valStr the timestamp; detect
+		// "name{...} value ts" by re-splitting if key still ends in a
+		// number and contains a space.
+		if j := strings.LastIndexByte(key, ' '); j >= 0 && !strings.Contains(key[j:], "}") {
+			valStr = strings.TrimSpace(key[j+1:])
+			key = strings.TrimSpace(key[:j])
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		out[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// HistogramFromScrape reassembles the cumulative buckets of one
+// histogram family from a parsed scrape: returns (le, cumulativeCount)
+// pairs sorted ascending plus the _count total. Used by overlaymon to
+// print quantiles from a live endpoint. ok is false if the family has
+// no samples.
+func HistogramFromScrape(m map[string]float64, name string) (les []int64, cums []float64, count float64, ok bool) {
+	count = m[name+"_count"]
+	if count == 0 {
+		return nil, nil, 0, false
+	}
+	prefix := name + "_bucket{le=\""
+	for k, v := range m {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		leStr := strings.TrimSuffix(strings.TrimPrefix(k, prefix), "\"}")
+		if leStr == "+Inf" {
+			continue
+		}
+		le, err := strconv.ParseInt(leStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		les = append(les, le)
+		cums = append(cums, v)
+	}
+	// Insertion sort both slices by le; bucket families are small.
+	for i := 1; i < len(les); i++ {
+		for j := i; j > 0 && les[j-1] > les[j]; j-- {
+			les[j-1], les[j] = les[j], les[j-1]
+			cums[j-1], cums[j] = cums[j], cums[j-1]
+		}
+	}
+	return les, cums, count, true
+}
+
+// ScrapeQuantile estimates the q-quantile from scraped cumulative
+// buckets (the HistogramFromScrape output).
+func ScrapeQuantile(les []int64, cums []float64, count float64, q float64) float64 {
+	if count == 0 {
+		return 0
+	}
+	rank := q * count
+	for i, c := range cums {
+		if c >= rank {
+			return float64(les[i])
+		}
+	}
+	if n := len(les); n > 0 {
+		return float64(les[n-1])
+	}
+	return 0
+}

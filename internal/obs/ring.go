@@ -1,0 +1,60 @@
+package obs
+
+// Ring is a bounded overwrite-oldest buffer: the memory backstop of the
+// flight recorder. Appends past capacity evict the oldest entry, so a
+// run of any length holds at most Cap entries. Not concurrency-safe on
+// its own — the owner (trace.Recorder) already serializes appends under
+// its mutex.
+type Ring[T any] struct {
+	buf   []T
+	start int // index of oldest element
+	n     int // number of live elements
+}
+
+// NewRing returns a ring holding at most capacity elements
+// (capacity < 1 is treated as 1).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Append adds v, evicting the oldest element if full.
+func (r *Ring[T]) Append(v T) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = v
+		r.n++
+		return
+	}
+	r.buf[r.start] = v
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+// Len reports the number of live elements.
+func (r *Ring[T]) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Cap reports the fixed capacity.
+func (r *Ring[T]) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.buf)
+}
+
+// Snapshot returns the live elements oldest-first in a fresh slice.
+func (r *Ring[T]) Snapshot() []T {
+	if r == nil || r.n == 0 {
+		return nil
+	}
+	out := make([]T, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package obs
+
+// StackMetrics is the named-metric bundle one protocol stack (§4 core,
+// §5 supernode, §6 split-merge) reports into: epoch progress, stalls,
+// reconfiguration events, repair activity. Every field and method is
+// nil-receiver safe so networks hold a possibly-nil pointer and report
+// unconditionally — the audit.Engine discipline.
+type StackMetrics struct {
+	lane int
+
+	Epochs      *Counter // completed epochs / normalize passes
+	Stalls      *Counter // rounds the stack failed to make progress
+	Joins       *Counter // nodes admitted
+	Splits      *Counter // group splits (§6)
+	Merges      *Counter // group merges (§6)
+	ForcedMerge *Counter // forced merges after stall (§6)
+	EmptyGroups *Counter // empty-group events (§5)
+	SampleFails *Counter // failed rapid-sampling attempts
+	AssignFails *Counter // failed slot/group assignments
+	Repairs     *Counter // repair protocol invocations
+	Crashes     *Counter // injected crash faults observed
+	Restarts    *Counter // injected restarts observed
+
+	GroupSize *Histogram // group/committee size at reconfiguration
+}
+
+// StackMetrics registers (or re-fetches) the protocol metric bundle for
+// the named stack ("core", "supernode", "splitmerge"). Metric names
+// follow overlaynet_<stack>_<what>_total. Returns nil on a nil
+// registry.
+func (r *Registry) StackMetrics(stack string) *StackMetrics {
+	if r == nil {
+		return nil
+	}
+	p := "overlaynet_" + stack + "_"
+	return &StackMetrics{
+		lane:        r.Lane(),
+		Epochs:      r.Counter(p+"epochs_total", "completed epochs ("+stack+")"),
+		Stalls:      r.Counter(p+"stalls_total", "rounds without protocol progress ("+stack+")"),
+		Joins:       r.Counter(p+"joins_total", "nodes admitted ("+stack+")"),
+		Splits:      r.Counter(p+"splits_total", "group splits ("+stack+")"),
+		Merges:      r.Counter(p+"merges_total", "group merges ("+stack+")"),
+		ForcedMerge: r.Counter(p+"forced_merges_total", "forced merges after stall ("+stack+")"),
+		EmptyGroups: r.Counter(p+"empty_groups_total", "empty-group events ("+stack+")"),
+		SampleFails: r.Counter(p+"sample_fails_total", "failed rapid-sampling attempts ("+stack+")"),
+		AssignFails: r.Counter(p+"assign_fails_total", "failed group assignments ("+stack+")"),
+		Repairs:     r.Counter(p+"repairs_total", "repair protocol invocations ("+stack+")"),
+		Crashes:     r.Counter(p+"crashes_total", "injected crashes observed ("+stack+")"),
+		Restarts:    r.Counter(p+"restarts_total", "injected restarts observed ("+stack+")"),
+		GroupSize:   r.Histogram(p+"group_size", "group size at reconfiguration ("+stack+")"),
+	}
+}
+
+// Lane returns the writer lane assigned to this bundle (0 on nil).
+func (s *StackMetrics) Lane() int {
+	if s == nil {
+		return 0
+	}
+	return s.lane
+}
+
+// AddEpochs adds d completed epochs.
+func (s *StackMetrics) AddEpochs(d uint64) {
+	if s == nil {
+		return
+	}
+	s.Epochs.Add(s.lane, d)
+}
+
+// AddStalls adds d stalled rounds.
+func (s *StackMetrics) AddStalls(d uint64) {
+	if s == nil {
+		return
+	}
+	s.Stalls.Add(s.lane, d)
+}
+
+// AddJoins adds d admitted nodes.
+func (s *StackMetrics) AddJoins(d uint64) {
+	if s == nil {
+		return
+	}
+	s.Joins.Add(s.lane, d)
+}
+
+// AddRepairs adds d repair invocations.
+func (s *StackMetrics) AddRepairs(d uint64) {
+	if s == nil {
+		return
+	}
+	s.Repairs.Add(s.lane, d)
+}
+
+// ObserveGroupSize records one group size observation.
+func (s *StackMetrics) ObserveGroupSize(size int64) {
+	if s == nil {
+		return
+	}
+	s.GroupSize.Observe(size)
+}

@@ -200,6 +200,7 @@ type Network struct {
 	// tracer also wants per-shard timing.
 	tracer     Tracer
 	shardObs   ShardObserver
+	sampleObs  RoundSampler
 	traceInbox []int64
 	traceBits  []int64
 

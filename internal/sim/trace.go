@@ -119,6 +119,24 @@ type ShardObserver interface {
 	ShardRound(round, shard int, recvUS, sendUS int64)
 }
 
+// RoundSampler is an optional extension a Tracer can implement to
+// receive the raw per-node samples of each round — the delivered inbox
+// sizes and sent+received bits across alive nodes — before any
+// aggregation. A streaming-metrics consumer (trace.Recorder with a
+// metrics registry attached) feeds them into log-scale histograms in
+// O(n) instead of the exact-sort percentile pass.
+//
+// ExactRoundStats reports whether the consumer still needs the exact
+// sorted percentiles in RoundStats. When it returns false the network
+// skips the O(n log n) sort entirely and leaves the percentile fields
+// of RoundStats zero — the change that keeps an attached tracer usable
+// at n=1M. The slices passed to RoundSamples are the network's scratch
+// buffers, valid only for the duration of the call.
+type RoundSampler interface {
+	RoundSamples(round int, inbox, bits []int64)
+	ExactRoundStats() bool
+}
+
 // SetTracer attaches (or, with nil, detaches) a Tracer. Like the other
 // network methods it must be called from the driver goroutine between
 // rounds.
@@ -126,6 +144,7 @@ func (n *Network) SetTracer(t Tracer) {
 	n.tracer = t
 	n.shardObs, _ = t.(ShardObserver)
 	n.faultObs, _ = t.(FaultObserver)
+	n.sampleObs, _ = t.(RoundSampler)
 }
 
 // traceRoundStart counts blocked members in spawn order, emits the
@@ -167,20 +186,29 @@ func (n *Network) traceRoundEnd(alive, nblocked, messages int, totalBits, maxBit
 			MaxNodeBits: maxBits,
 		},
 	}
-	if len(n.traceInbox) > 0 {
-		for _, v := range n.traceInbox {
-			stats.Delivered += v
-		}
-		slices.Sort(n.traceInbox)
-		stats.InboxP50 = metrics.PercentileSortedInt64(n.traceInbox, 0.50)
-		stats.InboxP95 = metrics.PercentileSortedInt64(n.traceInbox, 0.95)
-		stats.InboxMax = n.traceInbox[len(n.traceInbox)-1]
+	for _, v := range n.traceInbox {
+		stats.Delivered += v
 	}
-	if len(n.traceBits) > 0 {
-		slices.Sort(n.traceBits)
-		stats.BitsP50 = metrics.PercentileSortedInt64(n.traceBits, 0.50)
-		stats.BitsP95 = metrics.PercentileSortedInt64(n.traceBits, 0.95)
-		stats.BitsMax = n.traceBits[len(n.traceBits)-1]
+	// Hand the raw samples to a streaming consumer before sorting
+	// scrambles their per-node order.
+	exact := true
+	if n.sampleObs != nil {
+		n.sampleObs.RoundSamples(n.round, n.traceInbox, n.traceBits)
+		exact = n.sampleObs.ExactRoundStats()
+	}
+	if exact {
+		if len(n.traceInbox) > 0 {
+			slices.Sort(n.traceInbox)
+			stats.InboxP50 = metrics.PercentileSortedInt64(n.traceInbox, 0.50)
+			stats.InboxP95 = metrics.PercentileSortedInt64(n.traceInbox, 0.95)
+			stats.InboxMax = n.traceInbox[len(n.traceInbox)-1]
+		}
+		if len(n.traceBits) > 0 {
+			slices.Sort(n.traceBits)
+			stats.BitsP50 = metrics.PercentileSortedInt64(n.traceBits, 0.50)
+			stats.BitsP95 = metrics.PercentileSortedInt64(n.traceBits, 0.95)
+			stats.BitsMax = n.traceBits[len(n.traceBits)-1]
+		}
 	}
 	n.tracer.RoundEnd(stats)
 }

@@ -31,6 +31,7 @@ import (
 	"overlaynet/internal/fault"
 	"overlaynet/internal/graph"
 	"overlaynet/internal/hypercube"
+	"overlaynet/internal/obs"
 	"overlaynet/internal/rng"
 	"overlaynet/internal/sim"
 )
@@ -163,6 +164,10 @@ type Network struct {
 	blockedHist   [3]map[sim.NodeID]bool
 	pendingAssign [][]sim.NodeID
 	stats         Stats
+	// metrics/lastStats: optional always-on protocol metrics
+	// (SetMetrics); Step flushes the Stats delta.
+	metrics   *obs.StackMetrics
+	lastStats Stats
 
 	// audit: optional invariant engine, ticked once per Step.
 	// faults/inj: optional deterministic fault layer — see package
@@ -300,6 +305,42 @@ func (nw *Network) Eq1Holds() bool {
 // topology: Equation (1)'s group-size band, Lemma 18's dimension
 // spread, membership-index consistency, and connectivity of the
 // non-blocked subgraph.
+// SetMetrics attaches a protocol metric bundle (obs.StackMetrics for
+// the "splitmerge" stack); nil detaches. Every Step flushes the delta
+// of the internal Stats counters into it. Observation only — results
+// are identical with and without metrics.
+func (nw *Network) SetMetrics(sm *obs.StackMetrics) {
+	nw.metrics = sm
+	nw.lastStats = nw.stats
+}
+
+// flushMetrics reports the Stats movement since the last flush into
+// the attached metric bundle (no-op when detached); called once per
+// Step.
+func (nw *Network) flushMetrics() {
+	sm := nw.metrics
+	if sm == nil {
+		return
+	}
+	cur, prev := nw.stats, nw.lastStats
+	lane := sm.Lane()
+	sm.Epochs.Add(lane, uint64(cur.Epochs-prev.Epochs))
+	sm.Stalls.Add(lane, uint64(cur.Stalls-prev.Stalls))
+	sm.SampleFails.Add(lane, uint64(cur.SampleFails-prev.SampleFails))
+	sm.AssignFails.Add(lane, uint64(cur.AssignFails-prev.AssignFails))
+	sm.Splits.Add(lane, uint64(cur.Splits-prev.Splits))
+	sm.Merges.Add(lane, uint64(cur.Merges-prev.Merges))
+	sm.ForcedMerge.Add(lane, uint64(cur.ForcedMerges-prev.ForcedMerges))
+	sm.Crashes.Add(lane, uint64(cur.Crashes-prev.Crashes))
+	sm.Restarts.Add(lane, uint64(cur.Restarts-prev.Restarts))
+	if cur.Splits > prev.Splits || cur.Merges > prev.Merges || cur.Epochs > prev.Epochs {
+		for _, g := range nw.GroupSizes() {
+			sm.ObserveGroupSize(int64(g))
+		}
+	}
+	nw.lastStats = cur
+}
+
 func (nw *Network) SetAudit(e *audit.Engine) {
 	nw.audit = e
 	if e == nil {
@@ -533,6 +574,7 @@ func (nw *Network) leader(s *super) sim.NodeID {
 // Step executes one round under the given blocked set.
 func (nw *Network) Step(blocked map[sim.NodeID]bool) RoundReport {
 	nw.round++
+	defer nw.flushMetrics()
 	if nw.faults.Crash > 0 {
 		// Compose the crash schedule into this round's blocked set; see
 		// package supernode for the semantics (crashed ≈ blocked + stale

@@ -32,6 +32,7 @@ import (
 	"overlaynet/internal/fault"
 	"overlaynet/internal/graph"
 	"overlaynet/internal/hypercube"
+	"overlaynet/internal/obs"
 	"overlaynet/internal/rng"
 	"overlaynet/internal/sim"
 )
@@ -168,12 +169,17 @@ type Network struct {
 	reqs    [][]supReq  // per-target pending requests
 	resps   [][]supResp // per-target pending responses
 
-	pending      [][]sim.NodeID // reorganized groups awaiting commit
-	round        int
-	epoch        int
-	phase        int // round index within the epoch
-	blockedHist  [3]map[sim.NodeID]bool
-	stats        Stats
+	pending     [][]sim.NodeID // reorganized groups awaiting commit
+	round       int
+	epoch       int
+	phase       int // round index within the epoch
+	blockedHist [3]map[sim.NodeID]bool
+	stats       Stats
+	// metrics/lastStats: optional always-on protocol metrics
+	// (SetMetrics). Step flushes the Stats delta since the previous
+	// flush into the bundle, so instrumentation stays a single site.
+	metrics      *obs.StackMetrics
+	lastStats    Stats
 	idBits       int
 	supBits      int
 	groupBitsAvg int
@@ -320,6 +326,40 @@ func (nw *Network) Snapshot() *dos.Snapshot {
 // SetAudit attaches an invariant-audit engine (nil detaches): the
 // connectivity and group-partition checkers are registered and the
 // engine ticks once per Step.
+// SetMetrics attaches a protocol metric bundle (obs.StackMetrics for
+// the "supernode" stack); nil detaches. Every Step flushes the delta
+// of the internal Stats counters into it. Observation only — results
+// are identical with and without metrics.
+func (nw *Network) SetMetrics(sm *obs.StackMetrics) {
+	nw.metrics = sm
+	nw.lastStats = nw.stats
+}
+
+// flushMetrics reports the Stats movement since the last flush into
+// the attached metric bundle (no-op when detached). Called once per
+// Step, so counter updates are amortized over whole protocol rounds.
+func (nw *Network) flushMetrics() {
+	sm := nw.metrics
+	if sm == nil {
+		return
+	}
+	cur, prev := nw.stats, nw.lastStats
+	lane := sm.Lane()
+	sm.Epochs.Add(lane, uint64(cur.Epochs-prev.Epochs))
+	sm.Stalls.Add(lane, uint64(cur.Stalls-prev.Stalls))
+	sm.SampleFails.Add(lane, uint64(cur.SampleFails-prev.SampleFails))
+	sm.AssignFails.Add(lane, uint64(cur.AssignFails-prev.AssignFails))
+	sm.EmptyGroups.Add(lane, uint64(cur.EmptyGroups-prev.EmptyGroups))
+	sm.Crashes.Add(lane, uint64(cur.Crashes-prev.Crashes))
+	sm.Restarts.Add(lane, uint64(cur.Restarts-prev.Restarts))
+	if cur.Epochs > prev.Epochs {
+		for _, g := range nw.GroupSizes() {
+			sm.ObserveGroupSize(int64(g))
+		}
+	}
+	nw.lastStats = cur
+}
+
 func (nw *Network) SetAudit(e *audit.Engine) {
 	nw.audit = e
 	if e == nil {
@@ -458,6 +498,7 @@ func (nw *Network) leader(x int) int {
 // Step executes one communication round under the given blocked set.
 func (nw *Network) Step(blocked map[sim.NodeID]bool) RoundReport {
 	nw.round++
+	defer nw.flushMetrics()
 	if nw.faults.Crash > 0 {
 		// Compose the crash schedule into this round's blocked set: a
 		// crashed node is unresponsive exactly like a DoS-blocked one,

@@ -37,18 +37,36 @@ type countersLine struct {
 	Counters
 }
 
+type metricsLine struct {
+	Type    string             `json:"type"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
 // WriteJSONL writes all retained events and spans plus the counter
 // totals as JSON lines. (With a StreamJSONL sink the same lines were
-// already emitted incrementally; this is the batch form.)
+// already emitted incrementally; this is the batch form.) When full
+// event retention is off but the flight recorder is on, the sampled
+// flight events stand in for the event lines; when a metrics registry
+// is attached, a {"type":"metrics",...} line with its flat snapshot
+// precedes the final counters line.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
 	enc := json.NewEncoder(w)
-	for _, ev := range r.Events() {
+	events := r.Events()
+	if len(events) == 0 {
+		events = r.FlightEvents()
+	}
+	for _, ev := range events {
 		if err := enc.Encode(eventLine{Type: "event", Event: ev}); err != nil {
 			return err
 		}
 	}
 	for _, s := range r.Spans() {
 		if err := enc.Encode(spanLine{Type: "span", Span: s}); err != nil {
+			return err
+		}
+	}
+	if m := r.reg.FlatSnapshot(); m != nil {
+		if err := enc.Encode(metricsLine{Type: "metrics", Metrics: m}); err != nil {
 			return err
 		}
 	}

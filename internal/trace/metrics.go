@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"strings"
+
+	"overlaynet/internal/obs"
+	"overlaynet/internal/sim"
+)
+
+// kernelMetrics is the recorder's bridge into an obs.Registry: one
+// named metric per kernel counter, plus the streaming histograms that
+// replace exact per-round sample sorts at scale. All handles are
+// created once in WithMetrics; tracer hot paths only touch counters on
+// their own lane.
+type kernelMetrics struct {
+	rounds     *obs.Counter
+	messages   *obs.Counter
+	spawns     *obs.Counter
+	kills      *obs.Counter
+	blocks     *obs.Counter
+	cells      *obs.Counter
+	epochs     *obs.Counter
+	violations *obs.Counter
+	recoveries *obs.Counter
+	dupExtra   *obs.Counter
+	drops      [sim.NumDropReasons]*obs.Counter
+
+	alive *obs.Gauge
+
+	roundDurUS  *obs.Histogram
+	inboxDepth  *obs.Histogram
+	nodeBits    *obs.Histogram
+	epochRounds *obs.Histogram
+	mttrRounds  *obs.Histogram
+	cellDurUS   *obs.Histogram
+}
+
+func newKernelMetrics(reg *obs.Registry) *kernelMetrics {
+	if reg == nil {
+		return nil
+	}
+	km := &kernelMetrics{
+		rounds:     reg.Counter("overlaynet_rounds_total", "simulation rounds executed"),
+		messages:   reg.Counter("overlaynet_messages_total", "messages sent by non-blocked senders"),
+		spawns:     reg.Counter("overlaynet_spawns_total", "nodes spawned"),
+		kills:      reg.Counter("overlaynet_kills_total", "nodes killed"),
+		blocks:     reg.Counter("overlaynet_blocks_total", "node-round DoS block events"),
+		cells:      reg.Counter("overlaynet_cells_total", "sweep cells completed"),
+		epochs:     reg.Counter("overlaynet_epochs_total", "reconfiguration epochs completed"),
+		violations: reg.Counter("overlaynet_violations_total", "invariant-audit violations"),
+		recoveries: reg.Counter("overlaynet_recoveries_total", "closed recovery episodes"),
+		dupExtra:   reg.Counter("overlaynet_dup_extra_copies_total", "extra inbox copies from injected duplication"),
+
+		alive: reg.Gauge("overlaynet_alive_nodes", "alive nodes at last round start"),
+
+		roundDurUS:  reg.Histogram("overlaynet_round_duration_us", "wall-clock round duration (microseconds)"),
+		inboxDepth:  reg.Histogram("overlaynet_inbox_depth", "delivered inbox size per alive node per round"),
+		nodeBits:    reg.Histogram("overlaynet_node_bits", "sent+received bits per node per round"),
+		epochRounds: reg.Histogram("overlaynet_epoch_rounds", "rounds per reconfiguration epoch"),
+		mttrRounds:  reg.Histogram("overlaynet_mttr_rounds", "rounds to recover per closed episode"),
+		cellDurUS:   reg.Histogram("overlaynet_cell_duration_us", "wall-clock sweep-cell duration (microseconds)"),
+	}
+	for i := sim.DropReason(0); i < sim.NumDropReasons; i++ {
+		name := "overlaynet_drops_" + strings.ReplaceAll(i.String(), "-", "_") + "_total"
+		km.drops[i] = reg.Counter(name, "messages dropped: "+i.String())
+	}
+	return km
+}
+
+// WithMetrics attaches an obs.Registry: from now on every tracer hook
+// also feeds the registry's named counters and histograms. Call before
+// any Tracer is handed out. A nil registry detaches (the default —
+// nothing is recorded and the hot path pays nothing). Returns r for
+// chaining.
+func (r *Recorder) WithMetrics(reg *obs.Registry) *Recorder {
+	r.reg = reg
+	r.km = newKernelMetrics(reg)
+	r.recLane = reg.Lane()
+	return r
+}
+
+// Registry returns the attached metrics registry (nil when detached) —
+// the handle cmd/benchtables mounts at /metrics and snapshots into the
+// run manifest.
+func (r *Recorder) Registry() *obs.Registry { return r.reg }
+
+// FlightRecorder turns on sampled event retention: a deterministic
+// splitmix64 sampler keeps roughly rate of the per-message/per-round
+// events in a bounded ring of the given capacity, regardless of run
+// length. Violations and recoveries are always kept; per-shard timing
+// events never are (they are wall-clock and placement-dependent). The
+// sampling decision is a pure function of (seed, event identity), so
+// the kept set is byte-identical at any -procs/-shards setting.
+//
+// Flight mode implies event emission but not exact round percentiles:
+// at n=1M the kernel keeps its streaming-histogram path and the
+// round_end events in the ring carry zero percentile fields. Returns r
+// for chaining.
+func (r *Recorder) FlightRecorder(seed uint64, rate float64, capacity int) *Recorder {
+	r.mu.Lock()
+	r.flight = obs.NewRing[Event](capacity)
+	r.flightSampler = obs.NewSampler(seed, rate)
+	r.mu.Unlock()
+	r.flightOn.Store(true)
+	return r
+}
+
+// FlightEvents returns the sampled events currently in the flight ring,
+// oldest first (nil when flight mode is off).
+func (r *Recorder) FlightEvents() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flight.Snapshot()
+}
+
+// kindID gives each event kind a stable small integer for the flight
+// sampler's identity hash.
+func kindID(kind string) uint64 {
+	switch kind {
+	case "round_start":
+		return 1
+	case "round_end":
+		return 2
+	case "spawn":
+		return 3
+	case "kill":
+		return 4
+	case "block":
+		return 5
+	case "drop":
+		return 6
+	case "dup":
+		return 7
+	default:
+		return 63
+	}
+}
+
+// keepInFlight decides (deterministically) whether ev enters the flight
+// ring. Caller holds r.mu.
+func (r *Recorder) keepInFlight(ev Event) bool {
+	switch ev.Kind {
+	case "violation", "recovery":
+		return true
+	case "shard_round":
+		return false
+	}
+	return r.flightSampler.Keep(
+		kindID(ev.Kind)^uint64(ev.Round)<<8,
+		ev.From^ev.Node,
+		ev.To,
+		uint64(ev.Bits))
+}

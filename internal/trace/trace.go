@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"overlaynet/internal/audit"
+	"overlaynet/internal/obs"
 	"overlaynet/internal/sim"
 )
 
@@ -144,9 +145,22 @@ type Recorder struct {
 	shardRecvUS, shardSendUS [maxTraceShards]atomic.Uint64
 	shardsSeen               atomic.Int64
 
+	// Metrics pipeline (see metrics.go): reg/km/recLane are set once by
+	// WithMetrics before tracers are handed out; nil means detached.
+	reg     *obs.Registry
+	km      *kernelMetrics
+	recLane int
+
+	// Flight recorder (see metrics.go): a bounded ring of
+	// deterministically sampled events. flightOn mirrors flight != nil
+	// so wantsEvents stays lock-free.
+	flightOn      atomic.Bool
+	flightSampler obs.Sampler
+
 	mu     sync.Mutex
 	spans  []Span
 	events []Event
+	flight *obs.Ring[Event]
 	jsonl  *json.Encoder
 }
 
@@ -180,7 +194,10 @@ func (r *Recorder) Start() time.Time { return r.start }
 // events with scope (e.g. "E6/cell3"). Multiple tracers from the same
 // recorder may be attached to different networks concurrently.
 func (r *Recorder) Tracer(scope string) sim.Tracer {
-	return &simTracer{rec: r, scope: scope}
+	// Each tracer gets its own counter lane: networks traced
+	// concurrently (sweep cells on different workers) increment
+	// different cache lines of the metric banks.
+	return &simTracer{rec: r, scope: scope, lane: r.reg.Lane()}
 }
 
 // AddSpan records a fully built span.
@@ -201,6 +218,10 @@ func (r *Recorder) Since(t time.Time) int64 { return t.Sub(r.start).Microseconds
 // just finished.
 func (r *Recorder) CellSpan(exp string, cell int, seed uint64, worker int, start time.Time) {
 	r.cells.Add(1)
+	if r.km != nil {
+		r.km.cells.Inc(r.recLane)
+		r.km.cellDurUS.Observe(time.Since(start).Microseconds())
+	}
 	r.AddSpan(Span{
 		Kind:    "cell",
 		Name:    exp,
@@ -216,6 +237,10 @@ func (r *Recorder) CellSpan(exp string, cell int, seed uint64, worker int, start
 // EpochSpan records the span of one reconfiguration epoch.
 func (r *Recorder) EpochSpan(scope string, epoch, rounds, nOld, nNew int, start time.Time) {
 	r.epochs.Add(1)
+	if r.km != nil {
+		r.km.epochs.Inc(r.recLane)
+		r.km.epochRounds.Observe(int64(rounds))
+	}
 	r.AddSpan(Span{
 		Kind:    "epoch",
 		Name:    scope,
@@ -305,6 +330,9 @@ func (r *Recorder) Counters() Counters {
 // rest of the telemetry.
 func (r *Recorder) ReportViolation(v audit.Violation) {
 	r.violations.Add(1)
+	if r.km != nil {
+		r.km.violations.Inc(r.recLane)
+	}
 	// Unlike round/message telemetry, violations are rare and
 	// load-bearing, so they are always retained and streamed — not gated
 	// behind RecordEvents. The audit engine caps what it reports.
@@ -321,6 +349,9 @@ func (r *Recorder) ReportViolation(v audit.Violation) {
 	}
 	r.mu.Lock()
 	r.events = append(r.events, ev)
+	if r.flight != nil {
+		r.flight.Append(ev)
+	}
 	if r.jsonl != nil {
 		r.jsonl.Encode(eventLine{Type: "event", Event: ev})
 	}
@@ -338,6 +369,10 @@ func (r *Recorder) ViolationCount() uint64 { return r.violations.Load() }
 func (r *Recorder) ReportRecovery(rec audit.Recovery) {
 	r.recoveries.Add(1)
 	r.mttr.Add(uint64(rec.Rounds))
+	if r.km != nil {
+		r.km.recoveries.Inc(r.recLane)
+		r.km.mttrRounds.Observe(int64(rec.Rounds))
+	}
 	ev := Event{
 		TSMicros:   time.Since(r.start).Microseconds(),
 		Kind:       "recovery",
@@ -350,6 +385,9 @@ func (r *Recorder) ReportRecovery(rec audit.Recovery) {
 	}
 	r.mu.Lock()
 	r.events = append(r.events, ev)
+	if r.flight != nil {
+		r.flight.Append(ev)
+	}
 	if r.jsonl != nil {
 		r.jsonl.Encode(eventLine{Type: "event", Event: ev})
 	}
@@ -395,25 +433,50 @@ func (r *Recorder) emit(ev Event) {
 	if r.withEvents {
 		r.events = append(r.events, ev)
 	}
+	if r.flight != nil && r.keepInFlight(ev) {
+		r.flight.Append(ev)
+	}
 	if r.jsonl != nil {
 		r.jsonl.Encode(eventLine{Type: "event", Event: ev})
 	}
 	r.mu.Unlock()
 }
 
-func (r *Recorder) wantsEvents() bool { return r.withEvents || r.jsonl != nil }
+func (r *Recorder) wantsEvents() bool {
+	return r.withEvents || r.jsonl != nil || r.flightOn.Load()
+}
+
+// wantsExactStats reports whether any sink needs the exact sorted
+// round percentiles: full event retention and JSONL streams embed them
+// in round_end events; the flight ring deliberately does not (that is
+// what keeps flight mode O(n) per round at n=1M).
+func (r *Recorder) wantsExactStats() bool { return r.withEvents || r.jsonl != nil }
 
 // simTracer adapts a Recorder to the sim.Tracer interface, labeling
-// everything with a fixed scope.
+// everything with a fixed scope. It also implements sim.RoundSampler:
+// with a metrics registry attached the raw per-round samples stream
+// into log-scale histograms, and the kernel may skip its exact
+// percentile sort (see ExactRoundStats). lane is the tracer's private
+// counter lane; roundStartUS times the current round for the duration
+// histogram (driver-goroutine-only state, like the kernel's own
+// scratch).
 type simTracer struct {
-	rec   *Recorder
-	scope string
+	rec          *Recorder
+	scope        string
+	lane         int
+	roundStartUS int64
 }
 
 func (t *simTracer) now() int64 { return time.Since(t.rec.start).Microseconds() }
 
 func (t *simTracer) RoundStart(round, alive, blocked int) {
 	t.rec.rounds.Add(1)
+	if km := t.rec.km; km != nil {
+		km.rounds.Inc(t.lane)
+		km.blocks.Add(t.lane, uint64(blocked))
+		km.alive.Set(int64(alive))
+		t.roundStartUS = t.now()
+	}
 	if t.rec.wantsEvents() {
 		t.rec.emit(Event{TSMicros: t.now(), Kind: "round_start", Scope: t.scope,
 			Round: round, Alive: alive, Blocked: blocked})
@@ -422,6 +485,10 @@ func (t *simTracer) RoundStart(round, alive, blocked int) {
 
 func (t *simTracer) RoundEnd(stats sim.RoundStats) {
 	t.rec.messages.Add(uint64(stats.Work.Messages))
+	if km := t.rec.km; km != nil {
+		km.messages.Add(t.lane, uint64(stats.Work.Messages))
+		km.roundDurUS.Observe(t.now() - t.roundStartUS)
+	}
 	if t.rec.wantsEvents() {
 		s := stats
 		t.rec.emit(Event{TSMicros: t.now(), Kind: "round_end", Scope: t.scope,
@@ -429,8 +496,30 @@ func (t *simTracer) RoundEnd(stats sim.RoundStats) {
 	}
 }
 
+// RoundSamples implements sim.RoundSampler: the kernel's raw per-node
+// inbox and bits samples stream into the registry's histograms —
+// O(n) bucket increments on the driver goroutine, no sorting, no
+// retention.
+func (t *simTracer) RoundSamples(round int, inbox, bits []int64) {
+	km := t.rec.km
+	if km == nil {
+		return
+	}
+	km.inboxDepth.ObserveAll(inbox)
+	km.nodeBits.ObserveAll(bits)
+}
+
+// ExactRoundStats tells the kernel whether the exact sorted round
+// percentiles are still needed: only when full events or a JSONL
+// stream embed them. Counters-only, metrics-only, and flight-recorder
+// tracing all skip the per-round O(n log n) sort.
+func (t *simTracer) ExactRoundStats() bool { return t.rec.wantsExactStats() }
+
 func (t *simTracer) NodeSpawned(round int, id sim.NodeID) {
 	t.rec.spawns.Add(1)
+	if km := t.rec.km; km != nil {
+		km.spawns.Inc(t.lane)
+	}
 	if t.rec.wantsEvents() {
 		t.rec.emit(Event{TSMicros: t.now(), Kind: "spawn", Scope: t.scope,
 			Round: round, Node: uint64(id)})
@@ -439,6 +528,9 @@ func (t *simTracer) NodeSpawned(round int, id sim.NodeID) {
 
 func (t *simTracer) NodeKilled(round int, id sim.NodeID) {
 	t.rec.kills.Add(1)
+	if km := t.rec.km; km != nil {
+		km.kills.Inc(t.lane)
+	}
 	if t.rec.wantsEvents() {
 		t.rec.emit(Event{TSMicros: t.now(), Kind: "kill", Scope: t.scope,
 			Round: round, Node: uint64(id)})
@@ -482,6 +574,9 @@ func (t *simTracer) ShardRound(round, shard int, recvUS, sendUS int64) {
 // accumulate the extra-copy counter the Delivered reconciliation uses.
 func (t *simTracer) MessageDuplicated(round int, from, to sim.NodeID, bits, copies int) {
 	t.rec.dupExtra.Add(uint64(copies - 1))
+	if km := t.rec.km; km != nil {
+		km.dupExtra.Add(t.lane, uint64(copies-1))
+	}
 	if t.rec.wantsEvents() {
 		t.rec.emit(Event{TSMicros: t.now(), Kind: "dup", Scope: t.scope,
 			Round: round, From: uint64(from), To: uint64(to),
@@ -491,6 +586,9 @@ func (t *simTracer) MessageDuplicated(round int, from, to sim.NodeID, bits, copi
 
 func (t *simTracer) MessageDropped(round int, reason sim.DropReason, from, to sim.NodeID, bits int) {
 	t.rec.drops[reason].Add(1)
+	if km := t.rec.km; km != nil {
+		km.drops[reason].Inc(t.lane)
+	}
 	if t.rec.wantsEvents() {
 		t.rec.emit(Event{TSMicros: t.now(), Kind: "drop", Scope: t.scope,
 			Round: round, From: uint64(from), To: uint64(to),
