@@ -173,8 +173,9 @@ func runDoS(args []string) {
 	late := fs.Bool("late", true, "adversary is 2t-late (false = 0-late)")
 	epochs := fs.Int("epochs", 3, "reorganization epochs")
 	seed := fs.Uint64("seed", 1, "seed")
+	shards := fs.Int("shards", 0, "intra-round workers (0 = $OVERLAYNET_SHARDS or 1; results identical for any value)")
 	fs.Parse(args)
-	cfg := supernode.Config{Seed: *seed, N: *n}
+	cfg := supernode.Config{Seed: *seed, N: *n, Shards: *shards}
 	if err := cfg.Validate(); err != nil {
 		fail("dos", err)
 	}
@@ -215,8 +216,9 @@ func runChurnDoS(args []string) {
 	churnFrac := fs.Float64("churn", 0.125, "churn fraction per epoch")
 	epochs := fs.Int("epochs", 4, "epochs")
 	seed := fs.Uint64("seed", 1, "seed")
+	shards := fs.Int("shards", 0, "intra-round workers (0 = $OVERLAYNET_SHARDS or 1; results identical for any value)")
 	fs.Parse(args)
-	cfg := splitmerge.Config{Seed: *seed, N0: *n}
+	cfg := splitmerge.Config{Seed: *seed, N0: *n, Shards: *shards}
 	if err := cfg.Validate(); err != nil {
 		fail("churndos", err)
 	}
@@ -273,8 +275,9 @@ func runAnon(args []string) {
 	frac := fs.Float64("frac", 0.4, "blocked fraction")
 	requests := fs.Int("requests", 1000, "requests")
 	seed := fs.Uint64("seed", 1, "seed")
+	shards := fs.Int("shards", 0, "intra-round workers (0 = $OVERLAYNET_SHARDS or 1; results identical for any value)")
 	fs.Parse(args)
-	cfg := supernode.Config{Seed: *seed, N: *n, MeasureEvery: -1}
+	cfg := supernode.Config{Seed: *seed, N: *n, MeasureEvery: -1, Shards: *shards}
 	if err := cfg.Validate(); err != nil {
 		fail("anon", err)
 	}

@@ -31,7 +31,7 @@ func E11AnonRouting(o Options) *metrics.Table {
 		frac := fracs[cell%len(fracs)]
 		{
 			fraction := float64(frac) / 100
-			net := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(n), N: n, MeasureEvery: -1})
+			net := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(n), N: n, MeasureEvery: -1, Shards: o.Shards})
 			net.SetMetrics(o.stack("supernode"))
 			sy := anon.NewSystem(net, o.Seed+uint64(n))
 			adv := &dos.Random{Fraction: fraction, R: rng.New(o.Seed + uint64(frac)), IDs: blockedIDs(n)}

@@ -38,7 +38,7 @@ func E10ChurnDoS(o Options) *metrics.Table {
 		n0 := n0s[cell/len(cases)]
 		cse := cases[cell%len(cases)]
 		{
-			nw := splitmerge.New(splitmerge.Config{Seed: o.Seed ^ uint64(n0), N0: n0})
+			nw := splitmerge.New(splitmerge.Config{Seed: o.Seed ^ uint64(n0), N0: n0, Shards: o.Shards})
 			nw.SetMetrics(o.stack("splitmerge"))
 			if e := o.auditEngine(fmt.Sprintf("%s/cell%d", o.Exp, cell), o.Seed^uint64(n0)); e != nil {
 				nw.SetAudit(e)

@@ -30,7 +30,7 @@ func E8DoSConnectivity(o Options) *metrics.Table {
 		n := ns[cell/(len(fracs)*2)]
 		frac := fracs[cell/2%len(fracs)]
 		late := cell%2 == 0
-		nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(n), N: n})
+		nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(n), N: n, Shards: o.Shards})
 		nw.SetMetrics(o.stack("supernode"))
 		if e := o.auditEngine(fmt.Sprintf("%s/cell%d", o.Exp, cell), o.Seed^uint64(n)); e != nil {
 			nw.SetAudit(e)
@@ -70,7 +70,7 @@ func E9GroupBalance(o Options) *metrics.Table {
 	t.AddRows(mustRows(RunRows(o, len(ns)*len(fracs), func(cell int) [][]string {
 		n := ns[cell/len(fracs)]
 		frac := fracs[cell%len(fracs)]
-		nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(n), N: n, MeasureEvery: -1})
+		nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(n), N: n, MeasureEvery: -1, Shards: o.Shards})
 		nw.SetMetrics(o.stack("supernode"))
 		adv := &dos.HalfEachGroup{Fraction: frac, R: rng.New(o.Seed + uint64(n))}
 		buf := &dos.Buffer{Lateness: 2 * nw.EpochRounds()}
@@ -122,7 +122,7 @@ func A2SyncRule(o Options) *metrics.Table {
 	}
 	t.AddRows(mustRows(RunRows(o, 2, func(cell int) [][]string {
 		random := cell == 1
-		nw := supernode.New(supernode.Config{Seed: o.Seed, N: n, RandomLeader: random})
+		nw := supernode.New(supernode.Config{Seed: o.Seed, N: n, RandomLeader: random, Shards: o.Shards})
 		nw.SetMetrics(o.stack("supernode"))
 		adv := &dos.GroupIsolate{Fraction: 0.4, R: rng.New(o.Seed + 7)}
 		buf := &dos.Buffer{Lateness: 2 * nw.EpochRounds()}

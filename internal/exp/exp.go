@@ -160,6 +160,7 @@ func All() []Experiment {
 		{"X4", "Extension (§7.2): the reconfigured k-ary hypercube network under DoS", X4KAryNetwork},
 		{"S1", "Scale: one simulated network at n up to 100k, sharded kernel", S1ScaleFlood},
 		{"S2", "Scale: event-driven flood at n up to 1M, handler kernel", S2ScaleFloodEvent},
+		{"S3", "Scale: §5/§6 overlay stacks at n up to 1M, dense slots + sharded rounds", S3ScaleOverlay},
 		{"F1", "Audit: which invariants survive which fault rates (drop/dup/crash sweep)", F1FaultMatrix},
 		{"R1", "Recovery: partition & state-corruption MTTR with degraded-mode service", R1Recovery},
 	}

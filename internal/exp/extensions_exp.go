@@ -147,7 +147,7 @@ func X1ChurnRateLimit(o Options) *metrics.Table {
 	t.AddRows(mustRows(RunRows(o, len(fracs), func(cell int) [][]string {
 		f := fracs[cell]
 		frac := float64(f) / 100
-		nw := splitmerge.New(splitmerge.Config{Seed: o.Seed, N0: n0})
+		nw := splitmerge.New(splitmerge.Config{Seed: o.Seed, N0: n0, Shards: o.Shards})
 		nw.SetMetrics(o.stack("splitmerge"))
 		buf := &dos.Buffer{Lateness: 1}
 		r := rng.New(o.Seed + uint64(f))
@@ -205,7 +205,7 @@ func X2CrashFailures(o Options) *metrics.Table {
 	t.AddRows(mustRows(RunRows(o, len(fracs), func(cell int) [][]string {
 		f := fracs[cell]
 		frac := float64(f) / 100
-		nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(f), N: n})
+		nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(f), N: n, Shards: o.Shards})
 		nw.SetMetrics(o.stack("supernode"))
 		r := rng.New(o.Seed + uint64(f))
 		crashed := map[sim.NodeID]bool{}
@@ -242,7 +242,7 @@ func X4KAryNetwork(o Options) *metrics.Table {
 	t.AddRows(mustRows(RunRows(o, len(cases)*2, func(cell int) [][]string {
 		c := cases[cell/2]
 		late := cell%2 == 0
-		nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(c[0]), N: c[1], K: c[0]})
+		nw := supernode.New(supernode.Config{Seed: o.Seed ^ uint64(c[0]), N: c[1], K: c[0], Shards: o.Shards})
 		nw.SetMetrics(o.stack("supernode"))
 		lateness := 0
 		if late {

@@ -165,7 +165,7 @@ func f1SplitMerge(o Options, cell int, spec fault.Spec) [][]string {
 	}
 	eng := audit.NewEngine(scope, seed, every, rec)
 
-	nw := splitmerge.New(splitmerge.Config{Seed: seed, N0: n0})
+	nw := splitmerge.New(splitmerge.Config{Seed: seed, N0: n0, Shards: o.Shards})
 	nw.SetMetrics(o.stack("splitmerge"))
 	nw.SetAudit(eng)
 	nw.SetFaults(spec)

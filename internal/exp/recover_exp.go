@@ -213,7 +213,7 @@ func r1Supernode(o Options, cell, n int, scen r1Scenario) []string {
 	spec := scen.spec.WithSeed(cellSeed(seed, 0x5a))
 	eng, _ := r1Engine(o, cell, seed)
 
-	nw := supernode.New(supernode.Config{Seed: seed, N: n})
+	nw := supernode.New(supernode.Config{Seed: seed, N: n, Shards: o.Shards})
 	nw.SetMetrics(o.stack("supernode"))
 	nw.SetAudit(eng)
 	er := nw.EpochRounds()
@@ -291,7 +291,7 @@ func r1SplitMerge(o Options, cell, n int, scen r1Scenario) []string {
 	spec := scen.spec.WithSeed(cellSeed(seed, 0x5a))
 	eng, _ := r1Engine(o, cell, seed)
 
-	nw := splitmerge.New(splitmerge.Config{Seed: seed, N0: n})
+	nw := splitmerge.New(splitmerge.Config{Seed: seed, N0: n, Shards: o.Shards})
 	nw.SetMetrics(o.stack("splitmerge"))
 	nw.SetAudit(eng)
 	er := nw.EpochRounds()

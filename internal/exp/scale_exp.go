@@ -162,14 +162,11 @@ func S2ScaleFloodEvent(o Options) *metrics.Table {
 // across machines, execution modes, and shard counts. It returns the
 // table for chaining and is a no-op on tables without such a column.
 func MaskWallClock(t *metrics.Table) *metrics.Table {
-	for {
-		i := t.FindColumn("(wall)")
+	for i := 0; ; i++ {
+		i = t.FindColumnFrom("(wall)", i)
 		if i < 0 {
 			return t
 		}
 		t.MaskColumn(i, "-")
-		if t.FindColumn("(wall)") == i {
-			return t // placeholder did not clear the header match; done
-		}
 	}
 }

@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"overlaynet/internal/metrics"
+	"overlaynet/internal/splitmerge"
+	"overlaynet/internal/supernode"
+)
+
+// S3ScaleOverlay measures the §5/§6 overlay stacks themselves at the
+// sizes the handler kernel reached in S2: one full reorganization epoch
+// of protocol rounds per size, up to n = 1,000,000 members. The dense
+// slot/bitset layout keeps the per-node footprint near the ~1 KB/node
+// budget, and the sharded round pipeline (Options.Shards) only changes
+// wall-clock speed — every protocol column is byte-identical at any
+// -procs/-shards setting. At n = 1M the sampling slack is tightened
+// (§5 ε = 0.25, §6 ε = 0.1): the default ε = 1 budget schedule is
+// exponentially oversized at that scale and would dominate memory, not
+// the protocol state under test.
+//
+// Columns: rounds actually stepped (one epoch); supernode count;
+// bytes/node-round — the measured supernode-message volume
+// (Stats.Messages at ~8 bytes per wire message) averaged over members
+// and rounds, the same quantity for both stacks; and wall-clock
+// rounds/sec plus end-of-run heap, both masked in regression
+// comparisons (MaskWallClock).
+func S3ScaleOverlay(o Options) *metrics.Table {
+	t := metrics.NewTable(
+		"S3  Scale — §5/§6 overlay stacks, full epochs (dense slots, sharded rounds)",
+		"stack", "n", "rounds", "supers", "bytes/node-round", "rounds/sec (wall)", "heapMB (wall)")
+	ns := o.sizes([]int{10000}, []int{100000, 1000000})
+	rows := make([][]string, 0, 2*len(ns))
+	if o.Progress != nil {
+		o.Progress.AddCells(o.Exp, 2*len(ns))
+	}
+	for _, n := range ns {
+		// §5 fixed-membership hypercube.
+		{
+			eps := 1.0
+			if n >= 1000000 {
+				eps = 0.25
+			}
+			nw := supernode.New(supernode.Config{
+				Seed: cellSeed(o.Seed, uint64(n), 5), N: n, Epsilon: eps,
+				MeasureEvery: -1, Shards: o.Shards,
+			})
+			nw.SetMetrics(o.stack("supernode"))
+			rounds := nw.EpochRounds()
+			start := time.Now()
+			for i := 0; i < rounds; i++ {
+				nw.Step(nil)
+			}
+			wall := time.Since(start)
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			msgs := nw.StatsSnapshot().Messages
+			nw.Close()
+			roundsPerSec := float64(rounds) / wall.Seconds()
+			bytesPerNode := float64(msgs) * 8 / float64(n) / float64(rounds)
+			rows = append(rows, metrics.Row("supernode", n, rounds, nw.NSuper(),
+				fmt.Sprintf("%.1f", bytesPerNode),
+				fmt.Sprintf("%.2f", roundsPerSec),
+				fmt.Sprintf("%.0f", float64(ms.HeapInuse)/1e6)))
+			if o.Trace != nil {
+				o.Trace.ScaleSpan(o.Exp+"/supernode", n, rounds, roundsPerSec, bytesPerNode, start)
+			}
+			if o.Progress != nil {
+				o.Progress.CellDone(o.Exp)
+			}
+		}
+		// §6 split/merge label tree.
+		{
+			eps := 1.0
+			if n >= 1000000 {
+				eps = 0.1
+			}
+			nw := splitmerge.New(splitmerge.Config{
+				Seed: cellSeed(o.Seed, uint64(n), 6), N0: n, Epsilon: eps,
+				MeasureEvery: -1, Shards: o.Shards,
+			})
+			nw.SetMetrics(o.stack("splitmerge"))
+			rounds := nw.EpochRounds()
+			start := time.Now()
+			for i := 0; i < rounds; i++ {
+				nw.Step(nil)
+			}
+			wall := time.Since(start)
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			msgs := nw.StatsSnapshot().Messages
+			nw.Close()
+			roundsPerSec := float64(rounds) / wall.Seconds()
+			bytesPerNode := float64(msgs) * 8 / float64(n) / float64(rounds)
+			rows = append(rows, metrics.Row("splitmerge", n, rounds, nw.NumSupers(),
+				fmt.Sprintf("%.1f", bytesPerNode),
+				fmt.Sprintf("%.2f", roundsPerSec),
+				fmt.Sprintf("%.0f", float64(ms.HeapInuse)/1e6)))
+			if o.Trace != nil {
+				o.Trace.ScaleSpan(o.Exp+"/splitmerge", n, rounds, roundsPerSec, bytesPerNode, start)
+			}
+			if o.Progress != nil {
+				o.Progress.CellDone(o.Exp)
+			}
+		}
+	}
+	t.AddRows(rows)
+	return t
+}

@@ -69,6 +69,13 @@ func Dist(a, b Vertex) int {
 type KAry struct {
 	K, D int
 	pow  []int // pow[i] = k^i
+	// For power-of-two k, coordinates are bit fields: coordinate i
+	// occupies log2k bits starting at bit i·log2k. Shifts and masks
+	// replace the division — the sampling hot loops call Coord and
+	// WithCoord per message, where a variable-divisor divide is ~20×
+	// the cost of a shift. log2k is 0 for other k (k = 1 is invalid,
+	// so the flag doubles as "k is a power of two").
+	log2k uint
 }
 
 // NewKAry returns the d-dimensional k-ary hypercube descriptor.
@@ -81,7 +88,13 @@ func NewKAry(k, d int) *KAry {
 	for i := 1; i <= d; i++ {
 		pow[i] = pow[i-1] * k
 	}
-	return &KAry{K: k, D: d, pow: pow}
+	c := &KAry{K: k, D: d, pow: pow}
+	if k&(k-1) == 0 {
+		for v := k; v > 1; v >>= 1 {
+			c.log2k++
+		}
+	}
+	return c
 }
 
 // N returns k^d.
@@ -91,10 +104,19 @@ func (c *KAry) N() int { return c.pow[c.D] }
 func (c *KAry) Degree() int { return (c.K - 1) * c.D }
 
 // Coord returns coordinate i (0-indexed) of vertex v.
-func (c *KAry) Coord(v, i int) int { return v / c.pow[i] % c.K }
+func (c *KAry) Coord(v, i int) int {
+	if c.log2k != 0 {
+		return v >> (uint(i) * c.log2k) & (c.K - 1)
+	}
+	return v / c.pow[i] % c.K
+}
 
 // WithCoord returns v with coordinate i set to val.
 func (c *KAry) WithCoord(v, i, val int) int {
+	if c.log2k != 0 {
+		s := uint(i) * c.log2k
+		return v&^((c.K-1)<<s) | val<<s
+	}
 	old := c.Coord(v, i)
 	return v + (val-old)*c.pow[i]
 }

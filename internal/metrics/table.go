@@ -130,8 +130,19 @@ func (t *Table) MaskColumn(i int, placeholder string) {
 // FindColumn returns the index of the first header containing substr,
 // or -1 if none does.
 func (t *Table) FindColumn(substr string) int {
-	for i, h := range t.header {
-		if strings.Contains(h, substr) {
+	return t.FindColumnFrom(substr, 0)
+}
+
+// FindColumnFrom returns the index of the first header at or after
+// start containing substr, or -1 if none does. MaskColumn leaves
+// headers intact, so callers masking every matching column advance
+// start past each hit instead of re-searching from the front.
+func (t *Table) FindColumnFrom(substr string, start int) int {
+	if start < 0 {
+		start = 0
+	}
+	for i := start; i < len(t.header); i++ {
+		if strings.Contains(t.header[i], substr) {
 			return i
 		}
 	}

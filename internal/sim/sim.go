@@ -172,11 +172,11 @@ type Network struct {
 	nodes map[NodeID]int32 // id → slot; touched only at Spawn/Kill/Send boundaries
 	order []int32          // live slots in spawn order; determines scheduling
 
-	pendingBlocked bitset // applies to the next Step (built by SetBlocked)
+	pendingBlocked Bitset // applies to the next Step (built by SetBlocked)
 	pendingAny     bool
-	blocked        bitset // blocked set of the round in progress
+	blocked        Bitset // blocked set of the round in progress
 	blockedAny     bool
-	killReq        bitset // Kill/Shutdown requests, indexed by slot
+	killReq        Bitset // Kill/Shutdown requests, indexed by slot
 
 	work       []RoundWork
 	recordWork bool
@@ -239,9 +239,9 @@ func NewNetwork(cfg Config) *Network {
 	if hint > 0 {
 		n.slots = make([]nodeState, 0, hint)
 		n.order = make([]int32, 0, hint)
-		n.blocked = growBitset(nil, hint)
-		n.pendingBlocked = growBitset(nil, hint)
-		n.killReq = growBitset(nil, hint)
+		n.blocked = GrowBitset(nil, hint)
+		n.pendingBlocked = GrowBitset(nil, hint)
+		n.killReq = GrowBitset(nil, hint)
 	}
 	if shards > 1 {
 		n.acc = make([]shardAcc, shards)
@@ -302,9 +302,9 @@ func (n *Network) allocSlot() int32 {
 	}
 	s := int32(len(n.slots))
 	n.slots = append(n.slots, nodeState{})
-	n.blocked = growBitset(n.blocked, len(n.slots))
-	n.pendingBlocked = growBitset(n.pendingBlocked, len(n.slots))
-	n.killReq = growBitset(n.killReq, len(n.slots))
+	n.blocked = GrowBitset(n.blocked, len(n.slots))
+	n.pendingBlocked = GrowBitset(n.pendingBlocked, len(n.slots))
+	n.killReq = GrowBitset(n.killReq, len(n.slots))
 	return s
 }
 
@@ -333,9 +333,9 @@ func (n *Network) freeSlot(s int32) {
 	st.fill = 0
 	st.seq = 0
 	st.bits = 0
-	n.killReq.unset(s)
-	n.blocked.unset(s)
-	n.pendingBlocked.unset(s)
+	n.killReq.Unset(s)
+	n.blocked.Unset(s)
+	n.pendingBlocked.Unset(s)
 	n.free = append(n.free, s)
 }
 
@@ -377,7 +377,7 @@ func (n *Network) Spawn(id NodeID, proc Proc) {
 // counted as drops, exactly as for a node whose program returns).
 func (n *Network) Kill(id NodeID) {
 	if s, ok := n.nodes[id]; ok {
-		n.killReq.set(s)
+		n.killReq.Set(s)
 		if n.tracer != nil {
 			n.tracer.NodeKilled(n.round, id)
 		}
@@ -385,12 +385,12 @@ func (n *Network) Kill(id NodeID) {
 }
 
 // SetBlocked sets the DoS-blocked node set for the next Step only. The
-// set is copied into an internal bitset at call time: later mutations
+// set is copied into an internal Bitset at call time: later mutations
 // of the map do not affect the round, and ids that do not name a live
 // node at call time are ignored.
 func (n *Network) SetBlocked(blocked map[NodeID]bool) {
 	if n.pendingAny {
-		n.pendingBlocked.zero()
+		n.pendingBlocked.Zero()
 		n.pendingAny = false
 	}
 	for id, b := range blocked {
@@ -398,7 +398,7 @@ func (n *Network) SetBlocked(blocked map[NodeID]bool) {
 			continue
 		}
 		if s, ok := n.nodes[id]; ok {
-			n.pendingBlocked.set(s)
+			n.pendingBlocked.Set(s)
 			n.pendingAny = true
 		}
 	}
@@ -444,7 +444,7 @@ func (n *Network) Step() {
 		n.reap()
 	}
 	if n.blockedAny {
-		n.blocked.zero()
+		n.blocked.Zero()
 		n.blockedAny = false
 	}
 	if n.recordWork {
@@ -482,7 +482,7 @@ func (n *Network) computeRange(plo, phi int, acc *shardAcc) {
 			st.outbox = out[:0]
 		}
 		var box []Message
-		if anyB && blocked.test(s) {
+		if anyB && blocked.Test(s) {
 			// Drop the pending inbox without delivering it.
 			pend := st.inbox[st.fill]
 			if tr != nil {
@@ -527,7 +527,7 @@ func (n *Network) computeRange(plo, phi int, acc *shardAcc) {
 		// map, other slots' identity fields) are of state that never
 		// mutates during a round, so inline execution is safe and
 		// deterministic under any shard partition.
-		if n.killReq.test(s) {
+		if n.killReq.Test(s) {
 			st.halted = true
 		} else if !st.h.OnRound(st.ctx, box) {
 			st.halted = true
@@ -556,7 +556,7 @@ func (n *Network) sendRange(plo, phi int, dlo, dhi int32, acc *shardAcc) (messag
 		st := &slots[s]
 		mine := p >= plo && p < phi
 		out := st.outbox
-		if anyB && blocked.test(s) {
+		if anyB && blocked.Test(s) {
 			// Blocked sender: the whole outbox is discarded.
 			if mine && tr != nil {
 				for i := range out {
@@ -580,7 +580,7 @@ func (n *Network) sendRange(plo, phi int, dlo, dhi int32, acc *shardAcc) (messag
 				// Receiver must exist (slot resolved at send time) and be
 				// non-blocked in the send round; the i+1 half of the rule
 				// is checked at delivery.
-				if t >= 0 && !(anyB && blocked.test(t)) {
+				if t >= 0 && !(anyB && blocked.Test(t)) {
 					if t >= dlo && t < dhi {
 						rcv := &slots[t]
 						rcv.inbox[rcv.fill] = append(rcv.inbox[rcv.fill], *m)
@@ -609,7 +609,7 @@ func (n *Network) sendRange(plo, phi int, dlo, dhi int32, acc *shardAcc) (messag
 			for i := range out {
 				m := &out[i]
 				t := m.slot
-				if t >= 0 && !(anyB && blocked.test(t)) {
+				if t >= 0 && !(anyB && blocked.Test(t)) {
 					// Fault injection: the injector is a pure function
 					// of the message identity, so the delivering worker
 					// and the accounting worker (which may differ under

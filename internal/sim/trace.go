@@ -154,7 +154,7 @@ func (n *Network) traceRoundStart() int {
 	nblocked := 0
 	if n.blockedAny {
 		for _, s := range n.order {
-			if n.blocked.test(s) {
+			if n.blocked.Test(s) {
 				nblocked++
 			}
 		}
@@ -162,7 +162,7 @@ func (n *Network) traceRoundStart() int {
 	n.tracer.RoundStart(n.round, len(n.order), nblocked)
 	if nblocked > 0 {
 		for _, s := range n.order {
-			if n.blocked.test(s) {
+			if n.blocked.Test(s) {
 				n.tracer.NodeBlocked(n.round, n.slots[s].id)
 			}
 		}

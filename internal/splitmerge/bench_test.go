@@ -1,6 +1,8 @@
 package splitmerge
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"overlaynet/internal/dos"
@@ -43,4 +45,66 @@ func BenchmarkEpochWithChurn1024(b *testing.B) {
 		}
 		nw.Run(nil, buf, nw.EpochRounds())
 	}
+}
+
+// benchStep drives steady-state rounds with no adversary at scale.
+// MeasureEvery is disabled: the connectivity measurement is a
+// diagnostic, not part of the protocol round, and it would dominate at
+// large n.
+func benchStep(b *testing.B, n, shards int) {
+	nw := New(Config{Seed: 1, N0: n, MeasureEvery: -1, Shards: shards})
+	defer nw.Close()
+	// Warm one full epoch so every scratch arena reaches steady state.
+	for i := 0; i < nw.EpochRounds(); i++ {
+		nw.Step(nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Step(nil)
+	}
+	b.StopTimer()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapInuse)/1e6, "heapMB")
+}
+
+func BenchmarkStep(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchStep(b, n, 1) })
+	}
+}
+
+// BenchmarkStepSharded exercises the intra-round worker partition; on a
+// multi-core machine the rounds speed up, on any machine the tables
+// stay byte-identical (see identity tests).
+func BenchmarkStepSharded(b *testing.B) {
+	for _, shards := range []int{2, 4} {
+		b.Run(fmt.Sprintf("n=100000/shards=%d", shards), func(b *testing.B) {
+			benchStep(b, 100000, shards)
+		})
+	}
+}
+
+// BenchmarkStep1M is the full-epoch memory-budget row. At n=1M the
+// default Epsilon=1 sampling budget would be enormous; the scale
+// experiment uses a tighter slack, mirrored here.
+func BenchmarkStep1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("n=1M row is for explicit -bench runs")
+	}
+	nw := New(Config{Seed: 1, N0: 1000000, MeasureEvery: -1, Epsilon: 0.1})
+	defer nw.Close()
+	for i := 0; i < nw.EpochRounds(); i++ {
+		nw.Step(nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Step(nil)
+	}
+	b.StopTimer()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapInuse)/1e6, "heapMB")
 }

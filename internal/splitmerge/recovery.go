@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"overlaynet/internal/audit"
-	"overlaynet/internal/sim"
 )
 
 // This file is the §6 network's self-healing surface: deterministic
@@ -68,9 +67,9 @@ func (nw *Network) CorruptState(pick uint64) string {
 			return ""
 		}
 		id := members[int((pick>>8)%uint64(len(members)))]
-		x := nw.nodeSuper[id]
+		x := nw.nodeSuper[id-1]
 		y := (int(x) + 1 + int((pick>>40)%uint64(len(nw.supers)-1))) % len(nw.supers)
-		nw.nodeSuper[id] = int32(y)
+		nw.nodeSuper[id-1] = int32(y)
 		return fmt.Sprintf("node %d nodeSuper index desynced %d -> %d", id, x, y)
 	}
 	si := int((pick >> 8) % uint64(len(nw.supers)))
@@ -81,6 +80,10 @@ func (nw *Network) CorruptState(pick uint64) string {
 	old := s.label
 	s.label = old.Child(0)
 	nw.sortSupers()
+	// The vid tables index by label; rebuild so in-flight sampling
+	// messages route exactly as the serial per-message label search
+	// would against the mutated tree.
+	nw.fillVidTables()
 	return fmt.Sprintf("group %v dimension mutated to %v (coverage hole at %v)", old, s.label, old.Child(1))
 }
 
@@ -145,6 +148,7 @@ func (nw *Network) RepairBalance() int {
 	}
 	nw.normalize()
 	nw.indexMembers()
+	nw.fillVidTables()
 	return fixes
 }
 
@@ -156,19 +160,19 @@ func (nw *Network) RepairBalance() int {
 func (nw *Network) RepairMembership() int {
 	nw.metrics.AddRepairs(1)
 	fixes := 0
-	seen := make(map[sim.NodeID]bool, len(nw.nodeSuper))
+	seen := make([]bool, len(nw.nodeSuper))
 	for x, s := range nw.supers {
 		for _, id := range s.members {
-			seen[id] = true
-			if nw.nodeSuper[id] != int32(x) {
-				nw.nodeSuper[id] = int32(x)
+			seen[id-1] = true
+			if nw.nodeSuper[id-1] != int32(x) {
+				nw.nodeSuper[id-1] = int32(x)
 				fixes++
 			}
 		}
 	}
-	for id := range nw.nodeSuper {
-		if !seen[id] {
-			delete(nw.nodeSuper, id)
+	for v := range nw.nodeSuper {
+		if nw.nodeSuper[v] >= 0 && !seen[v] {
+			nw.nodeSuper[v] = -1
 			fixes++
 		}
 	}

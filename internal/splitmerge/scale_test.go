@@ -1,0 +1,147 @@
+package splitmerge
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"overlaynet/internal/audit"
+	"overlaynet/internal/dos"
+	"overlaynet/internal/fault"
+	"overlaynet/internal/obs"
+	"overlaynet/internal/rng"
+	"overlaynet/internal/sim"
+)
+
+// driveDigest runs a fixed adversarial schedule — DoS blocking, message
+// drop/dup faults, a crash schedule, and churn — and fingerprints every
+// observable output: each round's report, the final stats, the label
+// tree, and the group partition. Any execution-order leak in the
+// sharded round pipeline shows up as a digest mismatch.
+func driveDigest(shards int, withObs, withFaults bool) string {
+	nw := New(Config{Seed: 42, N0: 2048, MeasureEvery: 2, Shards: shards})
+	defer nw.Close()
+	if withObs {
+		reg := obs.NewRegistry(1)
+		nw.SetMetrics(reg.StackMetrics("splitmerge"))
+		nw.SetAudit(audit.NewEngine("scale-identity", 9, 3, nil))
+	}
+	if withFaults {
+		nw.SetFaults(fault.Spec{Seed: 11, Drop: 0.02, Dup: 0.01, Crash: 0.02, Restart: 2})
+	}
+	adv := &dos.Random{Fraction: 0.1, R: rng.New(7), IDs: nw.Members}
+	buf := &dos.Buffer{Lateness: 2}
+	churn := rng.New(99)
+	var b strings.Builder
+	for e := 0; e < 3; e++ {
+		members := nw.Members()
+		for k := 0; k < 16; k++ {
+			nw.Join(members[churn.Intn(len(members))])
+		}
+		for k := 0; k < 16; k++ {
+			id := members[churn.Intn(len(members))]
+			if nw.superOf(id) >= 0 {
+				nw.Leave(id)
+			}
+		}
+		for _, rep := range nw.Run(adv, buf, nw.EpochRounds()) {
+			fmt.Fprintf(&b, "%+v\n", rep)
+		}
+	}
+	fmt.Fprintf(&b, "%+v\n%v\n%v\n", nw.StatsSnapshot(), nw.Labels(), nw.GroupSizes())
+	return b.String()
+}
+
+// TestByteIdenticalAcrossShards pins the §6 determinism contract: the
+// sharded round pipeline must reproduce the serial execution exactly —
+// same RNG draws, same queue orders, same fault-injection tuples, same
+// split/merge decisions — at any worker count, with or without the
+// observation layers attached.
+func TestByteIdenticalAcrossShards(t *testing.T) {
+	want := driveDigest(1, false, true)
+	for _, shards := range []int{2, 8} {
+		if got := driveDigest(shards, false, true); got != want {
+			t.Fatalf("shards=%d diverges from the serial execution", shards)
+		}
+	}
+	if got := driveDigest(4, true, true); got != want {
+		t.Fatal("attaching metrics+audit perturbed the results")
+	}
+	// Without an injector, one worker takes the direct-delivery fast
+	// path; the sharded outbox pipeline must match it byte for byte
+	// (the DoS adversary still forces leaderless rounds, exercising
+	// the direct path's queue-clearing prepass).
+	direct := driveDigest(1, false, false)
+	if got := driveDigest(8, false, false); got != direct {
+		t.Fatal("outbox pipeline diverges from the direct single-worker path")
+	}
+}
+
+// TestBlockedMapNotAliased verifies Step copies the caller's blocked
+// map into owned storage: mutating or reusing the map after Step
+// returns must not rewrite the two-round blocked history it feeds.
+func TestBlockedMapNotAliased(t *testing.T) {
+	run := func(reuse bool) string {
+		nw := New(Config{Seed: 5, N0: 512, MeasureEvery: 1})
+		defer nw.Close()
+		m := map[sim.NodeID]bool{}
+		var b strings.Builder
+		for i := 0; i < 2*nw.EpochRounds(); i++ {
+			if reuse {
+				clear(m)
+			} else {
+				m = map[sim.NodeID]bool{}
+			}
+			for k := 0; k < 5; k++ {
+				m[sim.NodeID((i*7+k*13)%512+1)] = true
+			}
+			fmt.Fprintf(&b, "%+v\n", nw.Step(m))
+			if reuse {
+				// Poison the map after Step: with an aliased
+				// blockedHist[0] this rewrites the round's history.
+				for k := range m {
+					m[k] = false
+				}
+				m[sim.NodeID(i%512+1)] = true
+			}
+		}
+		fmt.Fprintf(&b, "%+v", nw.StatsSnapshot())
+		return b.String()
+	}
+	if run(false) != run(true) {
+		t.Fatal("Step aliases the caller's blocked map; blockedHist must own its storage")
+	}
+}
+
+// TestStepAllocsSteadyState is the allocation regression gate for the
+// §6 Step path: once every arena has reached its high-water mark, no
+// round may allocate except the assign phase (scratch plateau growth)
+// and the commit phase (organic splits/merges clone group state, as
+// the serial code did).
+func TestStepAllocsSteadyState(t *testing.T) {
+	nw := New(Config{Seed: 1, N0: 10000, MeasureEvery: -1})
+	defer nw.Close()
+	for i := 0; i < 6*nw.EpochRounds(); i++ {
+		nw.Step(nil)
+	}
+	samplingRounds := 2 * (2*nw.T + 1)
+	var m0, m1 runtime.MemStats
+	type badRound struct {
+		round, phase int
+		mallocs      uint64
+	}
+	var bad []badRound
+	for i := 0; i < 2*nw.EpochRounds(); i++ {
+		phase := nw.phase
+		runtime.ReadMemStats(&m0)
+		nw.Step(nil)
+		runtime.ReadMemStats(&m1)
+		if d := m1.Mallocs - m0.Mallocs; d > 0 && phase != samplingRounds && phase != samplingRounds+5 {
+			bad = append(bad, badRound{nw.Round(), phase, d})
+		}
+	}
+	for _, r := range bad {
+		t.Errorf("round %d (phase %d) allocated %d objects in steady state", r.round, r.phase, r.mallocs)
+	}
+}

@@ -1,0 +1,116 @@
+package splitmerge
+
+// Sharded execution of the §6 round pipeline, mirroring the §5 stack
+// (see internal/supernode/shard.go for the determinism contract).
+// Compute phases partition the supernode index space — a supernode's
+// virtual vertices share the group leader's RNG, so they must stay on
+// one worker, in label order — while the simulation deliver phase
+// partitions the dmax-bit virtual-vertex space, using the per-epoch
+// vidOwner/vidVirt tables instead of the per-message label search the
+// serial code did. Messages flow through per-worker, per-target-shard
+// outboxes in generation order; draining source workers in worker
+// order reproduces the serial per-target queue order and the serial
+// fault-injection index for every virtual vertex.
+
+import "overlaynet/internal/sim"
+
+// Phase identifiers dispatched through RunShard.
+const (
+	smLeaders = iota
+	smSimCompute
+	smSimDeliver
+	smAssign
+	smAssignDeliver
+	smBroadcast
+)
+
+// smWireReq is a sampling request in flight to a virtual vertex.
+type smWireReq struct {
+	target uint32
+	from   uint32
+	j      int16
+}
+
+// smWireResp is a sampling response in flight; v is the walk endpoint
+// (the injection tuple derives its from-id from v, offset past the
+// 32-bit label space, matching the serial merge).
+type smWireResp struct {
+	target uint32
+	v      uint32
+	j      int16
+}
+
+// smAsg routes one node id to its sampled target supernode.
+type smAsg struct {
+	target int32
+	id     sim.NodeID
+}
+
+// smAcc is one worker's round-local state (see supernode.supAcc).
+type smAcc struct {
+	outReq  [][]smWireReq
+	outResp [][]smWireResp
+	outAsg  [][]smAsg
+
+	assignees []sim.NodeID // per-super assign scratch
+	samples   []uint32     // per-super gathered-samples scratch
+
+	stalls      int
+	sampleFails int
+	assignFails int
+	faultDrops  int
+	faultDups   int
+	msgs        int64 // supernode messages drained this round
+
+	_ [64]byte
+}
+
+func (a *smAcc) reset() {
+	for i := range a.outReq {
+		a.outReq[i] = a.outReq[i][:0]
+		a.outResp[i] = a.outResp[i][:0]
+		a.outAsg[i] = a.outAsg[i][:0]
+	}
+	a.stalls = 0
+	a.sampleFails = 0
+	a.assignFails = 0
+	a.faultDrops = 0
+	a.faultDups = 0
+	a.msgs = 0
+}
+
+// RunShard dispatches one worker's share of a phase. It satisfies
+// sim.ShardRunner and is not meant to be called by package users.
+func (nw *Network) RunShard(phase, w int) {
+	switch phase {
+	case smLeaders:
+		nw.leadersRange(w)
+	case smSimCompute:
+		nw.simComputeRange(w)
+	case smSimDeliver:
+		nw.simDeliverRange(w)
+	case smAssign:
+		nw.assignRange(w)
+	case smAssignDeliver:
+		nw.assignDeliverRange(w)
+	case smBroadcast:
+		nw.broadcastRange(w)
+	}
+}
+
+// mergeCounters folds the workers' counter deltas into Stats and
+// returns the round's stall count.
+func (nw *Network) mergeCounters() int {
+	stalls := 0
+	for w := range nw.acc {
+		a := &nw.acc[w]
+		stalls += a.stalls
+		nw.stats.Stalls += a.stalls
+		nw.stats.SampleFails += a.sampleFails
+		nw.stats.AssignFails += a.assignFails
+		nw.stats.FaultDrops += a.faultDrops
+		nw.stats.FaultDups += a.faultDups
+		nw.stats.Messages += a.msgs
+	}
+	return stalls
+}

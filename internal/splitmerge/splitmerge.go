@@ -19,12 +19,26 @@
 // randomness of its lowest-id available member, groups with no
 // available member stall, and per-node staleness feeds the
 // connectivity measurement.
+//
+// Scale layout (see DESIGN.md): per-node state is dense and
+// slot-indexed (slot = id−1; ids grow monotonically under churn, so a
+// slot is allocated once at Join and marked dead on Leave) — per-node
+// RNGs as a flat []rng.RNG, the membership index and view epochs as
+// int32 slices, and the blocked history, leaving set, and crash set as
+// sim.Bitset. The virtual-vertex label search of the serial code is
+// replaced by per-epoch dense vid tables (vidOwner/vidVirt), the group
+// history is a pruned ring of recycled arenas, and every queue and
+// multiset is reused across rounds and epochs, so Step allocates
+// nothing in churn-free steady state — including epoch boundaries.
+// Per-group and per-virtual-vertex loops run through a sim.Pool (see
+// shard.go) with byte-identical results at any shard count.
 package splitmerge
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
+	"slices"
 
 	"overlaynet/internal/audit"
 	"overlaynet/internal/dos"
@@ -48,6 +62,10 @@ type Config struct {
 	// MeasureEvery controls connectivity measurement (1 = every round,
 	// negative = never).
 	MeasureEvery int
+	// Shards is the intra-round worker count (0 consults the
+	// OVERLAYNET_SHARDS environment variable, then 1). Results are
+	// byte-identical at any value.
+	Shards int
 }
 
 // Validate reports whether the configuration is usable, so CLIs can
@@ -92,6 +110,10 @@ type Stats struct {
 	FaultDups     int // supernode messages duplicated by injected faults
 	Crashes       int // node-crash events from the fault schedule
 	Restarts      int // crashed nodes that came back
+	// Messages counts supernode-level protocol messages (sampling
+	// requests/responses and reorganization assignments) — the work
+	// measure behind the scale experiment's bytes/node-round column.
+	Messages int64
 }
 
 // RoundReport summarizes one round.
@@ -126,32 +148,40 @@ type super struct {
 	label   hypercube.Label
 	members []sim.NodeID // committed members, sorted
 	pending []sim.NodeID // joiners waiting for the next commit
-	leaving map[sim.NodeID]bool
 	virt    []*virtState
 }
 
-type delivery struct {
-	reqs  []vReq
-	resps []vResp
-}
-
+// histEntry is one epoch's committed topology, held in a pruned ring
+// (see supernode.histEntry). nodeGroup is slot-indexed, −1 = not a
+// committed member at that epoch.
 type histEntry struct {
 	groups    [][]sim.NodeID
 	adj       [][]int32
-	nodeGroup map[sim.NodeID]int32
+	nodeGroup []int32
 }
 
 // Network is the Section 6 overlay.
 type Network struct {
 	cfg    Config
 	r      *rng.RNG
-	nodeR  map[sim.NodeID]*rng.RNG
-	supers []*super // sorted by label
+	nodeR  []rng.RNG // per-node RNG slots, indexed by id−1
+	supers []*super  // sorted by label
 
-	nodeSuper map[sim.NodeID]int32 // committed member -> supers index
+	nodeSuper []int32 // slot -> supers index, −1 when not committed
+	viewEpoch []int32 // slot -> last received epoch
 
-	viewEpoch map[sim.NodeID]int
-	history   []histEntry
+	// leaving is the global departure set (slot-indexed) with its id
+	// list for the commit sweep. The serial code kept one map per
+	// supernode and copied it through splits and merges; membership is
+	// id-keyed, so one global set is equivalent and the copies vanish.
+	leaving    sim.Bitset
+	leavingIDs []sim.NodeID
+
+	hist     []histEntry
+	histHead int
+	histLen  int
+	histBase int
+	histFree []histEntry
 
 	dmax   int
 	T      int
@@ -161,13 +191,33 @@ type Network struct {
 	epoch  int
 	nextID sim.NodeID
 
-	blockedHist   [3]map[sim.NodeID]bool
+	// blockedHist: the last three rounds' blocked sets as owned
+	// bitsets — Step copies the caller's map, closing the §5 aliasing
+	// hazard here too.
+	blockedHist   [3]sim.Bitset
+	blockedCount  int
 	pendingAssign [][]sim.NodeID
+	pendingValid  bool
 	stats         Stats
 	// metrics/lastStats: optional always-on protocol metrics
 	// (SetMetrics); Step flushes the Stats delta.
 	metrics   *obs.StackMetrics
 	lastStats Stats
+
+	// Sharded round execution (see shard.go). The vid tables map every
+	// dmax-bit virtual label to its owning supernode and virt state for
+	// the current epoch, replacing the serial per-message label search.
+	shards     int
+	pool       *sim.Pool
+	acc        []smAcc
+	leaders    []sim.NodeID
+	supShard   []uint8
+	vidOwner   []int32
+	vidVirt    []*virtState
+	vidShard   []uint8
+	deliverIdx []int32
+	vsPool     []*virtState
+	simPR      int
 
 	// audit: optional invariant engine, ticked once per Step.
 	// faults/inj: optional deterministic fault layer — see package
@@ -175,7 +225,13 @@ type Network struct {
 	audit      *audit.Engine
 	faults     fault.Spec
 	inj        *fault.Injector
-	wasCrashed map[sim.NodeID]bool
+	wasCrashed sim.Bitset
+
+	// direct: single-worker fast path (see supernode.Network.direct).
+	// With one shard and no injector, sampling messages append straight
+	// to the target virtual vertices at generation time — identical
+	// results, no outbox write-read-scatter pass. Recomputed each Step.
+	direct bool
 }
 
 // New builds the initial network: the label tree starts at the unique
@@ -195,35 +251,68 @@ func New(cfg Config) *Network {
 	if err := cfg.Validate(); err != nil {
 		panic(err.Error())
 	}
-	nw := &Network{
-		cfg:       cfg,
-		r:         rng.New(cfg.Seed),
-		nodeR:     make(map[sim.NodeID]*rng.RNG),
-		nodeSuper: make(map[sim.NodeID]int32),
-		viewEpoch: make(map[sim.NodeID]int),
-	}
+	nw := &Network{cfg: cfg, r: rng.New(cfg.Seed)}
 	d := 1
 	for (1<<(d+1))*2*cfg.C*(d+1) < cfg.N0 {
 		d++
 	}
 	for x := 0; x < 1<<d; x++ {
-		nw.supers = append(nw.supers, &super{
-			label:   hypercube.MakeLabel(uint64(x), d),
-			leaving: make(map[sim.NodeID]bool),
-		})
+		nw.supers = append(nw.supers, &super{label: hypercube.MakeLabel(uint64(x), d)})
 	}
+	nw.growNodes(cfg.N0)
 	for v := 0; v < cfg.N0; v++ {
 		id := sim.NodeID(v + 1)
-		nw.nodeR[id] = nw.r.Split(uint64(id))
+		nw.nodeR[v] = *nw.r.Split(uint64(id))
 		x := nw.r.Intn(len(nw.supers))
 		nw.supers[x].members = append(nw.supers[x].members, id)
 	}
 	nw.nextID = sim.NodeID(cfg.N0 + 1)
+
+	nw.shards = sim.DefaultShards(cfg.Shards)
+	nw.pool = sim.NewPool(nw.shards)
+	sim.FinalizePool(nw, nw.pool)
+	nw.acc = make([]smAcc, nw.shards)
+	for w := range nw.acc {
+		nw.acc[w].outReq = make([][]smWireReq, nw.shards)
+		nw.acc[w].outResp = make([][]smWireResp, nw.shards)
+		nw.acc[w].outAsg = make([][]smAsg, nw.shards)
+	}
+
 	nw.normalize()
 	nw.indexMembers()
 	nw.commitHistory()
 	nw.prepareEpoch()
 	return nw
+}
+
+// growNodes extends every slot-indexed structure to cover n node slots
+// (new nodeSuper slots start dead).
+func (nw *Network) growNodes(n int) {
+	for len(nw.nodeR) < n {
+		nw.nodeR = append(nw.nodeR, rng.RNG{})
+		nw.nodeSuper = append(nw.nodeSuper, -1)
+		nw.viewEpoch = append(nw.viewEpoch, 0)
+	}
+	nw.leaving = sim.GrowBitset(nw.leaving, n)
+	for i := range nw.blockedHist {
+		nw.blockedHist[i] = sim.GrowBitset(nw.blockedHist[i], n)
+	}
+	if nw.wasCrashed != nil {
+		nw.wasCrashed = sim.GrowBitset(nw.wasCrashed, n)
+	}
+}
+
+// Close releases the shard worker goroutines. The network must not be
+// stepped afterwards. Networks that are simply dropped are cleaned up
+// by a GC finalizer, so Close is an optimization, not an obligation.
+func (nw *Network) Close() { nw.pool.Close() }
+
+// superOf returns the supers index of a committed member, −1 otherwise.
+func (nw *Network) superOf(id sim.NodeID) int32 {
+	if id < 1 || int(id) > len(nw.nodeSuper) {
+		return -1
+	}
+	return nw.nodeSuper[id-1]
 }
 
 // N returns the committed member count.
@@ -385,7 +474,7 @@ func (nw *Network) SetFaults(spec fault.Spec) {
 	nw.faults = spec
 	nw.inj = spec.Injector()
 	if spec.Crash > 0 && nw.wasCrashed == nil {
-		nw.wasCrashed = make(map[sim.NodeID]bool)
+		nw.wasCrashed = sim.GrowBitset(nil, len(nw.nodeR))
 	}
 }
 
@@ -407,22 +496,29 @@ func (nw *Network) checkMembership() []audit.Violation {
 			out = append(out, audit.Violation{Nodes: []uint64{uint64(id)}, Detail: detail})
 		}
 	}
-	seen := make(map[sim.NodeID]int32, len(nw.nodeSuper))
+	seen := make([]int32, len(nw.nodeSuper))
+	for i := range seen {
+		seen[i] = -1
+	}
 	for x, s := range nw.supers {
 		for _, id := range s.members {
-			if prev, dup := seen[id]; dup {
+			if id < 1 || int(id) > len(seen) {
+				bad(id, fmt.Sprintf("member id %d outside the allocated slot space", id))
+				continue
+			}
+			if prev := seen[id-1]; prev >= 0 {
 				bad(id, fmt.Sprintf("node %d appears in groups %d and %d", id, prev, x))
 				continue
 			}
-			seen[id] = int32(x)
-			if got, ok := nw.nodeSuper[id]; !ok || got != int32(x) {
+			seen[id-1] = int32(x)
+			if got := nw.nodeSuper[id-1]; got != int32(x) {
 				bad(id, fmt.Sprintf("nodeSuper index says %d for node %d, membership says %d", got, id, x))
 			}
 		}
 	}
-	for id := range nw.nodeSuper {
-		if _, ok := seen[id]; !ok {
-			bad(id, fmt.Sprintf("node %d indexed but missing from every group", id))
+	for v := range nw.nodeSuper {
+		if nw.nodeSuper[v] >= 0 && seen[v] < 0 {
+			bad(sim.NodeID(v+1), fmt.Sprintf("node %d indexed but missing from every group", v+1))
 		}
 	}
 	return out
@@ -434,7 +530,7 @@ func (nw *Network) checkMembership() []audit.Violation {
 func (nw *Network) CorruptGroupForTest() {
 	for x, s := range nw.supers {
 		if len(s.members) > 0 {
-			nw.nodeSuper[s.members[0]] = int32((x + 1) % len(nw.supers))
+			nw.nodeSuper[s.members[0]-1] = int32((x + 1) % len(nw.supers))
 			return
 		}
 	}
@@ -444,14 +540,15 @@ func (nw *Network) CorruptGroupForTest() {
 // id; the node becomes a full member at the next commit (the paper's
 // O(log log n)-round join).
 func (nw *Network) Join(sponsor sim.NodeID) sim.NodeID {
-	x, ok := nw.nodeSuper[sponsor]
-	if !ok {
+	x := nw.superOf(sponsor)
+	if x < 0 {
 		panic(fmt.Sprintf("splitmerge: sponsor %d is not a member", sponsor))
 	}
 	id := nw.nextID
 	nw.nextID++
-	nw.nodeR[id] = nw.r.Split(uint64(id))
-	nw.viewEpoch[id] = nw.epoch
+	nw.growNodes(int(id))
+	nw.nodeR[id-1] = *nw.r.Split(uint64(id))
+	nw.viewEpoch[id-1] = int32(nw.epoch)
 	nw.supers[x].pending = append(nw.supers[x].pending, id)
 	return id
 }
@@ -459,36 +556,50 @@ func (nw *Network) Join(sponsor sim.NodeID) sim.NodeID {
 // Leave marks a member as leaving; it departs at the next commit (the
 // paper's O(log log n)-round leave).
 func (nw *Network) Leave(id sim.NodeID) {
-	x, ok := nw.nodeSuper[id]
-	if !ok {
+	if nw.superOf(id) < 0 {
 		panic(fmt.Sprintf("splitmerge: leaver %d is not a member", id))
 	}
-	nw.supers[x].leaving[id] = true
+	if !nw.leaving.Test(int32(id - 1)) {
+		nw.leaving.Set(int32(id - 1))
+		nw.leavingIDs = append(nw.leavingIDs, id)
+	}
 }
 
-// Members returns the committed member ids, sorted.
+// Members returns the committed member ids, sorted (slot order is id
+// order).
 func (nw *Network) Members() []sim.NodeID {
-	var out []sim.NodeID
-	for _, s := range nw.supers {
-		out = append(out, s.members...)
+	out := make([]sim.NodeID, 0, nw.N())
+	for v, x := range nw.nodeSuper {
+		if x >= 0 {
+			out = append(out, sim.NodeID(v+1))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 func (nw *Network) indexMembers() {
-	nw.nodeSuper = make(map[sim.NodeID]int32, len(nw.nodeSuper))
+	for i := range nw.nodeSuper {
+		nw.nodeSuper[i] = -1
+	}
 	for x, s := range nw.supers {
-		sort.Slice(s.members, func(i, j int) bool { return s.members[i] < s.members[j] })
+		slices.Sort(s.members)
 		for _, id := range s.members {
-			nw.nodeSuper[id] = int32(x)
+			nw.nodeSuper[id-1] = int32(x)
 		}
 	}
 }
 
 // sortSupers keeps the label order invariant used by findLabel.
 func (nw *Network) sortSupers() {
-	sort.Slice(nw.supers, func(i, j int) bool { return nw.supers[i].label.Less(nw.supers[j].label) })
+	slices.SortFunc(nw.supers, func(a, b *super) int {
+		if a.label.Less(b.label) {
+			return -1
+		}
+		if b.label.Less(a.label) {
+			return 1
+		}
+		return 0
+	})
 }
 
 func (nw *Network) findLabel(l hypercube.Label) int {
@@ -508,17 +619,75 @@ func (nw *Network) findLabel(l hypercube.Label) int {
 }
 
 // ownerOf returns the supernode whose label is a prefix of the
-// dmax-bit virtual label w, or -1.
+// dmax-bit virtual label w, or -1. Backed by the per-epoch vidOwner
+// table (rebuilt by fillVidTables after any structural mutation).
 func (nw *Network) ownerOf(w uint32) int {
-	for d := nw.dmax; d >= 0; d-- {
-		if i := nw.findLabel(hypercube.MakeLabel(uint64(w), d)); i >= 0 {
-			return i
-		}
+	if int(w) < len(nw.vidOwner) {
+		return int(nw.vidOwner[w])
 	}
 	return -1
 }
 
-// prepareEpoch sets up the virtual-vertex sampling state.
+// fillVidTables rebuilds the dense virtual-vertex tables for the
+// current dmax: vidOwner maps every dmax-bit label to the deepest
+// supernode whose label is a prefix of it (the serial ownerOf search
+// order — supers are sorted by (dim, bits), so scanning in order lets
+// deeper labels overwrite shallower ones), and vidVirt maps it to the
+// owner's matching virt state, nil when the owner simulates no such
+// vertex (messages to it are dropped, as in the serial scan).
+func (nw *Network) fillVidTables() {
+	nVid := 1 << nw.dmax
+	if cap(nw.vidOwner) < nVid {
+		nw.vidOwner = make([]int32, nVid)
+		nw.vidVirt = make([]*virtState, nVid)
+		nw.vidShard = make([]uint8, nVid)
+		nw.deliverIdx = make([]int32, nVid)
+	}
+	nw.vidOwner = nw.vidOwner[:nVid]
+	nw.vidVirt = nw.vidVirt[:nVid]
+	nw.vidShard = nw.vidShard[:nVid]
+	nw.deliverIdx = nw.deliverIdx[:nVid]
+	for w := range nw.vidOwner {
+		nw.vidOwner[w] = -1
+		nw.vidVirt[w] = nil
+	}
+	for si, s := range nw.supers {
+		d := s.label.Dim()
+		if d > nw.dmax {
+			continue
+		}
+		base := uint32(s.label.Bits())
+		for k := 0; k < 1<<(nw.dmax-d); k++ {
+			nw.vidOwner[base|uint32(k)<<d] = int32(si)
+		}
+	}
+	for si, s := range nw.supers {
+		for _, vs := range s.virt {
+			if int(vs.w) < nVid && nw.vidOwner[vs.w] == int32(si) {
+				nw.vidVirt[vs.w] = vs
+			}
+		}
+	}
+	for w := 0; w < nw.shards; w++ {
+		lo, hi := sim.Chunk(nVid, nw.shards, w)
+		for x := lo; x < hi; x++ {
+			nw.vidShard[x] = uint8(w)
+		}
+	}
+	if cap(nw.supShard) < len(nw.supers) {
+		nw.supShard = make([]uint8, len(nw.supers))
+	}
+	nw.supShard = nw.supShard[:len(nw.supers)]
+	for w := 0; w < nw.shards; w++ {
+		lo, hi := sim.Chunk(len(nw.supers), nw.shards, w)
+		for x := lo; x < hi; x++ {
+			nw.supShard[x] = uint8(w)
+		}
+	}
+}
+
+// prepareEpoch sets up the virtual-vertex sampling state, recycling
+// the virt-state arenas of the previous epoch.
 func (nw *Network) prepareEpoch() {
 	_, nw.dmax = nw.DimRange()
 	nw.T = 0
@@ -539,90 +708,139 @@ func (nw *Network) prepareEpoch() {
 	if cSamp < 1 {
 		cSamp = 1
 	}
-	nw.mi = make([]int, nw.T+1)
+	if cap(nw.mi) < nw.T+1 {
+		nw.mi = make([]int, nw.T+1)
+	}
+	nw.mi = nw.mi[:nw.T+1]
 	for i := 0; i <= nw.T; i++ {
 		nw.mi[i] = int(math.Ceil(math.Pow(1+nw.cfg.Epsilon, float64(nw.T-i)) * cSamp * float64(nw.dmax)))
 	}
 	for _, s := range nw.supers {
+		nw.vsPool = append(nw.vsPool, s.virt...)
+		s.virt = s.virt[:0]
+	}
+	for _, s := range nw.supers {
 		own := 1 << (nw.dmax - s.label.Dim())
-		s.virt = make([]*virtState, own)
 		for k := 0; k < own; k++ {
-			s.virt[k] = &virtState{
-				w: uint32(s.label.Bits()) | uint32(k)<<s.label.Dim(),
-				M: make([][]uint32, nw.dmax),
+			var vs *virtState
+			if p := len(nw.vsPool); p > 0 {
+				vs = nw.vsPool[p-1]
+				nw.vsPool[p-1] = nil
+				nw.vsPool = nw.vsPool[:p-1]
+			} else {
+				vs = &virtState{}
 			}
+			vs.w = uint32(s.label.Bits()) | uint32(k)<<s.label.Dim()
+			if cap(vs.M) < nw.dmax {
+				vs.M = make([][]uint32, nw.dmax)
+			}
+			vs.M = vs.M[:nw.dmax]
+			for j := range vs.M {
+				vs.M[j] = vs.M[j][:0]
+			}
+			vs.samples = nil // a stalled final collect must see no sample
+			vs.reqs = vs.reqs[:0]
+			vs.resps = vs.resps[:0]
+			s.virt = append(s.virt, vs)
 		}
 	}
+	nw.fillVidTables()
 	nw.phase = 0
 }
 
 func (nw *Network) blocked(id sim.NodeID, ago int) bool {
-	m := nw.blockedHist[ago]
-	return m != nil && m[id]
+	return nw.blockedHist[ago].Test(int32(id - 1))
 }
 
-// leader returns the lowest-id available member of s, or 0.
-func (nw *Network) leader(s *super) sim.NodeID {
-	for _, id := range s.members {
-		if !nw.blocked(id, 0) && !nw.blocked(id, 1) {
-			return id
+// leadersRange computes each group's leader — the lowest-id available
+// member, or 0 when the group stalls — over the worker's supers range,
+// and resets the worker's accumulator for the round.
+func (nw *Network) leadersRange(w int) {
+	acc := &nw.acc[w]
+	acc.reset()
+	b0, b1 := nw.blockedHist[0], nw.blockedHist[1]
+	lo, hi := sim.Chunk(len(nw.supers), nw.shards, w)
+	for si := lo; si < hi; si++ {
+		var ld sim.NodeID
+		for _, id := range nw.supers[si].members {
+			v := int32(id - 1)
+			if !b0.Test(v) && !b1.Test(v) {
+				ld = id
+				break
+			}
+		}
+		nw.leaders[si] = ld
+		if ld == 0 {
+			acc.stalls++
 		}
 	}
-	return 0
 }
 
-// Step executes one round under the given blocked set.
+// Step executes one round under the given blocked set. The map is
+// copied into owned bitset storage; the caller may reuse or mutate it
+// freely after Step returns.
 func (nw *Network) Step(blocked map[sim.NodeID]bool) RoundReport {
 	nw.round++
 	defer nw.flushMetrics()
+
+	b2 := nw.blockedHist[2]
+	nw.blockedHist[2] = nw.blockedHist[1]
+	nw.blockedHist[1] = nw.blockedHist[0]
+	nw.blockedHist[0] = b2
+	b0 := b2
+	b0.Zero()
+	count := 0
+	for id, bl := range blocked {
+		if bl && id >= 1 && int(id) <= len(nw.nodeR) && !b0.Test(int32(id-1)) {
+			b0.Set(int32(id - 1))
+			count++
+		}
+	}
 	if nw.faults.Crash > 0 {
 		// Compose the crash schedule into this round's blocked set; see
 		// package supernode for the semantics (crashed ≈ blocked + stale
 		// view; restart recovers via the every-round S(x) broadcast).
-		merged := make(map[sim.NodeID]bool, len(blocked))
-		for id, b := range blocked {
-			if b {
-				merged[id] = true
+		for v, x := range nw.nodeSuper {
+			if x < 0 {
+				continue
 			}
-		}
-		for _, id := range nw.Members() {
+			id := sim.NodeID(v + 1)
 			if nw.crashedNow(id) {
-				merged[id] = true
-				if !nw.wasCrashed[id] {
-					nw.wasCrashed[id] = true
+				if !b0.Test(int32(v)) {
+					b0.Set(int32(v))
+					count++
+				}
+				if !nw.wasCrashed.Test(int32(v)) {
+					nw.wasCrashed.Set(int32(v))
 					nw.stats.Crashes++
 				}
-			} else if nw.wasCrashed[id] {
-				delete(nw.wasCrashed, id)
+			} else if nw.wasCrashed.Test(int32(v)) {
+				nw.wasCrashed.Unset(int32(v))
 				nw.stats.Restarts++
 			}
 		}
-		blocked = merged
 	}
-	nw.blockedHist[2] = nw.blockedHist[1]
-	nw.blockedHist[1] = nw.blockedHist[0]
-	nw.blockedHist[0] = blocked
+	nw.blockedCount = count
 
-	rep := RoundReport{Round: nw.round, Epoch: nw.epoch, Blocked: len(blocked), Connected: true}
+	rep := RoundReport{Round: nw.round, Epoch: nw.epoch, Blocked: count, Connected: true}
 
-	leaders := make([]sim.NodeID, len(nw.supers))
-	for i, s := range nw.supers {
-		leaders[i] = nw.leader(s)
-		if leaders[i] == 0 {
-			nw.stats.Stalls++
-			rep.Stalls++
-		}
+	nw.direct = nw.shards == 1 && nw.inj == nil
+
+	if cap(nw.leaders) < len(nw.supers) {
+		nw.leaders = make([]sim.NodeID, len(nw.supers))
 	}
+	nw.leaders = nw.leaders[:len(nw.supers)]
+	nw.pool.Run(nw, smLeaders)
 
 	samplingRounds := 2 * (2*nw.T + 1)
 	advance := true
 	switch {
 	case nw.phase < samplingRounds:
 		if nw.phase%2 == 0 {
-			nw.simulationRound(nw.phase/2, leaders)
+			nw.simulationRound(nw.phase / 2)
 		}
 	case nw.phase == samplingRounds:
-		nw.assignRound(leaders)
+		nw.assignRound()
 	case nw.phase == samplingRounds+5:
 		// Phases +1..+4 are the reorganization's gather/share and
 		// distribute rounds plus the organized split/merge (O(1)
@@ -639,25 +857,9 @@ func (nw *Network) Step(blocked map[sim.NodeID]bool) RoundReport {
 
 	// Every-round S(x) broadcast: an available node with an available
 	// group peer is up to date.
-	for _, s := range nw.supers {
-		for _, id := range s.members {
-			if nw.blocked(id, 0) || nw.blocked(id, 1) {
-				continue
-			}
-			if nw.viewEpoch[id] == nw.epoch {
-				continue
-			}
-			for _, u := range s.members {
-				// A partition window severs cross-component links: peers
-				// on the far side cannot deliver the S(x) state.
-				if u != id && !nw.blocked(u, 1) && !nw.blocked(u, 2) &&
-					!nw.faults.CutsEdge(nw.round, uint64(id), uint64(u)) {
-					nw.viewEpoch[id] = nw.epoch
-					break
-				}
-			}
-		}
-	}
+	nw.pool.Run(nw, smBroadcast)
+
+	rep.Stalls = nw.mergeCounters()
 
 	if advance {
 		nw.phase++
@@ -677,76 +879,143 @@ func (nw *Network) Step(blocked map[sim.NodeID]bool) RoundReport {
 	return rep
 }
 
+// broadcastRange applies the every-round S(x) broadcast over the
+// worker's supers range.
+func (nw *Network) broadcastRange(w int) {
+	b0, b1, b2 := nw.blockedHist[0], nw.blockedHist[1], nw.blockedHist[2]
+	cur := int32(nw.epoch)
+	lo, hi := sim.Chunk(len(nw.supers), nw.shards, w)
+	for si := lo; si < hi; si++ {
+		s := nw.supers[si]
+		for _, id := range s.members {
+			v := int32(id - 1)
+			if b0.Test(v) || b1.Test(v) {
+				continue
+			}
+			if nw.viewEpoch[v] == cur {
+				continue
+			}
+			for _, u := range s.members {
+				// A partition window severs cross-component links: peers
+				// on the far side cannot deliver the S(x) state.
+				if u != id && !b1.Test(int32(u-1)) && !b2.Test(int32(u-1)) &&
+					!nw.faults.CutsEdge(nw.round, uint64(id), uint64(u)) {
+					nw.viewEpoch[v] = cur
+					break
+				}
+			}
+		}
+	}
+}
+
 // simulationRound advances primitive round pr of the modified
 // Algorithm 2 for every virtual vertex of every supernode with an
-// available leader.
-func (nw *Network) simulationRound(pr int, leaders []sim.NodeID) {
-	out := make(map[uint32]*delivery)
-	get := func(w uint32) *delivery {
-		dv := out[w]
-		if dv == nil {
-			dv = &delivery{}
-			out[w] = dv
+// available leader: a compute phase over supers and a deliver phase
+// over the virtual-vertex space.
+func (nw *Network) simulationRound(pr int) {
+	nw.simPR = pr
+	if nw.direct {
+		// Clear leaderless supers' virtual queues before generation
+		// (the outbox path truncates inside compute, before deliver;
+		// see supernode.simulationRound).
+		for si, s := range nw.supers {
+			if nw.leaders[si] == 0 {
+				for _, vs := range s.virt {
+					vs.reqs = vs.reqs[:0]
+					vs.resps = vs.resps[:0]
+				}
+			}
 		}
-		return dv
+		nw.pool.Run(nw, smSimCompute)
+		return
 	}
-	for si, s := range nw.supers {
-		if leaders[si] == 0 {
-			for _, vs := range s.virt {
-				vs.reqs = nil
-				vs.resps = nil
+	nw.pool.Run(nw, smSimCompute)
+	nw.pool.Run(nw, smSimDeliver)
+}
+
+func (nw *Network) simComputeRange(w int) {
+	acc := &nw.acc[w]
+	lo, hi := sim.Chunk(len(nw.supers), nw.shards, w)
+	for si := lo; si < hi; si++ {
+		s := nw.supers[si]
+		if nw.leaders[si] == 0 {
+			if !nw.direct { // direct mode truncated before generation
+				for _, vs := range s.virt {
+					vs.reqs = vs.reqs[:0]
+					vs.resps = vs.resps[:0]
+				}
 			}
 			continue
 		}
-		r := nw.nodeR[leaders[si]]
+		r := &nw.nodeR[nw.leaders[si]-1]
 		for _, vs := range s.virt {
-			nw.virtRound(vs, pr, r, get)
+			nw.virtRound(vs, nw.simPR, r, acc)
 		}
 	}
-	for w, dv := range out {
-		oi := nw.ownerOf(w)
-		if oi < 0 {
-			continue
+}
+
+// extract draws a uniform element from vs.M[j-1] (1-indexed j), moving
+// the last element into the hole.
+func (nw *Network) extract(vs *virtState, j int, r *rng.RNG, acc *smAcc) uint32 {
+	list := vs.M[j-1]
+	if len(list) == 0 {
+		acc.sampleFails++
+		return vs.w
+	}
+	i := r.Intn(len(list))
+	v := list[i]
+	list[i] = list[len(list)-1]
+	vs.M[j-1] = list[:len(list)-1]
+	return v
+}
+
+// sendRequests queues iteration i's requests from vs into the worker's
+// per-target-shard outboxes, in generation order.
+func (nw *Network) sendRequests(vs *virtState, i int, r *rng.RNG, acc *smAcc) {
+	d := nw.dmax
+	step := 1 << i
+	half := step / 2
+	if nw.direct {
+		// Direct path: extract() inlined, requests land on the target
+		// virtual vertex immediately (generation order = serial
+		// per-target arrival order with one worker). Unowned targets
+		// drop here exactly as the deliver merge would.
+		for j := 1; j <= d; j += step {
+			if j+half > d {
+				continue // block complete; list carries over
+			}
+			jw := int16(j)
+			for k := 0; k < nw.mi[i]; k++ {
+				list := vs.M[j-1]
+				target := vs.w
+				if n := uint64(len(list)); n == 0 {
+					acc.sampleFails++
+				} else {
+					// r.Intn(n) with the Lemire fast path inlined.
+					hi, lo := bits.Mul64(r.Uint64(), n)
+					if lo < n {
+						hi = r.Uint64nTail(hi, lo, n)
+					}
+					target = list[hi]
+					list[hi] = list[n-1]
+					vs.M[j-1] = list[:n-1]
+				}
+				if tv := nw.vidVirt[target]; tv != nil {
+					tv.reqs = append(tv.reqs, vReq{from: vs.w, j: jw})
+				}
+			}
+			acc.msgs += int64(nw.mi[i])
 		}
-		for _, vs := range nw.supers[oi].virt {
-			if vs.w != w {
-				continue
-			}
-			if nw.inj == nil {
-				vs.reqs = append(vs.reqs, dv.reqs...)
-				vs.resps = append(vs.resps, dv.resps...)
-				continue
-			}
-			// Fault injection at the delivery merge. Each entry's fate is
-			// a pure function of (round, endpoints, queue index): dv.reqs/
-			// dv.resps build order is deterministic (supers are scanned in
-			// label order), and each virtual vertex receives from exactly
-			// one dv, so the outcome is independent of this map's
-			// iteration order. Responses offset the from-id past the
-			// 32-bit virtual-label space to keep their hash stream
-			// disjoint from requests.
-			for idx, rq := range dv.reqs {
-				switch nw.inj.CopiesAt(nw.round, uint64(rq.from)+1, uint64(w)+1, idx) {
-				case 0:
-					nw.stats.FaultDrops++
-				case 1:
-					vs.reqs = append(vs.reqs, rq)
-				default:
-					nw.stats.FaultDups++
-					vs.reqs = append(vs.reqs, rq, rq)
-				}
-			}
-			for idx, rp := range dv.resps {
-				switch nw.inj.CopiesAt(nw.round, uint64(rp.v)+1+(1<<32), uint64(w)+1, idx) {
-				case 0:
-					nw.stats.FaultDrops++
-				case 1:
-					vs.resps = append(vs.resps, rp)
-				default:
-					nw.stats.FaultDups++
-					vs.resps = append(vs.resps, rp, rp)
-				}
-			}
+		return
+	}
+	for j := 1; j <= d; j += step {
+		if j+half > d {
+			continue // block complete; list carries over
+		}
+		for k := 0; k < nw.mi[i]; k++ {
+			target := nw.extract(vs, j, r, acc)
+			ts := nw.vidShard[target]
+			acc.outReq[ts] = append(acc.outReq[ts], smWireReq{target: target, from: vs.w, j: int16(j)})
 		}
 	}
 }
@@ -755,77 +1024,170 @@ func (nw *Network) simulationRound(pr int, leaders []sim.NodeID) {
 // Ragged variant: at iteration i, list j (j ≡ 1 mod 2^i, 1-indexed) is
 // extended from list j+2^{i-1} when that index is ≤ dmax; otherwise
 // the block is already complete and the list carries over untouched.
-func (nw *Network) virtRound(vs *virtState, pr int, r *rng.RNG, get func(uint32) *delivery) {
+func (nw *Network) virtRound(vs *virtState, pr int, r *rng.RNG, acc *smAcc) {
 	d := nw.dmax
-	extract := func(j int) uint32 {
-		list := vs.M[j-1]
-		if len(list) == 0 {
-			nw.stats.SampleFails++
-			return vs.w
-		}
-		i := r.Intn(len(list))
-		v := list[i]
-		list[i] = list[len(list)-1]
-		vs.M[j-1] = list[:len(list)-1]
-		return v
-	}
-	sendRequests := func(i int) {
-		step := 1 << i
-		half := step / 2
-		for j := 1; j <= d; j += step {
-			if j+half > d {
-				continue // block complete; list carries over
-			}
-			for k := 0; k < nw.mi[i]; k++ {
-				target := extract(j)
-				get(target).reqs = append(get(target).reqs, vReq{from: vs.w, j: int16(j)})
-			}
-		}
-	}
 	switch {
 	case pr == 0:
+		// Branchless coin fill: Coin() is the low bit of one raw draw,
+		// so the entry is w with bit j−1 XOR-masked by that bit — same
+		// draw sequence, no data-dependent branch, stores by index.
+		m0 := nw.mi[0]
 		for j := 1; j <= d; j++ {
-			list := make([]uint32, 0, nw.mi[0])
-			for k := 0; k < nw.mi[0]; k++ {
-				if r.Coin() {
-					list = append(list, vs.w^(1<<(j-1)))
-				} else {
-					list = append(list, vs.w)
-				}
+			list := vs.M[j-1]
+			if cap(list) < m0 {
+				list = make([]uint32, m0)
+			}
+			list = list[:m0]
+			bit := uint32(1) << (j - 1)
+			for k := 0; k < m0; k++ {
+				list[k] = vs.w ^ (bit & -uint32(r.Uint64()&1))
 			}
 			vs.M[j-1] = list
 		}
-		sendRequests(1)
+		nw.sendRequests(vs, 1, r, acc)
 	case pr%2 == 1:
 		i := (pr + 1) / 2
 		half := 1 << (i - 1)
-		for _, rq := range vs.reqs {
-			v := extract(int(rq.j) + half)
-			get(rq.from).resps = append(get(rq.from).resps, vResp{v: v, j: rq.j})
+		if nw.direct {
+			for _, rq := range vs.reqs {
+				mj := int(rq.j) + half - 1
+				list := vs.M[mj]
+				v := vs.w
+				if n := uint64(len(list)); n == 0 {
+					acc.sampleFails++
+				} else {
+					// r.Intn(n) with the Lemire fast path inlined.
+					hi, lo := bits.Mul64(r.Uint64(), n)
+					if lo < n {
+						hi = r.Uint64nTail(hi, lo, n)
+					}
+					v = list[hi]
+					list[hi] = list[n-1]
+					vs.M[mj] = list[:n-1]
+				}
+				if tv := nw.vidVirt[rq.from]; tv != nil {
+					tv.resps = append(tv.resps, vResp{v: v, j: rq.j})
+				}
+			}
+			acc.msgs += int64(len(vs.reqs))
+		} else {
+			for _, rq := range vs.reqs {
+				v := nw.extract(vs, int(rq.j)+half, r, acc)
+				ts := nw.vidShard[rq.from]
+				acc.outResp[ts] = append(acc.outResp[ts], smWireResp{target: rq.from, v: v, j: rq.j})
+			}
 		}
-		vs.reqs = nil
+		vs.reqs = vs.reqs[:0]
 	default:
 		i := pr / 2
 		step := 1 << i
 		half := step / 2
-		// Refill exactly the lists that sent requests this iteration.
+		// Refill exactly the lists that sent requests this iteration,
+		// with per-list cursors (count, reslice once, place by index).
+		var cnt, cur [64]int32
+		for _, rp := range vs.resps {
+			cnt[rp.j]++
+		}
 		for j := 1; j <= d; j += step {
 			if j+half <= d {
-				vs.M[j-1] = vs.M[j-1][:0]
+				list := vs.M[j-1]
+				n := int(cnt[j])
+				if cap(list) < n {
+					list = make([]uint32, n)
+				}
+				vs.M[j-1] = list[:n]
 			}
 		}
 		for _, rp := range vs.resps {
-			vs.M[rp.j-1] = append(vs.M[rp.j-1], rp.v)
+			vs.M[rp.j-1][cur[rp.j]] = rp.v
+			cur[rp.j]++
 		}
-		vs.resps = nil
+		vs.resps = vs.resps[:0]
 		if i < nw.T {
-			sendRequests(i + 1)
+			nw.sendRequests(vs, i+1, r, acc)
 		} else {
 			final := vs.M[0]
-			r.Shuffle(len(final), func(a, b int) {
-				final[a], final[b] = final[b], final[a]
-			})
+			rng.ShuffleSlice(r, final)
 			vs.samples = final
+		}
+	}
+}
+
+// simDeliverRange merges this round's messages into the queues of the
+// worker's virtual vertices (the vid range it owns), draining source
+// workers in worker order. With a fault injector attached, each
+// entry's fate is a pure function of (round, endpoints, per-vid queue
+// index) — identical to the serial merge; requests and responses keep
+// separate index spaces. Responses offset the from-id past the 32-bit
+// virtual-label space to keep their hash stream disjoint from
+// requests.
+func (nw *Network) simDeliverRange(w int) {
+	acc := &nw.acc[w]
+	for sw := range nw.acc {
+		acc.msgs += int64(len(nw.acc[sw].outReq[w]) + len(nw.acc[sw].outResp[w]))
+	}
+	if nw.inj == nil {
+		for sw := range nw.acc {
+			for _, m := range nw.acc[sw].outReq[w] {
+				if vs := nw.vidVirt[m.target]; vs != nil {
+					vs.reqs = append(vs.reqs, vReq{from: m.from, j: m.j})
+				}
+			}
+			for _, m := range nw.acc[sw].outResp[w] {
+				if vs := nw.vidVirt[m.target]; vs != nil {
+					vs.resps = append(vs.resps, vResp{v: m.v, j: m.j})
+				}
+			}
+		}
+		return
+	}
+	nVid := 1 << nw.dmax
+	lo, hi := sim.Chunk(nVid, nw.shards, w)
+	idx := nw.deliverIdx
+	for x := lo; x < hi; x++ {
+		idx[x] = 0
+	}
+	for sw := range nw.acc {
+		for _, m := range nw.acc[sw].outReq[w] {
+			vs := nw.vidVirt[m.target]
+			if vs == nil {
+				continue
+			}
+			k := idx[m.target]
+			idx[m.target] = k + 1
+			rq := vReq{from: m.from, j: m.j}
+			switch nw.inj.CopiesAt(nw.round, uint64(m.from)+1, uint64(m.target)+1, int(k)) {
+			case 0:
+				acc.faultDrops++
+			case 1:
+				vs.reqs = append(vs.reqs, rq)
+			default:
+				acc.faultDups++
+				vs.reqs = append(vs.reqs, rq, rq)
+			}
+		}
+	}
+	for x := lo; x < hi; x++ {
+		idx[x] = 0
+	}
+	for sw := range nw.acc {
+		for _, m := range nw.acc[sw].outResp[w] {
+			vs := nw.vidVirt[m.target]
+			if vs == nil {
+				continue
+			}
+			k := idx[m.target]
+			idx[m.target] = k + 1
+			rp := vResp{v: m.v, j: m.j}
+			switch nw.inj.CopiesAt(nw.round, uint64(m.v)+1+(1<<32), uint64(m.target)+1, int(k)) {
+			case 0:
+				acc.faultDrops++
+			case 1:
+				vs.resps = append(vs.resps, rp)
+			default:
+				acc.faultDups++
+				vs.resps = append(vs.resps, rp, rp)
+			}
 		}
 	}
 }
@@ -833,70 +1195,109 @@ func (nw *Network) virtRound(vs *virtState, pr int, r *rng.RNG, get func(uint32)
 // assignRound reorganizes: each group's members (stayers plus pending
 // joiners, sorted by id) are assigned to the owners of the sampled
 // virtual vertices, i.e. to supernode y with probability 2^{−d(y)}.
-func (nw *Network) assignRound(leaders []sim.NodeID) {
-	newGroups := make([][]sim.NodeID, len(nw.supers))
-	for si, s := range nw.supers {
-		assignees := make([]sim.NodeID, 0, len(s.members)+len(s.pending))
+func (nw *Network) assignRound() {
+	if cap(nw.pendingAssign) < len(nw.supers) {
+		grown := make([][]sim.NodeID, len(nw.supers))
+		copy(grown, nw.pendingAssign[:cap(nw.pendingAssign)])
+		nw.pendingAssign = grown
+	}
+	nw.pendingAssign = nw.pendingAssign[:len(nw.supers)]
+	nw.pool.Run(nw, smAssign)
+	nw.pool.Run(nw, smAssignDeliver)
+	nw.pendingValid = true
+}
+
+func (nw *Network) assignRange(w int) {
+	acc := &nw.acc[w]
+	lo, hi := sim.Chunk(len(nw.supers), nw.shards, w)
+	for si := lo; si < hi; si++ {
+		s := nw.supers[si]
+		assignees := acc.assignees[:0]
 		for _, id := range s.members {
-			if !s.leaving[id] {
+			if !nw.leaving.Test(int32(id - 1)) {
 				assignees = append(assignees, id)
 			}
 		}
 		assignees = append(assignees, s.pending...)
-		if leaders[si] == 0 {
+		acc.assignees = assignees
+		if nw.leaders[si] == 0 {
 			// Stalled group: cannot reorganize; everyone stays
 			// (already counted as a stall).
-			newGroups[si] = append(newGroups[si], assignees...)
+			ts := nw.supShard[si]
+			for _, id := range assignees {
+				acc.outAsg[ts] = append(acc.outAsg[ts], smAsg{target: int32(si), id: id})
+			}
 			continue
 		}
-		r := nw.nodeR[leaders[si]]
-		var samples []uint32
+		r := &nw.nodeR[nw.leaders[si]-1]
+		samples := acc.samples[:0]
 		for _, vs := range s.virt {
 			samples = append(samples, vs.samples...)
 		}
-		r.Shuffle(len(samples), func(a, b int) {
-			samples[a], samples[b] = samples[b], samples[a]
-		})
+		acc.samples = samples
+		rng.ShuffleSlice(r, samples)
 		for i, id := range assignees {
-			var w uint32
+			var vw uint32
 			switch {
 			case len(samples) == 0:
-				nw.stats.AssignFails++
-				w = uint32(s.label.Bits())
+				acc.assignFails++
+				vw = uint32(s.label.Bits())
 			case i < len(samples):
-				w = samples[i]
+				vw = samples[i]
 			default:
-				nw.stats.AssignFails++
-				w = samples[i%len(samples)]
+				acc.assignFails++
+				vw = samples[i%len(samples)]
 			}
-			oi := nw.ownerOf(w)
+			oi := nw.ownerOf(vw)
 			if oi < 0 {
-				nw.stats.AssignFails++
+				acc.assignFails++
 				oi = si
 			}
-			newGroups[oi] = append(newGroups[oi], id)
+			acc.outAsg[nw.supShard[oi]] = append(acc.outAsg[nw.supShard[oi]], smAsg{target: int32(oi), id: id})
 		}
 	}
-	nw.pendingAssign = newGroups
+}
+
+// assignDeliverRange collects the worker's target groups' new members
+// into the pending-assignment arena, in the serial append order
+// (source supers ascending).
+func (nw *Network) assignDeliverRange(w int) {
+	lo, hi := sim.Chunk(len(nw.supers), nw.shards, w)
+	for si := lo; si < hi; si++ {
+		nw.pendingAssign[si] = nw.pendingAssign[si][:0]
+	}
+	acc := &nw.acc[w]
+	for sw := range nw.acc {
+		acc.msgs += int64(len(nw.acc[sw].outAsg[w]))
+		for _, e := range nw.acc[sw].outAsg[w] {
+			nw.pendingAssign[e.target] = append(nw.pendingAssign[e.target], e.id)
+		}
+	}
 }
 
 // commitRound installs the reorganized groups; joiners become members
-// and leavers depart.
+// and leavers depart. The member arenas swap with the pending arenas,
+// so churn-free commits allocate nothing.
 func (nw *Network) commitRound() {
-	if nw.pendingAssign == nil {
+	if !nw.pendingValid {
 		return
 	}
-	for si, s := range nw.supers {
-		// Remove departed leavers' bookkeeping.
-		for id := range s.leaving {
-			delete(nw.nodeR, id)
-			delete(nw.viewEpoch, id)
-		}
-		s.members = nw.pendingAssign[si]
-		s.pending = nil
-		s.leaving = make(map[sim.NodeID]bool)
+	for _, id := range nw.leavingIDs {
+		// Departed: the slot goes dead at the reindex below (it was
+		// excluded from every new group); clear the departure mark.
+		nw.leaving.Unset(int32(id - 1))
 	}
-	nw.pendingAssign = nil
+	nw.leavingIDs = nw.leavingIDs[:0]
+	for si, s := range nw.supers {
+		s.members, nw.pendingAssign[si] = nw.pendingAssign[si], s.members
+		s.pending = s.pending[:0]
+		// Salvage the virt arenas now: the sampling phase is over, and
+		// normalize may discard this super struct entirely on a
+		// split/merge — recycling here keeps the pool whole.
+		nw.vsPool = append(nw.vsPool, s.virt...)
+		s.virt = s.virt[:0]
+	}
+	nw.pendingValid = false
 	nw.epoch++
 	nw.stats.Epochs++
 	nw.indexMembers()
@@ -919,26 +1320,22 @@ func (nw *Network) normalize() {
 			if len(s.members)+len(s.pending) > 2*c*d && d < 60 {
 				nw.stats.Splits++
 				changed = true
-				a := &super{label: s.label.Child(0), leaving: make(map[sim.NodeID]bool)}
-				b := &super{label: s.label.Child(1), leaving: make(map[sim.NodeID]bool)}
+				a := &super{label: s.label.Child(0)}
+				b := &super{label: s.label.Child(1)}
 				var r *rng.RNG
 				if len(s.members) > 0 {
-					r = nw.nodeR[s.members[0]]
+					r = &nw.nodeR[s.members[0]-1]
 				} else {
 					r = nw.r
 				}
 				ms := append([]sim.NodeID(nil), s.members...)
-				r.Shuffle(len(ms), func(x, y int) { ms[x], ms[y] = ms[y], ms[x] })
+				rng.ShuffleSlice(r, ms)
 				a.members = append(a.members, ms[:len(ms)/2]...)
 				b.members = append(b.members, ms[len(ms)/2:]...)
 				ps := append([]sim.NodeID(nil), s.pending...)
-				r.Shuffle(len(ps), func(x, y int) { ps[x], ps[y] = ps[y], ps[x] })
+				rng.ShuffleSlice(r, ps)
 				a.pending = append(a.pending, ps[:len(ps)/2]...)
 				b.pending = append(b.pending, ps[len(ps)/2:]...)
-				for id := range s.leaving {
-					a.leaving[id] = true
-					b.leaving[id] = true
-				}
 				next = append(next, a, b)
 			} else {
 				next = append(next, s)
@@ -1001,13 +1398,6 @@ func (nw *Network) mergeInto(i, j int) {
 		label:   a.label.Parent(),
 		members: append(append([]sim.NodeID(nil), a.members...), b.members...),
 		pending: append(append([]sim.NodeID(nil), a.pending...), b.pending...),
-		leaving: make(map[sim.NodeID]bool),
-	}
-	for id := range a.leaving {
-		parent.leaving[id] = true
-	}
-	for id := range b.leaving {
-		parent.leaving[id] = true
 	}
 	var next []*super
 	for k, s := range nw.supers {
@@ -1022,15 +1412,12 @@ func (nw *Network) mergeInto(i, j int) {
 // mergeSubtree collapses every supernode whose label has the given
 // prefix into a single supernode with that label.
 func (nw *Network) mergeSubtree(prefix hypercube.Label) {
-	acc := &super{label: prefix, leaving: make(map[sim.NodeID]bool)}
+	acc := &super{label: prefix}
 	var next []*super
 	for _, s := range nw.supers {
 		if prefix.IsAncestorOf(s.label) || prefix.Equal(s.label) {
 			acc.members = append(acc.members, s.members...)
 			acc.pending = append(acc.pending, s.pending...)
-			for id := range s.leaving {
-				acc.leaving[id] = true
-			}
 		} else {
 			next = append(next, s)
 		}
@@ -1039,41 +1426,81 @@ func (nw *Network) mergeSubtree(prefix hypercube.Label) {
 	nw.sortSupers()
 }
 
+// histAt returns the recorded topology of the given epoch (which must
+// lie in the ring's [histBase, histBase+histLen) window).
+func (nw *Network) histAt(epoch int) *histEntry {
+	return &nw.hist[(nw.histHead+epoch-nw.histBase)%len(nw.hist)]
+}
+
 // commitHistory records the committed topology for the connectivity
-// measurement and the adversary snapshots.
+// measurement and the adversary snapshots, then prunes ring entries no
+// committed member's view still references.
 func (nw *Network) commitHistory() {
-	groups := make([][]sim.NodeID, len(nw.supers))
-	nodeGroup := make(map[sim.NodeID]int32, len(nw.nodeSuper))
-	for x, s := range nw.supers {
-		groups[x] = append([]sim.NodeID(nil), s.members...)
-		for _, id := range s.members {
-			nodeGroup[id] = int32(x)
-		}
+	var e histEntry
+	if k := len(nw.histFree); k > 0 {
+		e = nw.histFree[k-1]
+		nw.histFree = nw.histFree[:k-1]
 	}
-	adj := make([][]int32, len(nw.supers))
+	nS := len(nw.supers)
+	if cap(e.groups) < nS {
+		e.groups = make([][]sim.NodeID, nS)
+		e.adj = make([][]int32, nS)
+	}
+	e.groups = e.groups[:nS]
+	e.adj = e.adj[:nS]
+	for x, s := range nw.supers {
+		e.groups[x] = append(e.groups[x][:0], s.members...)
+	}
+	e.nodeGroup = append(e.nodeGroup[:0], nw.nodeSuper...)
 	for i := range nw.supers {
+		e.adj[i] = e.adj[i][:0]
 		for j := range nw.supers {
 			if i != j && hypercube.Connected(nw.supers[i].label, nw.supers[j].label) {
-				adj[i] = append(adj[i], int32(j))
+				e.adj[i] = append(e.adj[i], int32(j))
 			}
 		}
 	}
-	nw.history = append(nw.history, histEntry{groups: groups, adj: adj, nodeGroup: nodeGroup})
-	for id := range nw.nodeSuper {
-		if _, ok := nw.viewEpoch[id]; !ok {
-			nw.viewEpoch[id] = nw.epoch
+	if nw.histLen == len(nw.hist) {
+		grown := make([]histEntry, 2*max(len(nw.hist), 2))
+		for i := 0; i < nw.histLen; i++ {
+			grown[i] = nw.hist[(nw.histHead+i)%len(nw.hist)]
 		}
+		nw.hist = grown
+		nw.histHead = 0
+	}
+	nw.hist[(nw.histHead+nw.histLen)%len(nw.hist)] = e
+	nw.histLen++
+
+	minE := nw.epoch
+	for v, x := range nw.nodeSuper {
+		if x >= 0 && int(nw.viewEpoch[v]) < minE {
+			minE = int(nw.viewEpoch[v])
+		}
+	}
+	for nw.histBase < minE && nw.histLen > 1 {
+		old := nw.hist[nw.histHead]
+		nw.hist[nw.histHead] = histEntry{}
+		nw.histFree = append(nw.histFree, old)
+		nw.histHead = (nw.histHead + 1) % len(nw.hist)
+		nw.histLen--
+		nw.histBase++
 	}
 }
 
 // Snapshot publishes the current topology at supernode granularity.
+// Groups and adjacency are copied: history arenas are recycled, and a
+// dos.Buffer may retain the snapshot past this epoch's window.
 func (nw *Network) Snapshot() *dos.Snapshot {
-	h := nw.history[len(nw.history)-1]
+	h := nw.histAt(nw.epoch)
 	groups := make([][]sim.NodeID, len(h.groups))
 	for i, g := range h.groups {
 		groups[i] = append([]sim.NodeID(nil), g...)
 	}
-	return &dos.Snapshot{Round: nw.round, Groups: groups, Adj: h.adj}
+	adj := make([][]int32, len(h.adj))
+	for i, a := range h.adj {
+		adj[i] = append([]int32(nil), a...)
+	}
+	return &dos.Snapshot{Round: nw.round, Groups: groups, Adj: adj}
 }
 
 // ConnectedNow reports whether the non-blocked committed members form a
@@ -1114,13 +1541,19 @@ func (nw *Network) knowledgeGraph() (*graph.Graph, []bool, []sim.NodeID) {
 		}
 	}
 	for i, id := range members {
-		e := nw.viewEpoch[id]
-		if e >= len(nw.history) {
-			e = len(nw.history) - 1
+		e := int(nw.viewEpoch[id-1])
+		if e > nw.epoch {
+			e = nw.epoch
 		}
-		h := nw.history[e]
-		x, ok := h.nodeGroup[id]
-		if !ok {
+		if e < nw.histBase {
+			e = nw.histBase
+		}
+		h := nw.histAt(e)
+		if int(id) > len(h.nodeGroup) {
+			continue
+		}
+		x := h.nodeGroup[id-1]
+		if x < 0 {
 			continue
 		}
 		link := func(group int32) {

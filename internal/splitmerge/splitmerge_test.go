@@ -187,7 +187,7 @@ func TestChurnAndDoSCombined(t *testing.T) {
 func TestJoinLeaveBookkeeping(t *testing.T) {
 	nw := New(Config{Seed: 7, N0: 256, MeasureEvery: -1})
 	id := nw.Join(nw.Members()[0])
-	if nw.nodeSuper[id] != 0 && func() bool { _, ok := nw.nodeSuper[id]; return ok }() {
+	if nw.superOf(id) >= 0 {
 		t.Fatal("joiner already a committed member")
 	}
 	nw.Leave(nw.Members()[5])
@@ -196,7 +196,7 @@ func TestJoinLeaveBookkeeping(t *testing.T) {
 	if nw.N() != nBefore {
 		t.Fatalf("one join + one leave changed n: %d -> %d", nBefore, nw.N())
 	}
-	if _, ok := nw.nodeSuper[id]; !ok {
+	if nw.superOf(id) < 0 {
 		t.Fatal("joiner not committed after the epoch")
 	}
 }

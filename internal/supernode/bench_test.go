@@ -1,0 +1,70 @@
+package supernode
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchStep drives full epochs of Step with no adversary — the steady
+// state the §5 scale overhaul targets. MeasureEvery is disabled: the
+// connectivity measurement is a diagnostic, not part of the protocol
+// round, and it would dominate at large n.
+func benchStep(b *testing.B, n, shards int) {
+	nw := New(Config{Seed: 1, N: n, MeasureEvery: -1, Shards: shards})
+	defer nw.Close()
+	// Warm one full epoch so every scratch arena reaches steady state.
+	for i := 0; i < nw.EpochRounds(); i++ {
+		nw.Step(nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Step(nil)
+	}
+	b.StopTimer()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapInuse)/1e6, "heapMB")
+}
+
+func BenchmarkStep(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchStep(b, n, 1) })
+	}
+}
+
+// BenchmarkStepSharded exercises the intra-round worker partition; on a
+// multi-core machine the rounds speed up, on any machine the tables
+// stay byte-identical (see identity tests).
+func BenchmarkStepSharded(b *testing.B) {
+	for _, shards := range []int{2, 4} {
+		b.Run(fmt.Sprintf("n=100000/shards=%d", shards), func(b *testing.B) {
+			benchStep(b, 100000, shards)
+		})
+	}
+}
+
+// BenchmarkStep1M is the full-epoch memory-budget row (run explicitly;
+// one epoch is 18 rounds, so -benchtime 18x covers it). At n=1M the
+// default Epsilon=1 sampling budget would be exponentially oversized;
+// the S3 scale experiment tightens the slack to ε=0.25, mirrored here.
+func BenchmarkStep1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("n=1M row is for explicit -bench runs")
+	}
+	nw := New(Config{Seed: 1, N: 1000000, MeasureEvery: -1, Epsilon: 0.25})
+	defer nw.Close()
+	for i := 0; i < nw.EpochRounds(); i++ {
+		nw.Step(nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Step(nil)
+	}
+	b.StopTimer()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapInuse)/1e6, "heapMB")
+}

@@ -2,9 +2,14 @@ package supernode
 
 import (
 	"fmt"
+	"slices"
 
 	"overlaynet/internal/sim"
 )
+
+// sortIDs keeps the repair paths on the same ordering the round
+// pipeline uses (slices.Sort over unique ids).
+func sortIDs(ids []sim.NodeID) { slices.Sort(ids) }
 
 // This file is the §5 network's self-healing surface: deterministic
 // corruption of the replicated group state (fault.Corrupter) and a
@@ -85,7 +90,7 @@ func (nw *Network) RepairGroups() int {
 		case len(where[v]) == 0:
 			x := int(nw.nodeGroup[v])
 			if x < 0 || x >= nw.nSuper {
-				x = int(nw.histNodeGroup[len(nw.histNodeGroup)-1][v])
+				x = int(nw.histAt(nw.epoch).nodeGroup[v])
 			}
 			nw.groups[x] = append(nw.groups[x], id)
 			sortIDs(nw.groups[x])

@@ -1,0 +1,144 @@
+package supernode
+
+// Sharded execution of the §5 round pipeline. Every per-group and
+// per-node loop of Step is partitioned into contiguous index ranges
+// (sim.Chunk) driven through a persistent sim.Pool. The determinism
+// contract mirrors the kernel's shard workers:
+//
+//   - compute phases: worker w owns supernodes [Chunk(nSuper, S, w));
+//     all messages it generates go into per-worker, per-target-shard
+//     outboxes in generation order (x ascending, then j, then k —
+//     exactly the serial order, because x ranges are contiguous);
+//   - deliver phases: worker w owns the *target* supernodes of its
+//     range and drains the outboxes of source workers 0..S-1 in worker
+//     order, which reproduces the serial per-target queue order and
+//     the serial fault-injection index for every message;
+//   - counters accumulate into per-worker supAcc cells (cache-line
+//     padded) and merge into Stats in worker order after the round.
+//
+// The result is byte-identical to the serial execution at any shard
+// count: identical RNG consumption, identical queue contents,
+// identical fault-injection tuples, identical stats totals.
+
+import "overlaynet/internal/sim"
+
+// Phase identifiers dispatched through RunShard.
+const (
+	phaseLeaders = iota
+	phaseSimCompute
+	phaseSimDeliver
+	phaseAssign
+	phaseAssignDeliver
+	phaseCommitIndex
+	phaseBroadcast
+	phaseWorkState
+	phaseWorkMax
+)
+
+// wireReq is a request in flight to a target supernode's queue.
+type wireReq struct {
+	target int32
+	from   int32
+	j      int16
+}
+
+// wireResp is a response in flight; v is the sampled payload (the
+// fault-injection tuple derives its from-id from v, offset by nSuper,
+// matching the serial merge).
+type wireResp struct {
+	target int32
+	v      int32
+	j      int16
+}
+
+// asgEntry routes one node id to its sampled target group.
+type asgEntry struct {
+	target int32
+	id     sim.NodeID
+}
+
+// supAcc is one worker's round-local state: bucketed outboxes indexed
+// by target shard, counter deltas, and scratch. Padded so adjacent
+// workers never share a cache line.
+type supAcc struct {
+	outReq  [][]wireReq
+	outResp [][]wireResp
+	outAsg  [][]asgEntry
+	avail   []int32 // RandomLeader scratch
+
+	stalls      int
+	sampleFails int
+	assignFails int
+	emptyGroups int
+	faultDrops  int
+	faultDups   int
+	msgs        int64 // supernode messages drained this round
+
+	stateBits int64 // phaseWorkState partial max
+	maxBits   int64 // phaseWorkMax partial max
+
+	_ [64]byte
+}
+
+// reset truncates the outboxes and zeroes the counter deltas, keeping
+// every backing array. Called by each worker on its own cell at the
+// start of a round (phaseLeaders), so steady-state rounds allocate
+// nothing.
+func (a *supAcc) reset() {
+	for i := range a.outReq {
+		a.outReq[i] = a.outReq[i][:0]
+		a.outResp[i] = a.outResp[i][:0]
+		a.outAsg[i] = a.outAsg[i][:0]
+	}
+	a.stalls = 0
+	a.sampleFails = 0
+	a.assignFails = 0
+	a.emptyGroups = 0
+	a.faultDrops = 0
+	a.faultDups = 0
+	a.msgs = 0
+}
+
+// RunShard dispatches one worker's share of a phase. It satisfies
+// sim.ShardRunner and is not meant to be called by package users.
+func (nw *Network) RunShard(phase, w int) {
+	switch phase {
+	case phaseLeaders:
+		nw.leadersRange(w)
+	case phaseSimCompute:
+		nw.simComputeRange(w)
+	case phaseSimDeliver:
+		nw.simDeliverRange(w)
+	case phaseAssign:
+		nw.assignRange(w)
+	case phaseAssignDeliver:
+		nw.assignDeliverRange(w)
+	case phaseCommitIndex:
+		nw.commitIndexRange(w)
+	case phaseBroadcast:
+		nw.broadcastRange(w)
+	case phaseWorkState:
+		nw.workStateRange(w)
+	case phaseWorkMax:
+		nw.workMaxRange(w)
+	}
+}
+
+// mergeCounters folds every worker's counter deltas into Stats and
+// returns the round's stall count; worker order equals serial order,
+// though for pure sums the order is immaterial.
+func (nw *Network) mergeCounters() int {
+	stalls := 0
+	for w := range nw.acc {
+		a := &nw.acc[w]
+		stalls += a.stalls
+		nw.stats.Stalls += a.stalls
+		nw.stats.SampleFails += a.sampleFails
+		nw.stats.AssignFails += a.assignFails
+		nw.stats.EmptyGroups += a.emptyGroups
+		nw.stats.FaultDrops += a.faultDrops
+		nw.stats.FaultDups += a.faultDups
+		nw.stats.Messages += a.msgs
+	}
+	return stalls
+}

@@ -20,12 +20,23 @@
 // progress in a round only if it has an available member. The implied
 // communication work (full-state broadcasts within groups, supernode
 // messages fanned out to whole target groups) is accounted in bits.
+//
+// Scale layout (see DESIGN.md): all per-node state lives in dense
+// slot-indexed arrays (slot = id−1) — per-node RNGs as a flat
+// []rng.RNG, the three-round blocked history and the crash set as
+// sim.Bitset — and every per-round structure (primitive multisets,
+// message queues, pending groups, group history) is an arena reused
+// across rounds and epochs, so Step performs zero allocations in
+// steady state. The per-group and per-node loops are partitioned
+// across a sim.Pool (see shard.go) with byte-identical results at any
+// shard count.
 package supernode
 
 import (
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
+	"slices"
 
 	"overlaynet/internal/audit"
 	"overlaynet/internal/dos"
@@ -61,6 +72,10 @@ type Config struct {
 	// with an arbitrary-but-consistent available member (ablation A2:
 	// any deterministic choice keeps the groups consistent).
 	RandomLeader bool
+	// Shards is the intra-round worker count (0 consults the
+	// OVERLAYNET_SHARDS environment variable, then 1). Results are
+	// byte-identical at any value.
+	Shards int
 }
 
 // Validate reports whether the configuration is usable, so CLIs can
@@ -128,6 +143,7 @@ type Stats struct {
 	FaultDups     int   // supernode messages duplicated by injected faults
 	Crashes       int   // node-crash events from the fault schedule
 	Restarts      int   // crashed nodes that came back
+	Messages      int64 // supernode-level protocol messages delivered
 }
 
 type supReq struct {
@@ -140,6 +156,15 @@ type supResp struct {
 	j int16
 }
 
+// histEntry is one epoch's committed group assignment, held in a ring
+// buffer for the connectivity measurement. Entries and their member
+// slices are recycled through a free list once every node's view has
+// moved past them.
+type histEntry struct {
+	groups    [][]sim.NodeID
+	nodeGroup []int32
+}
+
 // Network is the Section 5 overlay.
 type Network struct {
 	cfg    Config
@@ -147,34 +172,52 @@ type Network struct {
 	dim    int // supernode hypercube dimension (power of two)
 	nSuper int
 	r      *rng.RNG
-	nodeR  []*rng.RNG
+	nodeR  []rng.RNG // per-node RNG slots, indexed by id−1
 
 	groups    [][]sim.NodeID // current committed groups, each sorted
 	nodeGroup []int32        // current supernode of each node
 	adj       [][]int32      // supernode adjacency (fixed hypercube)
 
 	// Per-node knowledge for the connectivity measurement: the epoch
-	// whose group assignment the node last received.
-	viewEpoch     []int32
-	history       [][][]sim.NodeID // groups per epoch
-	histNodeGroup [][]int32        // node -> supernode per epoch
+	// whose group assignment the node last received. The group history
+	// is a ring holding epochs [histBase, histBase+histLen); entries
+	// older than min(viewEpoch) are pruned each epoch and recycled.
+	viewEpoch []int32
+	hist      []histEntry
+	histHead  int
+	histLen   int
+	histBase  int
+	histFree  []histEntry
 
 	// Sampling parameters for the simulated primitive.
-	T  int // log₂ dim
-	mi []int
+	T     int // log₂ dim
+	mi    []int
+	log2k uint // log₂ K when K is a power of two, else 0
 
-	// Per-supernode simulated primitive state.
-	M       [][][]int32 // M[x][j] multiset of supernode indexes
+	// Per-supernode simulated primitive state. All slices are arenas:
+	// truncated, never freed, across rounds and epochs.
+	// M is flattened to one slice of lists, M[x*(dim+1)+j]: the hot
+	// extract path then loads a single slice header per access instead
+	// of chasing a per-super pointer first.
+	M       [][]int32   // M[x*(dim+1)+j] multiset of supernode indexes
 	samples [][]int32   // final samples per supernode
 	reqs    [][]supReq  // per-target pending requests
 	resps   [][]supResp // per-target pending responses
 
-	pending     [][]sim.NodeID // reorganized groups awaiting commit
-	round       int
-	epoch       int
-	phase       int // round index within the epoch
-	blockedHist [3]map[sim.NodeID]bool
-	stats       Stats
+	pending      [][]sim.NodeID // reorganized groups awaiting commit
+	pendingValid bool
+	round        int
+	epoch        int
+	phase        int // round index within the epoch
+
+	// blockedHist holds the last three rounds' blocked sets as owned
+	// bitsets (slot = id−1): [0] the round being executed, [1]/[2] the
+	// two before. Step copies the caller's map into [0], so later
+	// caller mutations cannot corrupt the history (the aliasing hazard
+	// the PR 3 SetBlocked fix removed from the kernel).
+	blockedHist  [3]sim.Bitset
+	blockedCount int
+	stats        Stats
 	// metrics/lastStats: optional always-on protocol metrics
 	// (SetMetrics). Step flushes the Stats delta since the previous
 	// flush into the bundle, so instrumentation stays a single site.
@@ -183,6 +226,16 @@ type Network struct {
 	idBits       int
 	supBits      int
 	groupBitsAvg int
+
+	// Sharded round execution (see shard.go).
+	shards     int
+	pool       *sim.Pool
+	acc        []supAcc
+	supShard   []uint8 // target supernode -> owning shard
+	leaders    []int32 // per-group leader slot this round, −1 = stalled
+	deliverIdx []int32 // per-target fault-injection index scratch
+	simPR      int     // primitive round for phaseSimCompute
+	stateBits  int64   // phaseWorkState result consumed by phaseWorkMax
 
 	// audit: optional invariant engine, ticked once per Step.
 	// faults/inj: optional deterministic fault layer — inj drops or
@@ -194,7 +247,16 @@ type Network struct {
 	audit      *audit.Engine
 	faults     fault.Spec
 	inj        *fault.Injector
-	wasCrashed map[sim.NodeID]bool
+	wasCrashed sim.Bitset
+
+	// direct: single-worker fast path. With one shard and no fault
+	// injector, requests and responses append straight to the target
+	// queues at generation time — the generation order of the lone
+	// worker IS the serial per-target arrival order, so results are
+	// byte-identical to the outbox path while skipping a full
+	// write-read-scatter pass over every message. Recomputed each Step;
+	// any injector or a second worker falls back to the outboxes.
+	direct bool
 }
 
 // New builds the network with nodes assigned to groups independently
@@ -227,6 +289,11 @@ func New(cfg Config) *Network {
 	}
 	nw.dim = d
 	nw.cube = hypercube.NewKAry(cfg.K, d)
+	if cfg.K&(cfg.K-1) == 0 {
+		for v := cfg.K; v > 1; v >>= 1 {
+			nw.log2k++
+		}
+	}
 	nw.nSuper = nw.cube.N()
 	nw.T = 0
 	for v := 1; v < d; v <<= 1 {
@@ -243,9 +310,9 @@ func New(cfg Config) *Network {
 		nw.mi[i] = int(math.Ceil(math.Pow(1+cfg.Epsilon, float64(nw.T-i)) * cSamp * float64(d)))
 	}
 
-	nw.nodeR = make([]*rng.RNG, cfg.N)
+	nw.nodeR = make([]rng.RNG, cfg.N)
 	for v := range nw.nodeR {
-		nw.nodeR[v] = nw.r.Split(uint64(v) + 1)
+		nw.nodeR[v] = *nw.r.Split(uint64(v) + 1)
 	}
 	nw.nodeGroup = make([]int32, cfg.N)
 	nw.groups = make([][]sim.NodeID, nw.nSuper)
@@ -255,8 +322,9 @@ func New(cfg Config) *Network {
 		nw.groups[x] = append(nw.groups[x], sim.NodeID(v+1))
 	}
 	for x := range nw.groups {
-		sortIDs(nw.groups[x])
+		slices.Sort(nw.groups[x])
 	}
+	nw.pending = make([][]sim.NodeID, nw.nSuper)
 	nw.adj = make([][]int32, nw.nSuper)
 	for x := 0; x < nw.nSuper; x++ {
 		for _, y := range nw.cube.Neighbors(x) {
@@ -264,18 +332,45 @@ func New(cfg Config) *Network {
 		}
 	}
 	nw.viewEpoch = make([]int32, cfg.N)
-	nw.history = [][][]sim.NodeID{cloneGroups(nw.groups)}
-	nw.histNodeGroup = [][]int32{append([]int32(nil), nw.nodeGroup...)}
+	nw.hist = make([]histEntry, 4)
+	nw.pushHistory()
+	for i := range nw.blockedHist {
+		nw.blockedHist[i] = sim.GrowBitset(nil, cfg.N)
+	}
 	nw.idBits = sim.IDBits(cfg.N)
 	nw.supBits = sim.IDBits(nw.nSuper)
 	nw.groupBitsAvg = int(avg+1) * nw.idBits
-	nw.resetPrimitive()
+
+	nw.shards = sim.DefaultShards(cfg.Shards)
+	nw.pool = sim.NewPool(nw.shards)
+	sim.FinalizePool(nw, nw.pool)
+	nw.acc = make([]supAcc, nw.shards)
+	for w := range nw.acc {
+		nw.acc[w].outReq = make([][]wireReq, nw.shards)
+		nw.acc[w].outResp = make([][]wireResp, nw.shards)
+		nw.acc[w].outAsg = make([][]asgEntry, nw.shards)
+	}
+	nw.supShard = make([]uint8, nw.nSuper)
+	for w := 0; w < nw.shards; w++ {
+		lo, hi := sim.Chunk(nw.nSuper, nw.shards, w)
+		for x := lo; x < hi; x++ {
+			nw.supShard[x] = uint8(w)
+		}
+	}
+	nw.leaders = make([]int32, nw.nSuper)
+	nw.deliverIdx = make([]int32, nw.nSuper)
+
+	nw.M = make([][]int32, nw.nSuper*(nw.dim+1))
+	nw.samples = make([][]int32, nw.nSuper)
+	nw.reqs = make([][]supReq, nw.nSuper)
+	nw.resps = make([][]supResp, nw.nSuper)
 	return nw
 }
 
-func sortIDs(ids []sim.NodeID) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-}
+// Close releases the shard worker goroutines. The network must not be
+// stepped afterwards. Networks that are simply dropped are cleaned up
+// by a GC finalizer, so Close is an optimization, not an obligation.
+func (nw *Network) Close() { nw.pool.Close() }
 
 func cloneGroups(gs [][]sim.NodeID) [][]sim.NodeID {
 	out := make([][]sim.NodeID, len(gs))
@@ -383,7 +478,7 @@ func (nw *Network) SetFaults(spec fault.Spec) {
 	nw.faults = spec
 	nw.inj = spec.Injector()
 	if spec.Crash > 0 && nw.wasCrashed == nil {
-		nw.wasCrashed = make(map[sim.NodeID]bool)
+		nw.wasCrashed = sim.GrowBitset(nil, nw.cfg.N)
 	}
 }
 
@@ -456,104 +551,190 @@ func (nw *Network) CorruptGroupForTest() {
 }
 
 // resetPrimitive reinitializes the simulated Algorithm 2 state for a
-// new epoch.
+// new epoch: every multiset, queue, and sample slice is truncated in
+// place, keeping the backing arenas.
 func (nw *Network) resetPrimitive() {
-	nw.M = make([][][]int32, nw.nSuper)
-	for x := range nw.M {
-		nw.M[x] = make([][]int32, nw.dim+1)
+	for i := range nw.M {
+		nw.M[i] = nw.M[i][:0]
 	}
-	nw.samples = make([][]int32, nw.nSuper)
-	nw.reqs = make([][]supReq, nw.nSuper)
-	nw.resps = make([][]supResp, nw.nSuper)
+	for x := 0; x < nw.nSuper; x++ {
+		nw.samples[x] = nil // a stalled final collect must see no sample
+		nw.reqs[x] = nw.reqs[x][:0]
+		nw.resps[x] = nw.resps[x][:0]
+	}
 }
 
-// blocked reports whether id was blocked in the round `ago` rounds
-// before the current one (0 = the round being executed).
+// blockedSlot reports whether slot v (= id−1) was blocked in the round
+// `ago` rounds before the current one (0 = the round being executed).
+func (nw *Network) blockedSlot(v int32, ago int) bool {
+	return nw.blockedHist[ago].Test(v)
+}
+
+// blocked is the id-keyed form of blockedSlot, kept for the recovery
+// and measurement layers.
 func (nw *Network) blocked(id sim.NodeID, ago int) bool {
-	m := nw.blockedHist[ago]
-	return m != nil && m[id]
+	return nw.blockedHist[ago].Test(int32(id - 1))
 }
 
-// leader returns the member of group x whose state the group adopts
-// this round: the lowest-id available member (the paper's
-// synchronization rule), or — under the RandomLeader ablation — an
-// available member chosen by a round-dependent rotation. Returns -1 if
-// no member is available.
-func (nw *Network) leader(x int) int {
-	var avail []int
-	for _, id := range nw.groups[x] {
-		if !nw.blocked(id, 0) && !nw.blocked(id, 1) {
-			if !nw.cfg.RandomLeader {
-				return int(id) - 1
-			}
-			avail = append(avail, int(id)-1)
+// histAt returns the committed assignment of the given epoch. Epochs
+// below min(viewEpoch) are pruned, so every reachable viewEpoch value
+// resolves.
+func (nw *Network) histAt(epoch int) *histEntry {
+	return &nw.hist[(nw.histHead+epoch-nw.histBase)%len(nw.hist)]
+}
+
+// pushHistory records the current groups and nodeGroup as the entry
+// for the current epoch, recycling a pruned entry's arenas when one is
+// available.
+func (nw *Network) pushHistory() {
+	var e histEntry
+	if k := len(nw.histFree); k > 0 {
+		e = nw.histFree[k-1]
+		nw.histFree = nw.histFree[:k-1]
+	}
+	if cap(e.groups) < nw.nSuper {
+		e.groups = make([][]sim.NodeID, nw.nSuper)
+	}
+	e.groups = e.groups[:nw.nSuper]
+	for x := range nw.groups {
+		e.groups[x] = append(e.groups[x][:0], nw.groups[x]...)
+	}
+	e.nodeGroup = append(e.nodeGroup[:0], nw.nodeGroup...)
+	if nw.histLen == len(nw.hist) {
+		grown := make([]histEntry, 2*len(nw.hist))
+		for i := 0; i < nw.histLen; i++ {
+			grown[i] = nw.hist[(nw.histHead+i)%len(nw.hist)]
+		}
+		nw.hist = grown
+		nw.histHead = 0
+	}
+	nw.hist[(nw.histHead+nw.histLen)%len(nw.hist)] = e
+	nw.histLen++
+}
+
+// pruneHistory recycles every epoch entry no node's view still
+// references (keeping at least the current epoch's entry).
+func (nw *Network) pruneHistory() {
+	minE := nw.epoch
+	for _, ve := range nw.viewEpoch {
+		if int(ve) < minE {
+			minE = int(ve)
 		}
 	}
-	if len(avail) == 0 {
-		return -1
+	for nw.histBase < minE && nw.histLen > 1 {
+		e := nw.hist[nw.histHead]
+		nw.hist[nw.histHead] = histEntry{}
+		nw.histFree = append(nw.histFree, e)
+		nw.histHead = (nw.histHead + 1) % len(nw.hist)
+		nw.histLen--
+		nw.histBase++
 	}
-	return avail[(nw.round*31+x)%len(avail)]
+}
+
+// leadersRange computes the per-group leader for this round over the
+// worker's supernode range: the lowest-id available member (the
+// paper's synchronization rule), or — under the RandomLeader ablation
+// — an available member chosen by a round-dependent rotation. −1 marks
+// a stalled group. Also resets the worker's accumulator for the round.
+func (nw *Network) leadersRange(w int) {
+	acc := &nw.acc[w]
+	acc.reset()
+	b0, b1 := nw.blockedHist[0], nw.blockedHist[1]
+	lo, hi := sim.Chunk(nw.nSuper, nw.shards, w)
+	for x := lo; x < hi; x++ {
+		ld := int32(-1)
+		if !nw.cfg.RandomLeader {
+			for _, id := range nw.groups[x] {
+				v := int32(id - 1)
+				if !b0.Test(v) && !b1.Test(v) {
+					ld = v
+					break
+				}
+			}
+		} else {
+			acc.avail = acc.avail[:0]
+			for _, id := range nw.groups[x] {
+				v := int32(id - 1)
+				if !b0.Test(v) && !b1.Test(v) {
+					acc.avail = append(acc.avail, v)
+				}
+			}
+			if len(acc.avail) > 0 {
+				ld = acc.avail[(nw.round*31+x)%len(acc.avail)]
+			}
+		}
+		nw.leaders[x] = ld
+		if ld < 0 {
+			acc.stalls++
+		}
+	}
 }
 
 // Step executes one communication round under the given blocked set.
+// The map is copied into owned bitset storage; the caller may reuse or
+// mutate it freely after Step returns.
 func (nw *Network) Step(blocked map[sim.NodeID]bool) RoundReport {
 	nw.round++
 	defer nw.flushMetrics()
+
+	// Rotate the owned blocked history and absorb this round's set.
+	b2 := nw.blockedHist[2]
+	nw.blockedHist[2] = nw.blockedHist[1]
+	nw.blockedHist[1] = nw.blockedHist[0]
+	nw.blockedHist[0] = b2
+	b0 := b2
+	b0.Zero()
+	count := 0
+	for id, bl := range blocked {
+		if bl && id >= 1 && int(id) <= nw.cfg.N && !b0.Test(int32(id-1)) {
+			b0.Set(int32(id - 1))
+			count++
+		}
+	}
 	if nw.faults.Crash > 0 {
 		// Compose the crash schedule into this round's blocked set: a
 		// crashed node is unresponsive exactly like a DoS-blocked one,
 		// loses epoch updates while down (its viewEpoch goes stale —
 		// volatile state), and on restart rejoins through the every-round
 		// S(x) broadcast.
-		merged := make(map[sim.NodeID]bool, len(blocked))
-		for id, b := range blocked {
-			if b {
-				merged[id] = true
-			}
-		}
 		for v := 0; v < nw.cfg.N; v++ {
 			id := sim.NodeID(v + 1)
 			if nw.crashedNow(id) {
-				merged[id] = true
-				if !nw.wasCrashed[id] {
-					nw.wasCrashed[id] = true
+				if !b0.Test(int32(v)) {
+					b0.Set(int32(v))
+					count++
+				}
+				if !nw.wasCrashed.Test(int32(v)) {
+					nw.wasCrashed.Set(int32(v))
 					nw.stats.Crashes++
 				}
-			} else if nw.wasCrashed[id] {
-				delete(nw.wasCrashed, id)
+			} else if nw.wasCrashed.Test(int32(v)) {
+				nw.wasCrashed.Unset(int32(v))
 				nw.stats.Restarts++
 			}
 		}
-		blocked = merged
 	}
-	nw.blockedHist[2] = nw.blockedHist[1]
-	nw.blockedHist[1] = nw.blockedHist[0]
-	nw.blockedHist[0] = blocked
+	nw.blockedCount = count
 
-	rep := RoundReport{Round: nw.round, Epoch: nw.epoch, Blocked: len(blocked), Connected: true}
+	rep := RoundReport{Round: nw.round, Epoch: nw.epoch, Blocked: count, Connected: true}
+
+	nw.direct = nw.shards == 1 && nw.inj == nil
 
 	// Identify per-group leaders for this round and count stalls.
-	leaders := make([]int, nw.nSuper)
-	for x := range leaders {
-		leaders[x] = nw.leader(x)
-		if leaders[x] < 0 {
-			nw.stats.Stalls++
-			rep.Stalls++
-		}
-	}
+	nw.pool.Run(nw, phaseLeaders)
 
 	// Advance the epoch protocol.
 	pr := nw.phase / 2 // primitive round index during sampling
 	switch {
 	case nw.phase < 2*(2*nw.T+1):
 		if nw.phase%2 == 0 {
-			nw.simulationRound(pr, leaders)
+			nw.simulationRound(pr)
 		}
 		// The synchronization half-round only moves messages, which the
 		// central queues already represent; availability was enforced
 		// at the simulation half-round via the leader check.
 	case nw.phase == 2*(2*nw.T+1):
-		nw.assignRound(leaders)
+		nw.assignRound()
 	case nw.phase == 2*(2*nw.T+1)+3:
 		nw.commitRound()
 	}
@@ -562,31 +743,14 @@ func (nw *Network) Step(blocked map[sim.NodeID]bool) RoundReport {
 	// its group peers sent in the previous round, provided some peer
 	// was available to send it (the paper's recovery mechanism for
 	// formerly blocked nodes).
-	cur := int32(nw.epoch)
-	for v := 0; v < nw.cfg.N; v++ {
-		id := sim.NodeID(v + 1)
-		if nw.blocked(id, 0) || nw.blocked(id, 1) {
-			continue
-		}
-		if nw.viewEpoch[v] == cur {
-			continue
-		}
-		x := nw.nodeGroup[v]
-		for _, u := range nw.groups[x] {
-			// A partition window severs cross-component links: a peer on
-			// the far side cannot deliver the S(x) state even if available.
-			if u != id && !nw.blocked(u, 1) && !nw.blocked(u, 2) &&
-				!nw.faults.CutsEdge(nw.round, uint64(id), uint64(u)) {
-				nw.viewEpoch[v] = cur
-				break
-			}
-		}
-	}
+	nw.pool.Run(nw, phaseBroadcast)
 
 	rep.MaxNodeBits = nw.estimateWork()
 	if rep.MaxNodeBits > nw.stats.MaxNodeBits {
 		nw.stats.MaxNodeBits = rep.MaxNodeBits
 	}
+
+	rep.Stalls = nw.mergeCounters()
 
 	nw.phase++
 	if nw.phase == nw.EpochRounds() {
@@ -610,95 +774,238 @@ func (nw *Network) Step(blocked map[sim.NodeID]bool) RoundReport {
 // simulationRound executes primitive round pr of Algorithm 2 for every
 // supernode with an available leader. Supernodes without one are inert:
 // their pending messages are lost, exactly as if the group could not
-// simulate the round.
-func (nw *Network) simulationRound(pr int, leaders []int) {
-	d := nw.dim
-	newReqs := make([][]supReq, nw.nSuper)
-	newResps := make([][]supResp, nw.nSuper)
-
-	extract := func(x, j int, r *rng.RNG) int32 {
-		list := nw.M[x][j]
-		if len(list) == 0 {
-			nw.stats.SampleFails++
-			return int32(x)
-		}
-		i := r.Intn(len(list))
-		v := list[i]
-		list[i] = list[len(list)-1]
-		nw.M[x][j] = list[:len(list)-1]
-		return v
-	}
-
-	sendRequests := func(x, i int, r *rng.RNG) {
-		step := 1 << i
-		for j := 1; j <= d; j += step {
-			for k := 0; k < nw.mi[i]; k++ {
-				target := extract(x, j, r)
-				newReqs[target] = append(newReqs[target], supReq{from: int32(x), j: int16(j)})
+// simulate the round. Compute and deliver are separate pool phases so
+// the central-queue merge keeps the serial per-target order.
+func (nw *Network) simulationRound(pr int) {
+	nw.simPR = pr
+	if nw.direct {
+		// Clear leaderless queues before generation: the outbox path
+		// truncates them inside compute, before the end-of-round
+		// deliver, so stale messages drop and this round's arrivals
+		// survive — here arrivals appear during compute, so the
+		// truncation must come first.
+		for x := 0; x < nw.nSuper; x++ {
+			if nw.leaders[x] < 0 {
+				nw.reqs[x] = nw.reqs[x][:0]
+				nw.resps[x] = nw.resps[x][:0]
 			}
 		}
+		nw.pool.Run(nw, phaseSimCompute)
+		return
 	}
+	nw.pool.Run(nw, phaseSimCompute)
+	nw.pool.Run(nw, phaseSimDeliver)
+}
 
-	for x := 0; x < nw.nSuper; x++ {
-		ld := leaders[x]
+// extract draws a uniform element from M[x][j], moving the last
+// element into the hole (the serial multiset semantics).
+func (nw *Network) extract(x, j int, r *rng.RNG, acc *supAcc) int32 {
+	mi := x*(nw.dim+1) + j
+	list := nw.M[mi]
+	if len(list) == 0 {
+		acc.sampleFails++
+		return int32(x)
+	}
+	i := r.Intn(len(list))
+	v := list[i]
+	list[i] = list[len(list)-1]
+	nw.M[mi] = list[:len(list)-1]
+	return v
+}
+
+// sendRequests queues iteration i's requests from supernode x into the
+// worker's per-target-shard outboxes, in generation order — or, on the
+// direct path, straight into the target queues.
+func (nw *Network) sendRequests(x, i int, r *rng.RNG, acc *supAcc) {
+	step := 1 << i
+	if nw.direct {
+		from := int32(x)
+		for j := 1; j <= nw.dim; j += step {
+			jw := int16(j)
+			mx := x*(nw.dim+1) + j
+			for k := 0; k < nw.mi[i]; k++ {
+				list := nw.M[mx]
+				target := int32(x)
+				if n := uint64(len(list)); n == 0 {
+					acc.sampleFails++
+				} else {
+					// r.Intn(n) with the Lemire fast path inlined.
+					hi, lo := bits.Mul64(r.Uint64(), n)
+					if lo < n {
+						hi = r.Uint64nTail(hi, lo, n)
+					}
+					target = list[hi]
+					list[hi] = list[n-1]
+					nw.M[mx] = list[:n-1]
+				}
+				nw.reqs[target] = append(nw.reqs[target], supReq{from: from, j: jw})
+			}
+			acc.msgs += int64(nw.mi[i])
+		}
+		return
+	}
+	for j := 1; j <= nw.dim; j += step {
+		for k := 0; k < nw.mi[i]; k++ {
+			target := nw.extract(x, j, r, acc)
+			ts := nw.supShard[target]
+			acc.outReq[ts] = append(acc.outReq[ts], wireReq{target: target, from: int32(x), j: int16(j)})
+		}
+	}
+}
+
+// simComputeRange runs primitive round simPR for the worker's
+// supernode range, consuming each group leader's RNG in the serial
+// order (x ascending within the contiguous range).
+func (nw *Network) simComputeRange(w int) {
+	acc := &nw.acc[w]
+	pr := nw.simPR
+	d := nw.dim
+	log2k := nw.log2k
+	lo, hi := sim.Chunk(nw.nSuper, nw.shards, w)
+	for x := lo; x < hi; x++ {
+		ld := nw.leaders[x]
 		if ld < 0 {
-			nw.reqs[x] = nil
-			nw.resps[x] = nil
+			if !nw.direct { // direct mode truncated before generation
+				nw.reqs[x] = nw.reqs[x][:0]
+				nw.resps[x] = nw.resps[x][:0]
+			}
 			continue
 		}
-		r := nw.nodeR[ld]
+		r := &nw.nodeR[ld]
 		switch {
 		case pr == 0:
 			// Phase 1: fill every list with m₀ one-coordinate walks
 			// (a uniform symbol per coordinate; for k = 2 this is the
 			// paper's fair coin), then send the first requests.
-			for j := 1; j <= d; j++ {
-				list := make([]int32, 0, nw.mi[0])
-				for k := 0; k < nw.mi[0]; k++ {
-					val := r.Intn(nw.cfg.K)
-					list = append(list, int32(nw.cube.WithCoord(x, j-1, val)))
+			base := x * (d + 1)
+			if log2k != 0 {
+				// Power-of-two arity: Intn(k) is exactly the top
+				// log₂k bits of one raw draw (the Lemire rejection
+				// loop never fires when k divides 2⁶⁴), and the
+				// coordinate update is a shifted bit-field write —
+				// same draw sequence, no multiply or division.
+				m0 := nw.mi[0]
+				for j := 1; j <= d; j++ {
+					s := uint(j-1) * log2k
+					stripped := int32(x &^ ((nw.cfg.K - 1) << s))
+					list := nw.M[base+j]
+					if cap(list) < m0 {
+						list = make([]int32, m0)
+					}
+					list = list[:m0]
+					for k := 0; k < m0; k++ {
+						val := int32(r.Uint64() >> (64 - log2k))
+						list[k] = stripped | val<<s
+					}
+					nw.M[base+j] = list
 				}
-				nw.M[x][j] = list
+			} else {
+				for j := 1; j <= d; j++ {
+					list := nw.M[base+j][:0]
+					for k := 0; k < nw.mi[0]; k++ {
+						val := r.Intn(nw.cfg.K)
+						list = append(list, int32(nw.cube.WithCoord(x, j-1, val)))
+					}
+					nw.M[base+j] = list
+				}
 			}
-			sendRequests(x, 1, r)
+			nw.sendRequests(x, 1, r, acc)
 		case pr%2 == 1:
 			// Serve round of iteration i = (pr+1)/2.
 			i := (pr + 1) / 2
 			half := 1 << (i - 1)
-			for _, rq := range nw.reqs[x] {
-				v := extract(x, int(rq.j)+half, r)
-				newResps[rq.from] = append(newResps[rq.from], supResp{v: v, j: rq.j})
+			if nw.direct {
+				// extract() inlined by hand: the serve loop runs once
+				// per message and the call was not inlinable.
+				for _, rq := range nw.reqs[x] {
+					mx := x*(d+1) + int(rq.j) + half
+					list := nw.M[mx]
+					var v int32
+					if n := uint64(len(list)); n == 0 {
+						acc.sampleFails++
+						v = int32(x)
+					} else {
+						// r.Intn(n) with the Lemire fast path inlined.
+						hi, lo := bits.Mul64(r.Uint64(), n)
+						if lo < n {
+							hi = r.Uint64nTail(hi, lo, n)
+						}
+						v = list[hi]
+						list[hi] = list[n-1]
+						nw.M[mx] = list[:n-1]
+					}
+					nw.resps[rq.from] = append(nw.resps[rq.from], supResp{v: v, j: rq.j})
+				}
+				acc.msgs += int64(len(nw.reqs[x]))
+			} else {
+				for _, rq := range nw.reqs[x] {
+					v := nw.extract(x, int(rq.j)+half, r, acc)
+					ts := nw.supShard[rq.from]
+					acc.outResp[ts] = append(acc.outResp[ts], wireResp{target: rq.from, v: v, j: rq.j})
+				}
 			}
-			nw.reqs[x] = nil
+			nw.reqs[x] = nw.reqs[x][:0]
 		default:
 			// Collect round of iteration i = pr/2; send next requests.
 			i := pr / 2
+			base := x * (d + 1)
+			// Gather with per-list cursors (d is always well under 64):
+			// count, reslice each list once, then place by index. This
+			// avoids a slice-header read-modify-write per response.
+			var cnt, cur [64]int32
+			for _, rp := range nw.resps[x] {
+				cnt[rp.j]++
+			}
 			for j := 1; j <= d; j++ {
-				nw.M[x][j] = nil
+				list := nw.M[base+j]
+				n := int(cnt[j])
+				if cap(list) < n {
+					list = make([]int32, n)
+				}
+				nw.M[base+j] = list[:n]
 			}
 			for _, rp := range nw.resps[x] {
-				nw.M[x][rp.j] = append(nw.M[x][rp.j], rp.v)
+				j := int(rp.j)
+				nw.M[base+j][cur[j]] = rp.v
+				cur[j]++
 			}
-			nw.resps[x] = nil
+			nw.resps[x] = nw.resps[x][:0]
 			if i < nw.T {
-				sendRequests(x, i+1, r)
+				nw.sendRequests(x, i+1, r, acc)
 			} else {
 				// M is a multiset: extraction order is uniform. The
 				// central response queues deliver in sender order, so
 				// shuffle to restore the multiset semantics before the
 				// reorganization consumes the first k samples.
-				final := nw.M[x][1]
-				r.Shuffle(len(final), func(a, b int) {
-					final[a], final[b] = final[b], final[a]
-				})
+				final := nw.M[base+1]
+				rng.ShuffleSlice(r, final)
 				nw.samples[x] = final
 			}
 		}
 	}
+}
+
+// simDeliverRange merges this round's generated messages into the
+// queues of the worker's target supernodes. Draining source workers in
+// worker order reproduces the serial per-target queue order (sources
+// are contiguous ascending ranges), and with a fault injector attached
+// the per-target message index — the injection tuple's idx — matches
+// the serial merge exactly. Requests and responses keep separate index
+// spaces, as in the serial merge.
+func (nw *Network) simDeliverRange(w int) {
+	acc := &nw.acc[w]
+	lo, hi := sim.Chunk(nw.nSuper, nw.shards, w)
+	for sw := range nw.acc {
+		acc.msgs += int64(len(nw.acc[sw].outReq[w]) + len(nw.acc[sw].outResp[w]))
+	}
 	if nw.inj == nil {
-		for x := range newReqs {
-			nw.reqs[x] = append(nw.reqs[x], newReqs[x]...)
-			nw.resps[x] = append(nw.resps[x], newResps[x]...)
+		for sw := range nw.acc {
+			for _, m := range nw.acc[sw].outReq[w] {
+				nw.reqs[m.target] = append(nw.reqs[m.target], supReq{from: m.from, j: m.j})
+			}
+			for _, m := range nw.acc[sw].outResp[w] {
+				nw.resps[m.target] = append(nw.resps[m.target], supResp{v: m.v, j: m.j})
+			}
 		}
 		return
 	}
@@ -708,27 +1015,42 @@ func (nw *Network) simulationRound(pr int, leaders []int) {
 	// is byte-identical for any driver configuration. Responses use a
 	// from-id offset by nSuper to keep their hash stream disjoint from
 	// requests between the same pair.
-	for x := range newReqs {
-		for idx, rq := range newReqs[x] {
-			switch nw.inj.CopiesAt(nw.round, uint64(rq.from)+1, uint64(x)+1, idx) {
+	idx := nw.deliverIdx
+	for x := lo; x < hi; x++ {
+		idx[x] = 0
+	}
+	for sw := range nw.acc {
+		for _, m := range nw.acc[sw].outReq[w] {
+			k := idx[m.target]
+			idx[m.target] = k + 1
+			rq := supReq{from: m.from, j: m.j}
+			switch nw.inj.CopiesAt(nw.round, uint64(m.from)+1, uint64(m.target)+1, int(k)) {
 			case 0:
-				nw.stats.FaultDrops++
+				acc.faultDrops++
 			case 1:
-				nw.reqs[x] = append(nw.reqs[x], rq)
+				nw.reqs[m.target] = append(nw.reqs[m.target], rq)
 			default:
-				nw.stats.FaultDups++
-				nw.reqs[x] = append(nw.reqs[x], rq, rq)
+				acc.faultDups++
+				nw.reqs[m.target] = append(nw.reqs[m.target], rq, rq)
 			}
 		}
-		for idx, rp := range newResps[x] {
-			switch nw.inj.CopiesAt(nw.round, uint64(rp.v)+uint64(nw.nSuper)+1, uint64(x)+1, idx) {
+	}
+	for x := lo; x < hi; x++ {
+		idx[x] = 0
+	}
+	for sw := range nw.acc {
+		for _, m := range nw.acc[sw].outResp[w] {
+			k := idx[m.target]
+			idx[m.target] = k + 1
+			rp := supResp{v: m.v, j: m.j}
+			switch nw.inj.CopiesAt(nw.round, uint64(m.v)+uint64(nw.nSuper)+1, uint64(m.target)+1, int(k)) {
 			case 0:
-				nw.stats.FaultDrops++
+				acc.faultDrops++
 			case 1:
-				nw.resps[x] = append(nw.resps[x], rp)
+				nw.resps[m.target] = append(nw.resps[m.target], rp)
 			default:
-				nw.stats.FaultDups++
-				nw.resps[x] = append(nw.resps[x], rp, rp)
+				acc.faultDups++
+				nw.resps[m.target] = append(nw.resps[m.target], rp, rp)
 			}
 		}
 	}
@@ -736,14 +1058,24 @@ func (nw *Network) simulationRound(pr int, leaders []int) {
 
 // assignRound performs the reorganization: the members of each group
 // (sorted by id) are assigned to the first k sampled supernodes.
-func (nw *Network) assignRound(leaders []int) {
-	newGroups := make([][]sim.NodeID, nw.nSuper)
-	for x := 0; x < nw.nSuper; x++ {
-		if leaders[x] < 0 {
+func (nw *Network) assignRound() {
+	nw.pool.Run(nw, phaseAssign)
+	nw.pool.Run(nw, phaseAssignDeliver)
+	nw.pendingValid = true
+}
+
+// assignRange routes the worker's groups' members to their sampled
+// target groups via the outboxes.
+func (nw *Network) assignRange(w int) {
+	acc := &nw.acc[w]
+	lo, hi := sim.Chunk(nw.nSuper, nw.shards, w)
+	for x := lo; x < hi; x++ {
+		if nw.leaders[x] < 0 {
 			// No available member: the group cannot reorganize; its
 			// members stay put (counted as stalls already).
+			ts := nw.supShard[x]
 			for _, id := range nw.groups[x] {
-				newGroups[x] = append(newGroups[x], id)
+				acc.outAsg[ts] = append(acc.outAsg[ts], asgEntry{target: int32(x), id: id})
 			}
 			continue
 		}
@@ -751,63 +1083,141 @@ func (nw *Network) assignRound(leaders []int) {
 		for i, id := range nw.groups[x] {
 			var target int32
 			if len(samples) == 0 {
-				nw.stats.AssignFails++
+				acc.assignFails++
 				target = int32(x)
 			} else if i < len(samples) {
 				target = samples[i]
 			} else {
-				nw.stats.AssignFails++
+				acc.assignFails++
 				target = samples[i%len(samples)]
 			}
-			newGroups[target] = append(newGroups[target], id)
+			acc.outAsg[nw.supShard[target]] = append(acc.outAsg[nw.supShard[target]], asgEntry{target: target, id: id})
 		}
 	}
-	for x := range newGroups {
-		sortIDs(newGroups[x])
-		if len(newGroups[x]) == 0 {
-			nw.stats.EmptyGroups++
-		}
-	}
-	// Stash the pending assignment until the commit round.
-	nw.pending = newGroups
 }
 
-// commitRound installs the new groups.
+// assignDeliverRange collects the worker's target groups' new members
+// into the pending arena and sorts each group by id.
+func (nw *Network) assignDeliverRange(w int) {
+	acc := &nw.acc[w]
+	lo, hi := sim.Chunk(nw.nSuper, nw.shards, w)
+	for x := lo; x < hi; x++ {
+		nw.pending[x] = nw.pending[x][:0]
+	}
+	for sw := range nw.acc {
+		acc.msgs += int64(len(nw.acc[sw].outAsg[w]))
+		for _, e := range nw.acc[sw].outAsg[w] {
+			nw.pending[e.target] = append(nw.pending[e.target], e.id)
+		}
+	}
+	for x := lo; x < hi; x++ {
+		slices.Sort(nw.pending[x])
+		if len(nw.pending[x]) == 0 {
+			acc.emptyGroups++
+		}
+	}
+}
+
+// commitRound installs the new groups by swapping the pending arena in
+// and rebuilding the nodeGroup index.
 func (nw *Network) commitRound() {
-	if nw.pending == nil {
+	if !nw.pendingValid {
 		return
 	}
-	nw.groups = nw.pending
-	nw.pending = nil
-	for x, g := range nw.groups {
-		for _, id := range g {
+	nw.groups, nw.pending = nw.pending, nw.groups
+	nw.pendingValid = false
+	nw.pool.Run(nw, phaseCommitIndex)
+	nw.epoch++
+	nw.stats.Epochs++
+	nw.pushHistory()
+	nw.pruneHistory()
+	nw.resetPrimitive()
+}
+
+// commitIndexRange rebuilds nodeGroup for the worker's groups. Member
+// ids are unique across groups, so writes never collide.
+func (nw *Network) commitIndexRange(w int) {
+	lo, hi := sim.Chunk(nw.nSuper, nw.shards, w)
+	for x := lo; x < hi; x++ {
+		for _, id := range nw.groups[x] {
 			nw.nodeGroup[int(id)-1] = int32(x)
 		}
 	}
-	nw.epoch++
-	nw.stats.Epochs++
-	nw.history = append(nw.history, cloneGroups(nw.groups))
-	nw.histNodeGroup = append(nw.histNodeGroup, append([]int32(nil), nw.nodeGroup...))
-	nw.resetPrimitive()
+}
+
+// broadcastRange applies the every-round S(x) broadcast over the
+// worker's node-slot range: a stale available node catches up if some
+// group peer could have sent it the state last round.
+func (nw *Network) broadcastRange(w int) {
+	b0, b1, b2 := nw.blockedHist[0], nw.blockedHist[1], nw.blockedHist[2]
+	cur := int32(nw.epoch)
+	lo, hi := sim.Chunk(nw.cfg.N, nw.shards, w)
+	for v := lo; v < hi; v++ {
+		vs := int32(v)
+		if b0.Test(vs) || b1.Test(vs) {
+			continue
+		}
+		if nw.viewEpoch[v] == cur {
+			continue
+		}
+		id := sim.NodeID(v + 1)
+		x := nw.nodeGroup[v]
+		for _, u := range nw.groups[x] {
+			// A partition window severs cross-component links: a peer on
+			// the far side cannot deliver the S(x) state even if available.
+			if u != id && !b1.Test(int32(u-1)) && !b2.Test(int32(u-1)) &&
+				!nw.faults.CutsEdge(nw.round, uint64(id), uint64(u)) {
+				nw.viewEpoch[v] = cur
+				break
+			}
+		}
+	}
 }
 
 // estimateWork returns the implied per-node communication bits for the
 // current round: the every-round state broadcast within each group plus
-// the supernode message fan-out.
+// the supernode message fan-out. Two pool phases: the global max of
+// per-supernode state bits feeds the per-group fan-out max.
 func (nw *Network) estimateWork() int64 {
+	nw.pool.Run(nw, phaseWorkState)
+	var stateBits int64
+	for w := range nw.acc {
+		if nw.acc[w].stateBits > stateBits {
+			stateBits = nw.acc[w].stateBits
+		}
+	}
+	nw.stateBits = stateBits
+	nw.pool.Run(nw, phaseWorkMax)
 	var maxBits int64
-	stateBits := int64(0)
-	for x := 0; x < nw.nSuper; x++ {
+	for w := range nw.acc {
+		if nw.acc[w].maxBits > maxBits {
+			maxBits = nw.acc[w].maxBits
+		}
+	}
+	return maxBits
+}
+
+func (nw *Network) workStateRange(w int) {
+	var stateBits int64
+	lo, hi := sim.Chunk(nw.nSuper, nw.shards, w)
+	for x := lo; x < hi; x++ {
 		entries := 0
 		for j := 1; j <= nw.dim; j++ {
-			entries += len(nw.M[x][j])
+			entries += len(nw.M[x*(nw.dim+1)+j])
 		}
 		b := int64(entries) * int64(nw.supBits+nw.groupBitsAvg)
 		if b > stateBits {
 			stateBits = b
 		}
 	}
-	for x := 0; x < nw.nSuper; x++ {
+	nw.acc[w].stateBits = stateBits
+}
+
+func (nw *Network) workMaxRange(w int) {
+	stateBits := nw.stateBits
+	var maxBits int64
+	lo, hi := sim.Chunk(nw.nSuper, nw.shards, w)
+	for x := lo; x < hi; x++ {
 		g := int64(len(nw.groups[x]))
 		if g == 0 {
 			continue
@@ -820,7 +1230,7 @@ func (nw *Network) estimateWork() int64 {
 			maxBits = bits
 		}
 	}
-	return maxBits
+	nw.acc[w].maxBits = maxBits
 }
 
 // ConnectedNow reports whether the non-blocked nodes form a connected
@@ -836,7 +1246,7 @@ func (nw *Network) aliveNow() []bool {
 	n := nw.cfg.N
 	alive := make([]bool, n)
 	for v := 0; v < n; v++ {
-		alive[v] = !nw.blocked(sim.NodeID(v+1), 0)
+		alive[v] = !nw.blockedSlot(int32(v), 0)
 	}
 	return alive
 }
@@ -863,14 +1273,13 @@ func (nw *Network) knowledgeGraph() *graph.Graph {
 		}
 	}
 	for v := 0; v < n; v++ {
-		epoch := int(nw.viewEpoch[v])
-		groups := nw.history[epoch]
-		x := nw.histNodeGroup[epoch][v]
-		for _, w := range groups[x] {
+		h := nw.histAt(int(nw.viewEpoch[v]))
+		x := h.nodeGroup[v]
+		for _, w := range h.groups[x] {
 			addEdge(v, int(w)-1)
 		}
 		for _, y := range nw.adj[x] {
-			for _, w := range groups[y] {
+			for _, w := range h.groups[y] {
 				addEdge(v, int(w)-1)
 			}
 		}
