@@ -85,6 +85,7 @@ import (
 	"overlaynet/internal/exp"
 	"overlaynet/internal/fault"
 	"overlaynet/internal/obs"
+	"overlaynet/internal/sim"
 	"overlaynet/internal/trace"
 )
 
@@ -101,6 +102,7 @@ type manifest struct {
 	Shards       int                  `json:"shards"`
 	Audit        bool                 `json:"audit,omitempty"`
 	Faults       string               `json:"faults,omitempty"`
+	Latency      string               `json:"latency,omitempty"`
 	GOMAXPROCS   int                  `json:"gomaxprocs"`
 	NumCPU       int                  `json:"num_cpu"`
 	TotalSeconds float64              `json:"total_seconds"`
@@ -169,6 +171,15 @@ func faultsString(s fault.Spec) string {
 	return s.String()
 }
 
+// latencyString renders the latency model for the manifest ("" for the
+// synchronous default, so the field is omitted).
+func latencyString(l sim.Latency) string {
+	if !l.Enabled() {
+		return ""
+	}
+	return l.String()
+}
+
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "benchtables: "+format+"\n", args...)
 	os.Exit(1)
@@ -196,11 +207,21 @@ func main() {
 	recoverOnly := flag.Bool("recover", false, "run the self-healing recovery experiment (adds R1 to -only)")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell stall watchdog (e.g. 5m); 0 disables")
 	maskWall := flag.Bool("maskwall", false, "blank wall-clock table columns (rounds/sec) so output can be diffed across runs and machines")
+	// -latency runs every sim-kernel network under the discrete-event
+	// scheduler (the §5/§6 overlay stacks translate the model into a
+	// per-virtual-round delivery deadline only inside AS1, which sweeps
+	// its own specs). Zero-spread specs ("const:1") produce tables
+	// byte-identical to the synchronous run — CI diffs exactly that.
+	latencyFlag := flag.String("latency", "", "per-edge latency model for sim-kernel networks: sync, const:D, uniform:LO,HI, lognorm:MU,SIGMA (rounds)")
 	flag.Parse()
 
 	faultSpec, err := fault.ParseSpec(*faultsFlag)
 	if err != nil {
 		fatalf("-faults: %v", err)
+	}
+	latency, err := sim.ParseLatency(*latencyFlag)
+	if err != nil {
+		fatalf("-latency: %v", err)
 	}
 
 	if *cpuprofile != "" {
@@ -234,7 +255,8 @@ func main() {
 	}
 
 	opts := exp.Options{Seed: *seed, Quick: *quick, Procs: *procs, Shards: *shards,
-		Audit: *auditOn, AuditEvery: *auditEvery, Faults: faultSpec, CellTimeout: *cellTimeout}
+		Audit: *auditOn, AuditEvery: *auditEvery, Faults: faultSpec, Latency: latency,
+		CellTimeout: *cellTimeout}
 
 	// Telemetry wiring. A single recorder spans every experiment; it
 	// aggregates counters and spans (full event retention stays off — a
@@ -372,6 +394,7 @@ func main() {
 			Shards:      *shards,
 			Audit:       *auditOn,
 			Faults:      faultsString(faultSpec),
+			Latency:     latencyString(latency),
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			NumCPU:      runtime.NumCPU(),
 		}

@@ -30,6 +30,13 @@ type Config struct {
 	// Shards is forwarded to sim.Config.Shards (intra-round simulator
 	// workers); the epoch traces are identical for any value.
 	Shards int
+	// Latency is forwarded to sim.Config.Latency: the zero value keeps
+	// the synchronous round model; an enabled model runs the
+	// reconfiguration protocol under the discrete-event scheduler, where
+	// per-edge delays can defer messages past their synchronous round
+	// and the epoch degrades (sampling underflow, missed boundaries —
+	// the Failures counters) instead of assuming lockstep delivery.
+	Latency sim.Latency
 	// Coroutine runs node programs in the legacy blocking-coroutine form
 	// (one adapter goroutine per node) instead of event-driven handlers.
 	// Both forms are transcriptions of the same protocol and produce
@@ -60,6 +67,9 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.Shards < 0 {
 		return fmt.Errorf("core: shards %d must not be negative", cfg.Shards)
+	}
+	if err := cfg.Latency.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	return nil
 }
@@ -372,7 +382,7 @@ func NewNetwork(cfg Config) *Network {
 	}
 	nw := &Network{
 		cfg:     cfg,
-		net:     sim.NewNetwork(sim.Config{Seed: cfg.Seed, Shards: cfg.Shards}),
+		net:     sim.NewNetwork(sim.Config{Seed: cfg.Seed, Shards: cfg.Shards, Latency: cfg.Latency}),
 		r:       rng.New(cfg.Seed ^ 0xabcdef0123456789),
 		slots:   make(map[int]*slot),
 		curSucc: make(map[int][]int32),
@@ -1008,6 +1018,11 @@ func (nw *Network) BuildGraph() *graph.Graph {
 
 // Shutdown stops all node goroutines.
 func (nw *Network) Shutdown() { nw.net.Shutdown() }
+
+// DeferredMessages returns the cumulative count of messages the
+// discrete-event scheduler delivered after their synchronous round+1
+// deadline (zero unless Config.Latency has spread).
+func (nw *Network) DeferredMessages() int64 { return nw.net.DeferredMessages() }
 
 // ResetWork truncates the underlying simulator's per-round work log.
 // Long-horizon drivers call it between epochs so the log stays bounded

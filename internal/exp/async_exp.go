@@ -1,0 +1,198 @@
+package exp
+
+import (
+	"fmt"
+
+	"overlaynet/internal/churn"
+	"overlaynet/internal/core"
+	"overlaynet/internal/dos"
+	"overlaynet/internal/hgraph"
+	"overlaynet/internal/metrics"
+	"overlaynet/internal/rng"
+	"overlaynet/internal/sampling"
+	"overlaynet/internal/sim"
+	"overlaynet/internal/splitmerge"
+	"overlaynet/internal/supernode"
+)
+
+// AS1: the asynchrony experiment. The paper's model is fully
+// synchronous — every message sent in round i arrives at round i+1 —
+// and every theorem leans on that lockstep. AS1 asks what the
+// guarantees are worth when delivery is not lockstep: it reruns the
+// sampling primitive (§3), the reconfiguration network (§4), and the
+// two overlay stacks (§5/§6) under the discrete-event scheduler with
+// seeded per-edge latency distributions of increasing spread, and
+// reports how much of each system's headline claim survives.
+//
+// Two rows are the controls pinning the scheduler itself:
+//   - "sync" runs the plain synchronous kernel;
+//   - "const:1" runs the event scheduler with zero spread, which must
+//     reproduce the synchronous run bit for bit (every column equal to
+//     the sync row; the regression tests compare the rendered rows).
+//
+// The spread rows measure degradation: for the sim-kernel systems a
+// message sampled later than one round is delivered late (the deferred
+// column counts them) and the round-driven protocols miss it; for the
+// §5/§6 stacks — whose virtual rounds each stand for a whole protocol
+// phase — a late message is modeled as lost for its phase (the
+// standard reduction of asynchrony to a lossy synchronous system; see
+// fault.ComposeGate), so their deferred column reads "-".
+func AS1AsyncLatency(o Options) *metrics.Table {
+	t := metrics.NewTable("AS1  Async — discrete-event scheduler: latency spread vs the synchronous round model",
+		"system", "latency", "deferred", "failures", "quality", "healthy")
+	lats := as1Latencies(o.Quick)
+	const nSystems = 4
+	t.AddRows(mustRows(RunRows(o, nSystems*len(lats), func(cell int) [][]string {
+		lat := lats[cell%len(lats)]
+		switch cell / len(lats) {
+		case 0:
+			return [][]string{as1Sampling(o, lat)}
+		case 1:
+			return [][]string{as1Core(o, lat)}
+		case 2:
+			return [][]string{as1Supernode(o, lat)}
+		default:
+			return [][]string{as1SplitMerge(o, lat)}
+		}
+	})))
+	return t
+}
+
+// as1Latencies is the spread sweep: the synchronous control, the
+// zero-spread scheduler control, and three models of growing spread
+// (narrow uniform, wide uniform, heavy-tailed lognormal).
+func as1Latencies(quick bool) []sim.Latency {
+	lats := []sim.Latency{
+		{}, // synchronous kernel, no scheduler
+		{Kind: sim.LatencyConst, A: 1},
+		{Kind: sim.LatencyUniform, A: 0.5, B: 1.5},
+		{Kind: sim.LatencyUniform, A: 0.5, B: 2.5},
+		{Kind: sim.LatencyLognorm, A: 0, B: 0.6},
+	}
+	if quick {
+		return []sim.Latency{lats[0], lats[1], lats[3]}
+	}
+	return lats
+}
+
+// as1Sampling reruns Theorem 2's rapid sampling under lat. Quality is
+// the pooled TV distance against its 3x expected-under-uniform
+// envelope: deferred responses shrink the multisets, so spread shows
+// up first as extraction failures, then as TV loss. The seed is shared
+// by every latency row, so the sync and const:1 rows compare the SAME
+// run under the two execution modes.
+func as1Sampling(o Options, lat sim.Latency) []string {
+	n := 256
+	if o.Quick {
+		n = 128
+	}
+	seed := cellSeed(o.Seed, 0xa5, uint64(n))
+	p := expParams(o, n)
+	p.Latency = lat
+	h := hgraph.Random(rng.New(seed), n, p.D)
+	res := sampling.RapidHGraph(seed^1, h, p)
+	counts := make([]int, n)
+	total := 0
+	for _, s := range res.Samples {
+		for _, w := range s {
+			counts[w]++
+			total++
+		}
+	}
+	tv := metrics.TVDistanceUniform(counts)
+	env := 3 * metrics.ExpectedTVUniform(n, total)
+	return metrics.Row("sampling §3", lat, res.Deferred, res.Failures,
+		fmt.Sprintf("TV %.3f (env %.3f)", tv, env),
+		res.Failures == 0 && tv <= env)
+}
+
+// as1Core reruns Theorem 4/5's reconfiguration under lat with 25%
+// replacement churn per epoch. Quality is the per-epoch connectivity
+// and validity tally: deferred protocol messages miss their phase, so
+// spread surfaces as sampling underflow and unresolved assignments
+// (the failures column) and eventually as invalid epochs.
+func as1Core(o Options, lat sim.Latency) []string {
+	n := 64
+	epochs := 3
+	if o.Quick {
+		epochs = 2
+	}
+	seed := cellSeed(o.Seed, 0xa5, 0xc0, uint64(n))
+	cfg := coreConfig(o, seed, n)
+	cfg.Latency = lat
+	nw := core.NewNetwork(cfg)
+	defer nw.Shutdown()
+	nw.SetMetrics(o.stack("core"))
+	reports := churn.Run(nw, &churn.Replace{Fraction: 0.25, R: rng.New(seed + 1)}, epochs)
+	conn, valid, failures := 0, 0, 0
+	for _, rep := range reports {
+		if rep.Connected {
+			conn++
+		}
+		if rep.Valid {
+			valid++
+		}
+		failures += rep.Failures
+	}
+	return metrics.Row("reconfig §4", lat, nw.DeferredMessages(), failures,
+		fmt.Sprintf("conn %d/%d valid %d/%d", conn, epochs, valid, epochs),
+		conn == epochs && valid == epochs && failures == 0)
+}
+
+// as1Supernode reruns Theorem 6's connectivity claim under lat with a
+// 20% group-isolate DoS adversary. The §5 stack runs whole protocol
+// phases per virtual round, so the latency model acts as a delivery
+// deadline (SetLatency): messages sampled later than one round are
+// lost for their phase. Quality is the disconnected fraction of the
+// measured rounds.
+func as1Supernode(o Options, lat sim.Latency) []string {
+	n := 256
+	if o.Quick {
+		n = 128
+	}
+	seed := cellSeed(o.Seed, 0xa5, 0x50, uint64(n))
+	nw := supernode.New(supernode.Config{Seed: seed, N: n, MeasureEvery: 2, Shards: o.Shards})
+	defer nw.Close()
+	nw.SetMetrics(o.stack("supernode"))
+	nw.SetLatency(lat)
+	adv := &dos.GroupIsolate{Fraction: 0.2, R: rng.New(seed + 1)}
+	buf := &dos.Buffer{Lateness: nw.EpochRounds()}
+	measured, disc := 0, 0
+	for _, rep := range nw.Run(adv, buf, 2*nw.EpochRounds()) {
+		if rep.Measured {
+			measured++
+			if !rep.Connected {
+				disc++
+			}
+		}
+	}
+	return metrics.Row("supernode §5", lat, "-", nw.StatsSnapshot().Stalls,
+		fmt.Sprintf("disc %d/%d", disc, measured), disc == 0)
+}
+
+// as1SplitMerge mirrors as1Supernode for the §6 split/merge stack
+// (Theorem 7), with its random blocking adversary.
+func as1SplitMerge(o Options, lat sim.Latency) []string {
+	n := 256
+	if o.Quick {
+		n = 128
+	}
+	seed := cellSeed(o.Seed, 0xa5, 0x60, uint64(n))
+	nw := splitmerge.New(splitmerge.Config{Seed: seed, N0: n, MeasureEvery: 2, Shards: o.Shards})
+	defer nw.Close()
+	nw.SetMetrics(o.stack("splitmerge"))
+	nw.SetLatency(lat)
+	adv := &dos.Random{Fraction: 0.2, R: rng.New(seed + 1), IDs: nw.Members}
+	buf := &dos.Buffer{Lateness: 2}
+	measured, disc := 0, 0
+	for _, rep := range nw.Run(adv, buf, 2*nw.EpochRounds()) {
+		if rep.Measured {
+			measured++
+			if !rep.Connected {
+				disc++
+			}
+		}
+	}
+	return metrics.Row("splitmerge §6", lat, "-", nw.StatsSnapshot().Stalls,
+		fmt.Sprintf("disc %d/%d", disc, measured), disc == 0)
+}

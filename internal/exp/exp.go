@@ -13,6 +13,7 @@ import (
 	"overlaynet/internal/fault"
 	"overlaynet/internal/metrics"
 	"overlaynet/internal/obs"
+	"overlaynet/internal/sim"
 	"overlaynet/internal/trace"
 )
 
@@ -34,6 +35,16 @@ type Options struct {
 	// defers to the OVERLAYNET_SHARDS environment variable, then 1.
 	// Any value yields byte-identical tables.
 	Shards int
+	// Latency is forwarded to sim.Config.Latency by the drivers that
+	// build sim-kernel networks (the sampling, churn, and scale
+	// experiments): the zero value keeps the synchronous round model; an
+	// enabled model runs the networks under the discrete-event scheduler
+	// (cmd/benchtables -latency). Zero-spread models (sync, const ≤ 1)
+	// yield byte-identical tables to the synchronous run; models with
+	// spread defer messages and degrade the protocols — experiment AS1
+	// sweeps exactly that. The §5/§6 overlay stacks translate the model
+	// into a per-virtual-round delivery deadline via SetLatency instead.
+	Latency sim.Latency
 	// CellTimeout, when positive, arms the runner's stall watchdog: a
 	// sweep cell that fails to finish within this wall-clock budget is
 	// abandoned and reported as an error (cmd/benchtables -cell-timeout).
@@ -163,5 +174,6 @@ func All() []Experiment {
 		{"S3", "Scale: §5/§6 overlay stacks at n up to 1M, dense slots + sharded rounds", S3ScaleOverlay},
 		{"F1", "Audit: which invariants survive which fault rates (drop/dup/crash sweep)", F1FaultMatrix},
 		{"R1", "Recovery: partition & state-corruption MTTR with degraded-mode service", R1Recovery},
+		{"AS1", "Async: event scheduler — zero spread reproduces the round model, spread degrades it", AS1AsyncLatency},
 	}
 }

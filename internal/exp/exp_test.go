@@ -35,8 +35,8 @@ func TestExperimentIDsUnique(t *testing.T) {
 			t.Fatalf("%s has no claim", e.ID)
 		}
 	}
-	if len(seen) != 26 {
-		t.Fatalf("expected 26 experiments, have %d", len(seen))
+	if len(seen) != 27 {
+		t.Fatalf("expected 27 experiments, have %d", len(seen))
 	}
 }
 

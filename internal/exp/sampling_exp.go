@@ -16,7 +16,7 @@ import (
 // ε = 1 and c·log n ≥ 2·log₂ n final budgets keeps the per-node
 // failure probability far below 1/n (Lemma 7) at every sweep size.
 func expParams(o Options, n int) sampling.HGraphParams {
-	return sampling.HGraphParams{N: n, D: 8, Alpha: 2, Epsilon: 1, C: 2, Shards: o.Shards}
+	return sampling.HGraphParams{N: n, D: 8, Alpha: 2, Epsilon: 1, C: 2, Shards: o.Shards, Latency: o.Latency}
 }
 
 // E1RapidSamplingHGraph measures Theorem 2's claims on ℍ-graphs:
@@ -74,7 +74,7 @@ func E3RapidSamplingHypercube(o Options) *metrics.Table {
 	dims := o.sizes([]int{4}, []int{2, 4, 8})
 	t.AddRows(mustRows(RunRows(o, len(dims), func(cell int) [][]string {
 		dim := dims[cell]
-		p := sampling.HypercubeParams{Dim: dim, Epsilon: 1, C: 2, Shards: o.Shards}
+		p := sampling.HypercubeParams{Dim: dim, Epsilon: 1, C: 2, Shards: o.Shards, Latency: o.Latency}
 		res := sampling.RapidHypercube(o.Seed^uint64(dim), p)
 		n := 1 << dim
 		counts := make([]int, n)

@@ -67,7 +67,7 @@ func S1ScaleFlood(o Options) *metrics.Table {
 	// serially regardless of Procs.
 	rows := make([][]string, 0, len(ns))
 	for _, n := range ns {
-		net := sim.NewNetwork(sim.Config{Seed: cellSeed(o.Seed, uint64(n)), Shards: o.Shards})
+		net := sim.NewNetwork(sim.Config{Seed: cellSeed(o.Seed, uint64(n)), Shards: o.Shards, Latency: o.Latency})
 		if o.Trace != nil {
 			net.SetTracer(o.Trace.Tracer(fmt.Sprintf("%s/n%d", o.Exp, n)))
 		}
@@ -116,7 +116,7 @@ func S2ScaleFloodEvent(o Options) *metrics.Table {
 	const fanout, rounds = 4, 8
 	rows := make([][]string, 0, len(ns))
 	for _, n := range ns {
-		net := sim.NewNetwork(sim.Config{Seed: cellSeed(o.Seed, uint64(n)), Shards: o.Shards, SizeHint: n})
+		net := sim.NewNetwork(sim.Config{Seed: cellSeed(o.Seed, uint64(n)), Shards: o.Shards, SizeHint: n, Latency: o.Latency})
 		if o.Trace != nil {
 			// Metrics-only and flight-recorder tracing keep the kernel's
 			// streaming-histogram path (no per-round percentile sort), so

@@ -1,0 +1,168 @@
+package rng
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// refUint64n is the straightforward single-function rejection-sampling
+// reference: Lemire's nearly-divisionless method exactly as it was
+// written before the fast path and the retry tail were split across
+// Uint64n/Uint64nTail for inlining (PR 8). The split must be
+// invisible: same draws from the underlying generator, same results.
+func refUint64n(r *RNG, n uint64) uint64 {
+	if n == 0 {
+		panic("refUint64n: zero n")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// biasEdges are the n values where Lemire's rejection logic earns its
+// keep: the degenerate n=1, exact powers of two (thresh = 0, never
+// retries), values straddling powers of two, and n near 2^64 where the
+// retry probability approaches 1/2.
+var biasEdges = []uint64{
+	1, 2, 3, 5, 7, 16, 17, 255, 256, 257,
+	1 << 20, 1<<20 + 1, 1<<32 - 1, 1 << 32, 1<<32 + 1,
+	1 << 62, 1 << 63, 1<<63 + 1, ^uint64(0) - 1, ^uint64(0),
+}
+
+// TestUint64nMatchesRejectionReference drives the split implementation
+// and the unsplit reference from identical generator states, in
+// lockstep, and requires the exact same output sequence — which also
+// forces the exact same number of underlying Uint64 draws, since any
+// skew would desynchronize every subsequent value.
+func TestUint64nMatchesRejectionReference(t *testing.T) {
+	for _, n := range biasEdges {
+		a := New(12345)
+		b := New(12345)
+		for i := 0; i < 4096; i++ {
+			got, want := a.Uint64n(n), refUint64n(b, n)
+			if got != want {
+				t.Fatalf("n=%d draw %d: Uint64n=%d, reference=%d", n, i, got, want)
+			}
+			if got >= n {
+				t.Fatalf("n=%d draw %d: result %d out of range", n, i, got)
+			}
+		}
+		if a.s != b.s {
+			t.Fatalf("n=%d: generator states diverged after lockstep draws", n)
+		}
+	}
+}
+
+// TestHandInlinedFastPathMatches pins the pattern the overlay sampling
+// hot loops use — Mul64 on Uint64 inline, Uint64nTail only on the
+// biased draw — against Uint64n itself.
+func TestHandInlinedFastPathMatches(t *testing.T) {
+	for _, n := range biasEdges {
+		a := New(999)
+		b := New(999)
+		for i := 0; i < 4096; i++ {
+			want := a.Uint64n(n)
+			hi, lo := bits.Mul64(b.Uint64(), n)
+			if lo < n {
+				hi = b.Uint64nTail(hi, lo, n)
+			}
+			if hi != want {
+				t.Fatalf("n=%d draw %d: hand-inlined=%d, Uint64n=%d", n, i, hi, want)
+			}
+		}
+		if a.s != b.s {
+			t.Fatalf("n=%d: states diverged between Uint64n and the hand-inlined form", n)
+		}
+	}
+}
+
+// drawsConsumed returns how many Uint64 draws one Uint64n(n) call
+// consumed, by replaying raw draws on a clone until the states match.
+func drawsConsumed(t *testing.T, seed, n uint64) int {
+	t.Helper()
+	r := New(seed)
+	clone := *r // value copy of the state
+	r.Uint64n(n)
+	for k := 1; k <= 128; k++ {
+		clone.Uint64()
+		if clone.s == r.s {
+			return k
+		}
+	}
+	t.Fatalf("n=%d: could not resynchronize clone within 128 draws", n)
+	return 0
+}
+
+// TestRetryBehaviorAtEdges checks the rejection loop fires exactly when
+// it should: never for n=1 or powers of two (thresh = 0), and with
+// probability ~1/2 for n just above 2^63 — so across many seeds both
+// single-draw and multi-draw calls must occur.
+func TestRetryBehaviorAtEdges(t *testing.T) {
+	for _, n := range []uint64{1, 2, 16, 1 << 32, 1 << 62, 1 << 63} {
+		for seed := uint64(0); seed < 64; seed++ {
+			if k := drawsConsumed(t, seed, n); k != 1 {
+				t.Fatalf("n=%d seed=%d: power-of-two draw consumed %d Uint64s, want 1", n, seed, k)
+			}
+		}
+	}
+	n := uint64(1<<63 + 1)
+	single, multi := 0, 0
+	for seed := uint64(0); seed < 256; seed++ {
+		if drawsConsumed(t, seed, n) == 1 {
+			single++
+		} else {
+			multi++
+		}
+	}
+	// Retry probability is (2^63-1)/2^64 ≈ 0.5; with 256 trials both
+	// outcomes are overwhelmingly likely (and deterministic per seed).
+	if single == 0 || multi == 0 {
+		t.Fatalf("n=2^63+1: retry loop never exercised both paths (single=%d multi=%d)", single, multi)
+	}
+}
+
+// TestPowerOfTwoIsTopBits: for n = 2^k Lemire degenerates to taking the
+// top k bits of one draw — assert that algebraic identity directly.
+func TestPowerOfTwoIsTopBits(t *testing.T) {
+	for _, k := range []uint{0, 1, 5, 20, 32, 63} {
+		n := uint64(1) << k
+		a := New(77)
+		b := New(77)
+		for i := 0; i < 1024; i++ {
+			got := a.Uint64n(n)
+			want := b.Uint64() >> (64 - k)
+			if k == 0 {
+				want = 0
+			}
+			if got != want {
+				t.Fatalf("n=2^%d draw %d: Uint64n=%d, top-bits=%d", k, i, got, want)
+			}
+		}
+	}
+}
+
+// TestUint64nUniformSmall is a coarse uniformity check at small n
+// (where floor-mapping bias would be invisible to range checks): each
+// bucket of n=5 and n=7 must land within 2% of the expected share over
+// 500k draws at a fixed seed.
+func TestUint64nUniformSmall(t *testing.T) {
+	for _, n := range []uint64{5, 7} {
+		r := New(31337)
+		const draws = 500_000
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			counts[r.Uint64n(n)]++
+		}
+		want := float64(draws) / float64(n)
+		for v, c := range counts {
+			if dev := float64(c)/want - 1; dev > 0.02 || dev < -0.02 {
+				t.Fatalf("n=%d: bucket %d has %d draws, want ~%.0f (dev %.3f)", n, v, c, want, dev)
+			}
+		}
+	}
+}

@@ -3,6 +3,8 @@ package sampling
 import (
 	"fmt"
 	"math"
+
+	"overlaynet/internal/sim"
 )
 
 // HGraphParams are the parameters of Algorithm 1 (rapid node sampling
@@ -34,6 +36,13 @@ type HGraphParams struct {
 	// simulator uses inside each round. Any value yields identical
 	// samples (the kernel is deterministic for every shard count).
 	Shards int
+	// Latency is passed to sim.Config.Latency: the zero value keeps the
+	// synchronous round model; an enabled model runs the sampler under
+	// the discrete-event scheduler, where per-edge delays defer messages
+	// past their synchronous round and the protocol degrades gracefully
+	// (missed responses shrink the multisets, surfacing as extraction
+	// failures and TV-distance loss — experiment AS1 sweeps this).
+	Latency sim.Latency
 }
 
 // DefaultHGraphParams returns the parameters used throughout the
@@ -120,6 +129,9 @@ type HypercubeParams struct {
 	Epsilon float64 // 0 < ε ≤ 1
 	C       float64 // c ≥ β
 	Shards  int     // sim.Config.Shards; results identical for any value
+	// Latency is sim.Config.Latency: zero keeps the synchronous model
+	// (see HGraphParams.Latency).
+	Latency sim.Latency
 }
 
 // DefaultHypercubeParams returns ε = 1, c = 1.

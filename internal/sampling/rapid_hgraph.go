@@ -20,6 +20,10 @@ type RapidResult struct {
 	MaxNodeBits int64
 	// TotalBits is the total communication volume.
 	TotalBits int64
+	// Deferred counts messages the discrete-event scheduler delivered
+	// after their synchronous round+1 deadline (zero unless the params
+	// carry a latency model with spread).
+	Deferred int64
 }
 
 type reqBatch struct {
@@ -69,7 +73,7 @@ func RapidHGraph(seed uint64, h *hgraph.HGraph, p HGraphParams) *RapidResult {
 		panic(err)
 	}
 	n := h.N()
-	net := sim.NewNetwork(sim.Config{Seed: seed, Shards: p.Shards})
+	net := sim.NewNetwork(sim.Config{Seed: seed, Shards: p.Shards, Latency: p.Latency})
 	res := &RapidResult{Samples: make([][]int, n), Rounds: p.Rounds()}
 	failures := make([]int, n)
 
@@ -82,6 +86,7 @@ func RapidHGraph(seed uint64, h *hgraph.HGraph, p HGraphParams) *RapidResult {
 	}
 	net.Run(p.Rounds())
 	net.Shutdown()
+	res.Deferred = net.DeferredMessages()
 	for _, w := range net.Work() {
 		if w.MaxNodeBits > res.MaxNodeBits {
 			res.MaxNodeBits = w.MaxNodeBits

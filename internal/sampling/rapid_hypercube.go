@@ -33,7 +33,7 @@ func RapidHypercube(seed uint64, p HypercubeParams) *RapidResult {
 	}
 	d := p.Dim
 	n := hypercube.N(d)
-	net := sim.NewNetwork(sim.Config{Seed: seed, Shards: p.Shards})
+	net := sim.NewNetwork(sim.Config{Seed: seed, Shards: p.Shards, Latency: p.Latency})
 	res := &RapidResult{Samples: make([][]int, n), Rounds: p.Rounds()}
 	failures := make([]int, n)
 	idBits := sim.IDBits(n)
@@ -151,6 +151,7 @@ func RapidHypercube(seed uint64, p HypercubeParams) *RapidResult {
 	}
 	net.Run(p.Rounds())
 	net.Shutdown()
+	res.Deferred = net.DeferredMessages()
 	for _, w := range net.Work() {
 		if w.MaxNodeBits > res.MaxNodeBits {
 			res.MaxNodeBits = w.MaxNodeBits

@@ -34,7 +34,7 @@ func RapidRegular(seed uint64, adj [][]int, p HGraphParams) *RapidResult {
 			panic(fmt.Sprintf("sampling: graph not regular: node %d has degree %d, want %d", v, len(nb), deg))
 		}
 	}
-	net := sim.NewNetwork(sim.Config{Seed: seed, Shards: p.Shards})
+	net := sim.NewNetwork(sim.Config{Seed: seed, Shards: p.Shards, Latency: p.Latency})
 	res := &RapidResult{Samples: make([][]int, n), Rounds: p.Rounds()}
 	failures := make([]int, n)
 	idOf := func(v int) sim.NodeID { return sim.NodeID(v + 1) }
@@ -46,6 +46,7 @@ func RapidRegular(seed uint64, adj [][]int, p HGraphParams) *RapidResult {
 	}
 	net.Run(p.Rounds())
 	net.Shutdown()
+	res.Deferred = net.DeferredMessages()
 	for _, w := range net.Work() {
 		if w.MaxNodeBits > res.MaxNodeBits {
 			res.MaxNodeBits = w.MaxNodeBits

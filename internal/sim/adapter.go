@@ -21,8 +21,15 @@ type procAdapter struct {
 	proc   Proc
 	resume chan []Message
 	yield  chan bool
-	state  uint8
-	kill   bool // read by the proc goroutine after a resume receive
+	// done is closed as the very last action of the proc goroutine —
+	// after the final yield send — so retire can wait for the goroutine
+	// to actually be gone. That makes AdapterGoroutines() == 0 a
+	// deterministic barrier: once retire returns, the goroutine has
+	// nothing left to execute, and tests need no wall-clock polling of
+	// runtime.NumGoroutine.
+	done  chan struct{}
+	state uint8
+	kill  bool // read by the proc goroutine after a resume receive
 }
 
 const (
@@ -38,6 +45,7 @@ func (a *procAdapter) OnRound(ctx *Ctx, inbox []Message) bool {
 		a.state = adapterParked
 		a.resume = make(chan []Message, 1)
 		a.yield = make(chan bool, 1)
+		a.done = make(chan struct{})
 		ctx.adapter = a
 		a.net.adapterLive.Add(1)
 		go a.run(ctx)
@@ -56,6 +64,9 @@ func (a *procAdapter) OnRound(ctx *Ctx, inbox []Message) bool {
 // normal exit. The final yield <- false hands control back to whichever
 // kernel-side call (OnRound or stop) is waiting.
 func (a *procAdapter) run(ctx *Ctx) {
+	// Deferred first, so it runs last (after the yield send below):
+	// closing done publishes "this goroutine is gone" to retire.
+	defer close(a.done)
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(haltSignal); !ok {
@@ -100,8 +111,12 @@ func (a *procAdapter) stop() {
 	a.retire()
 }
 
-// retire marks the goroutine gone and updates the leak-audit counter.
+// retire waits for the proc goroutine to finish exiting, then marks it
+// gone and updates the leak-audit counter. The wait is bounded: retire
+// is only reached after the goroutine's final yield send, and close is
+// its next (and last) action.
 func (a *procAdapter) retire() {
+	<-a.done
 	a.state = adapterDone
 	a.net.adapterLive.Add(-1)
 }

@@ -3,9 +3,7 @@ package sim
 import (
 	"bytes"
 	"encoding/json"
-	"runtime"
 	"testing"
-	"time"
 )
 
 // TestWorkLogByteIdenticalAcrossModes is the execution-mode half of the
@@ -116,32 +114,17 @@ func TestLookupCacheSlotReuse(t *testing.T) {
 	}
 }
 
-// waitAdapterGoroutines polls until the runtime goroutine count settles
-// back to at most base (adapter goroutines exit asynchronously after
-// their final handshake).
-func waitAdapterGoroutines(t *testing.T, base int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC() // nudge the scheduler
-		if runtime.NumGoroutine() <= base {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines leaked: %d alive, want <= %d", runtime.NumGoroutine(), base)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-}
-
 // TestShutdownAndKillFreeAdapters is the teardown leak audit: adapter
 // goroutines must be released when their proc returns, when the node is
-// killed, and at Shutdown — observed both through the kernel's own
-// bookkeeping (AdapterGoroutines) and the runtime goroutine count. A
-// pure handler network must never create any.
+// killed, and at Shutdown. The kernel's own bookkeeping is a
+// deterministic barrier — retire waits on the goroutine's done channel,
+// so by the time AdapterGoroutines reports a decrement the goroutine
+// has already passed its last statement. No wall-clock polling of
+// runtime.NumGoroutine is needed (the old deadline-poll loop here was
+// flaky on loaded CI machines and is exactly what the done-channel
+// handshake replaces). A pure handler network must never create any
+// adapters.
 func TestShutdownAndKillFreeAdapters(t *testing.T) {
-	base := runtime.NumGoroutine()
-
 	// Pure handler network: no adapter goroutines at any point.
 	hnet := NewNetwork(Config{Seed: 3})
 	for i := 0; i < 100; i++ {
@@ -152,7 +135,9 @@ func TestShutdownAndKillFreeAdapters(t *testing.T) {
 		t.Fatalf("handler network reports %d adapter goroutines", got)
 	}
 	hnet.Shutdown()
-	waitAdapterGoroutines(t, base)
+	if got := hnet.AdapterGoroutines(); got != 0 {
+		t.Fatalf("handler network reports %d adapter goroutines after Shutdown", got)
+	}
 
 	// Coroutine network: adapters appear lazily (first round), shrink as
 	// procs return or nodes are killed, and vanish at Shutdown.
@@ -194,5 +179,30 @@ func TestShutdownAndKillFreeAdapters(t *testing.T) {
 	if got := net.AdapterGoroutines(); got != 0 {
 		t.Fatalf("after Shutdown: %d adapter goroutines, want 0", got)
 	}
-	waitAdapterGoroutines(t, base)
+}
+
+// TestAdapterRetireIsSynchronous pins the barrier property the leak
+// audit relies on: the moment AdapterGoroutines drops, the departed
+// procs' goroutines have completed their final handshake — their done
+// channels are closed — so repeated churn cycles can assert exact
+// counts with no sleeps, GC nudges, or tolerance windows.
+func TestAdapterRetireIsSynchronous(t *testing.T) {
+	for cycle := 0; cycle < 50; cycle++ {
+		net := NewNetwork(Config{Seed: uint64(cycle + 1)})
+		const n = 8
+		for i := 0; i < n; i++ {
+			net.Spawn(NodeID(i+1), func(ctx *Ctx) {
+				ctx.NextRound() // one round, then depart
+			})
+		}
+		net.Step()
+		if got := net.AdapterGoroutines(); got != n {
+			t.Fatalf("cycle %d: %d adapters after round 1, want %d", cycle, got, n)
+		}
+		net.Step() // every proc returns
+		if got := net.AdapterGoroutines(); got != 0 {
+			t.Fatalf("cycle %d: %d adapters after departures, want 0 immediately", cycle, got)
+		}
+		net.Shutdown()
+	}
 }

@@ -56,7 +56,19 @@ type shardAcc struct {
 	inboxSamples []int64
 	bitsSamples  []int64
 
-	computeNS, sendNS int64 // phase wall times, collected when a ShardObserver is attached
+	// deferred counts this worker's accounting range's messages that the
+	// event scheduler parked beyond the next round. A pure function of
+	// (seed, round, edge) like the delay itself, so — unlike the phase
+	// wall times below — it is deterministic and may flow into
+	// byte-compared artifacts.
+	deferred int64
+
+	// Phase wall times, collected when a ShardObserver is attached.
+	// These are the only nondeterministic values a round produces; they
+	// reach tools solely through the ShardObserver hook and must never
+	// enter byte-compared output (trace.Recorder keeps them out of its
+	// flight ring and JSONL/table bytes; see that package's tests).
+	computeNS, sendNS int64
 
 	_ [64]byte
 }
@@ -71,6 +83,7 @@ func (a *shardAcc) reset() {
 	a.dups = a.dups[:0]
 	a.inboxSamples = a.inboxSamples[:0]
 	a.bitsSamples = a.bitsSamples[:0]
+	a.deferred = 0
 	a.computeNS, a.sendNS = 0, 0
 }
 
@@ -150,8 +163,13 @@ func (n *Network) runShard(phase, w int) {
 	case phaseSend:
 		plo, phi := chunk(len(n.order), n.shards, w)
 		slo, shi := chunk(len(n.slots), n.shards, w)
-		acc.messages, acc.totalBits, acc.maxBits, acc.anyHalted =
-			n.sendRange(plo, phi, int32(slo), int32(shi), acc)
+		if n.async {
+			acc.messages, acc.totalBits, acc.maxBits, acc.anyHalted =
+				n.sendRangeAsync(plo, phi, int32(slo), int32(shi), acc)
+		} else {
+			acc.messages, acc.totalBits, acc.maxBits, acc.anyHalted =
+				n.sendRange(plo, phi, int32(slo), int32(shi), acc)
+		}
 		if timed {
 			acc.sendNS = time.Since(t0).Nanoseconds()
 		}
@@ -175,6 +193,7 @@ func (n *Network) stepSharded() (messages int, totalBits, maxBits int64, anyHalt
 			maxBits = a.maxBits
 		}
 		anyHalted = anyHalted || a.anyHalted
+		n.roundDeferred += a.deferred
 	}
 	if tr != nil {
 		// Replay buffered tracer work in shard order. Shard ranges are

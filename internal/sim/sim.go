@@ -42,6 +42,7 @@ package sim
 import (
 	"fmt"
 	"os"
+	"slices"
 	"strconv"
 	"sync/atomic"
 
@@ -114,6 +115,13 @@ type Config struct {
 	// (and its transient copies) while spawning a large network — worth
 	// setting for the n=1M scale runs, irrelevant below ~100k.
 	SizeHint int
+	// Latency, when enabled (non-zero Kind), switches the kernel to the
+	// deterministic discrete-event scheduler: each message is stamped
+	// with an arrival tick drawn from the per-edge distribution and
+	// delivered in the round containing that tick, possibly several
+	// rounds after it was sent (see latency.go for the determinism
+	// argument). The zero value keeps the synchronous round model.
+	Latency Latency
 }
 
 // envShards reads the OVERLAYNET_SHARDS default once.
@@ -159,6 +167,11 @@ type nodeState struct {
 	halted bool         // handler returned false or node was killed
 	seq    uint64
 	bits   int64 // sent+received bits in the current round
+	// future is the node's event calendar in async mode: messages
+	// parked until the round containing their arrival tick. Unordered;
+	// the compute step extracts and sorts the due entries. Always empty
+	// in synchronous mode.
+	future []pendingMsg
 }
 
 // Network coordinates the synchronous rounds. It is not safe for
@@ -212,6 +225,19 @@ type Network struct {
 	injector   Injector
 	faultObs   FaultObserver
 	dupScratch []dupEvent
+
+	// Discrete-event scheduler state (latency.go). async mirrors
+	// lat.Enabled(); latSeed feeds the pure per-edge delay hash;
+	// deferred counts messages (cumulatively) whose sampled delay
+	// pushed arrival past the next round — a deterministic statistic.
+	// roundDeferred accumulates the serial path's per-round count;
+	// latObs caches whether the tracer wants it.
+	lat           Latency
+	async         bool
+	latSeed       uint64
+	deferred      int64
+	roundDeferred int64
+	latObs        LatencyObserver
 }
 
 // NewNetwork returns an empty network.
@@ -230,11 +256,17 @@ func NewNetwork(cfg Config) *Network {
 	if hint < 0 {
 		hint = 0
 	}
+	if err := cfg.Latency.Validate(); err != nil {
+		panic("sim: " + err.Error())
+	}
 	n := &Network{
 		root:       rng.New(cfg.Seed),
 		nodes:      make(map[NodeID]int32, hint),
 		recordWork: true,
 		shards:     shards,
+		lat:        cfg.Latency,
+		async:      cfg.Latency.Enabled(),
+		latSeed:    cfg.Seed,
 	}
 	if hint > 0 {
 		n.slots = make([]nodeState, 0, hint)
@@ -251,6 +283,17 @@ func NewNetwork(cfg Config) *Network {
 
 // Shards returns the configured worker count for the intra-round steps.
 func (n *Network) Shards() int { return n.shards }
+
+// Async reports whether the discrete-event scheduler is active.
+func (n *Network) Async() bool { return n.async }
+
+// DeferredMessages returns the cumulative number of messages whose
+// sampled latency pushed their arrival beyond the next round — the
+// scheduler's headline divergence-from-synchrony statistic. It is a
+// pure function of the seed and the run, identical at any shard count,
+// so it is safe in byte-compared artifacts. Always 0 in synchronous
+// mode and in zero-spread configurations with delay <= 1 round.
+func (n *Network) DeferredMessages() int64 { return n.deferred }
 
 // DisableWorkLog turns off per-round work summaries (useful for very
 // long runs where the slice would grow without bound).
@@ -325,6 +368,13 @@ func (n *Network) freeSlot(s int32) {
 	}
 	clear(st.outbox)
 	st.outbox = st.outbox[:0]
+	if len(st.future) != 0 {
+		// In-flight messages to a departed node are absorbed, exactly
+		// like the synchronous kernel's undelivered inbox; clearing also
+		// keeps them from reaching the slot's next occupant.
+		clear(st.future)
+		st.future = st.future[:0]
+	}
 	st.id = 0
 	st.h = nil
 	st.ctx = nil
@@ -419,6 +469,7 @@ func (n *Network) Step() {
 	var messages int
 	var totalBits, maxBits int64
 	var anyHalted bool
+	n.roundDeferred = 0
 
 	if n.shards > 1 {
 		messages, totalBits, maxBits, anyHalted = n.stepSharded()
@@ -430,13 +481,26 @@ func (n *Network) Step() {
 		// inline.
 		n.computeRange(0, len(n.order), nil)
 		// Send step: drain outboxes in deterministic spawn order,
-		// appending each message to its receiver's fill buffer.
-		messages, totalBits, maxBits, anyHalted = n.sendRange(0, len(n.order), 0, int32(len(n.slots)), nil)
+		// appending each message to its receiver's fill buffer (or, in
+		// async mode, parking it in the receiver's event calendar).
+		if n.async {
+			messages, totalBits, maxBits, anyHalted = n.sendRangeAsync(0, len(n.order), 0, int32(len(n.slots)), nil)
+		} else {
+			messages, totalBits, maxBits, anyHalted = n.sendRange(0, len(n.order), 0, int32(len(n.slots)), nil)
+		}
 		if len(n.dupScratch) > 0 {
 			for _, d := range n.dupScratch {
 				n.faultObs.MessageDuplicated(n.round, d.from, d.to, d.bits, d.copies)
 			}
 			n.dupScratch = n.dupScratch[:0]
+		}
+	}
+	if n.async {
+		n.deferred += n.roundDeferred
+		// Fire only on nonzero counts: a zero-spread async run then
+		// produces exactly the synchronous run's tracer call sequence.
+		if n.latObs != nil && n.roundDeferred > 0 {
+			n.latObs.RoundDeferred(n.round, int(n.roundDeferred))
 		}
 	}
 
@@ -482,7 +546,11 @@ func (n *Network) computeRange(plo, phi int, acc *shardAcc) {
 			st.outbox = out[:0]
 		}
 		var box []Message
-		if anyB && blocked.Test(s) {
+		if n.async {
+			// Event-scheduler receive step: deliver (or, when blocked,
+			// drop) the calendar entries due this round.
+			box = n.asyncInbox(st, s, acc)
+		} else if anyB && blocked.Test(s) {
 			// Drop the pending inbox without delivering it.
 			pend := st.inbox[st.fill]
 			if tr != nil {
@@ -533,6 +601,63 @@ func (n *Network) computeRange(plo, phi int, acc *shardAcc) {
 			st.halted = true
 		}
 	}
+}
+
+// asyncInbox runs the event-scheduler receive step for one slot: it
+// extracts the calendar entries whose delivery round has arrived, sorts
+// them into the total order (arrival tick, send round, sender position,
+// send sequence — see latency.go), and materializes them in the slot's
+// inbox buffer — or, for a blocked receiver, drops them with
+// DropBlockedReceiverDeliveryRound, exactly as the synchronous path
+// drops a blocked node's pending inbox. The sort happens per receiver
+// over its own calendar, so any shard partition of the receivers
+// produces the same inboxes.
+func (n *Network) asyncInbox(st *nodeState, s int32, acc *shardAcc) []Message {
+	fut := st.future
+	round := int32(n.round)
+	d := 0
+	for i := range fut {
+		if fut[i].rnd <= round {
+			fut[d], fut[i] = fut[i], fut[d]
+			d++
+		}
+	}
+	if d == 0 {
+		return nil
+	}
+	due := fut[:d]
+	slices.SortFunc(due, pendingLess)
+	var box []Message
+	if n.blockedAny && n.blocked.Test(s) {
+		if tr := n.tracer; tr != nil {
+			for i := range due {
+				if acc != nil {
+					acc.recvDrops = append(acc.recvDrops, dropEvent{
+						from: due[i].m.From, to: st.id, bits: due[i].m.Bits,
+						reason: DropBlockedReceiverDeliveryRound,
+					})
+				} else {
+					tr.MessageDropped(n.round, DropBlockedReceiverDeliveryRound,
+						due[i].m.From, st.id, due[i].m.Bits)
+				}
+			}
+		}
+	} else {
+		buf := st.inbox[0]
+		clear(buf)
+		buf = buf[:0]
+		for i := range due {
+			buf = append(buf, due[i].m)
+		}
+		st.inbox[0] = buf
+		box = buf
+	}
+	// Retire the due entries: shift the keepers down, release payload
+	// references from the vacated tail.
+	k := copy(fut, fut[d:])
+	clear(fut[k:])
+	st.future = fut[:k]
+	return box
 }
 
 // sendRange runs the send step. It scans every sender's outbox in spawn
@@ -683,6 +808,143 @@ func (n *Network) sendRange(plo, phi int, dlo, dhi int32, acc *shardAcc) (messag
 				anyHalted = true
 			}
 		}
+	}
+	return messages, totalBits, maxBits, anyHalted
+}
+
+// sendRangeAsync is the event-scheduler send step: identical structure
+// and accounting to sendRange, but instead of appending to the
+// receiver's fill buffer each deliverable message is stamped with its
+// arrival tick (a pure function of seed, round, and edge — every
+// worker layout computes the same stamp) and parked in the receiver's
+// calendar. The DoS send-round check, fault injection, drop reasons,
+// and per-sender accounting are exactly those of sendRange; the
+// delivery-round blocked check happens in asyncInbox when the entry
+// comes due. Messages whose delay defers them past the next round are
+// counted by the accounting worker (deferred is therefore deterministic
+// too).
+func (n *Network) sendRangeAsync(plo, phi int, dlo, dhi int32, acc *shardAcc) (messages int, totalBits, maxBits int64, anyHalted bool) {
+	tr := n.tracer
+	inj := n.injector
+	slots := n.slots
+	blocked, anyB := n.blocked, n.blockedAny
+	lat, latSeed := n.lat, n.latSeed
+	round := n.round
+	rtick := uint64(round) * tickScale
+	var deferred int64
+	for p, norder := 0, len(n.order); p < norder; p++ {
+		s := n.order[p]
+		st := &slots[s]
+		mine := p >= plo && p < phi
+		out := st.outbox
+		if anyB && blocked.Test(s) {
+			// Blocked sender: the whole outbox is discarded.
+			if mine && tr != nil {
+				for i := range out {
+					if acc != nil {
+						acc.sendDrops = append(acc.sendDrops, dropEvent{
+							from: out[i].From, to: out[i].To, bits: out[i].Bits,
+							reason: DropBlockedSender,
+						})
+					} else {
+						tr.MessageDropped(round, DropBlockedSender, out[i].From, out[i].To, out[i].Bits)
+					}
+				}
+			}
+		} else {
+			for i := range out {
+				m := &out[i]
+				t := m.slot
+				if t >= 0 && !(anyB && blocked.Test(t)) {
+					deliver := t >= dlo && t < dhi
+					if deliver || mine {
+						copies := 1
+						if inj != nil {
+							copies = inj.Deliveries(round, m.From, m.To, m.seq)
+						}
+						if copies > 0 {
+							ticks := lat.delayTicks(latSeed, round, uint64(m.From), uint64(m.To))
+							at := rtick + ticks
+							ar := int32((at + tickScale - 1) / tickScale)
+							if ar <= int32(round) {
+								ar = int32(round) + 1
+							}
+							if deliver {
+								rcv := &slots[t]
+								pm := pendingMsg{m: *m, tick: at, srnd: int32(round), pos: int32(p), rnd: ar}
+								for c := 0; c < copies; c++ {
+									rcv.future = append(rcv.future, pm)
+								}
+							}
+							if mine && ar > int32(round)+1 {
+								deferred++
+							}
+						}
+						if mine && tr != nil {
+							if copies == 0 {
+								if acc != nil {
+									acc.sendDrops = append(acc.sendDrops, dropEvent{
+										from: m.From, to: m.To, bits: m.Bits,
+										reason: DropFaultInjected,
+									})
+								} else {
+									tr.MessageDropped(round, DropFaultInjected, m.From, m.To, m.Bits)
+								}
+							} else if copies > 1 && n.faultObs != nil {
+								if acc != nil {
+									acc.dups = append(acc.dups, dupEvent{
+										from: m.From, to: m.To, bits: m.Bits, copies: copies,
+									})
+								} else {
+									n.dupScratch = append(n.dupScratch, dupEvent{
+										from: m.From, to: m.To, bits: m.Bits, copies: copies,
+									})
+								}
+							}
+						}
+					}
+				} else if mine && tr != nil {
+					reason := DropBlockedReceiverSendRound
+					if t < 0 {
+						reason = DropDeadReceiver
+					}
+					if acc != nil {
+						acc.sendDrops = append(acc.sendDrops, dropEvent{
+							from: m.From, to: m.To, bits: m.Bits, reason: reason,
+						})
+					} else {
+						tr.MessageDropped(round, reason, m.From, m.To, m.Bits)
+					}
+				}
+				if mine {
+					st.bits += int64(m.Bits)
+				}
+			}
+			if mine {
+				messages += len(out)
+			}
+		}
+		if mine {
+			totalBits += st.bits
+			if st.bits > maxBits {
+				maxBits = st.bits
+			}
+			if tr != nil {
+				if acc != nil {
+					acc.bitsSamples = append(acc.bitsSamples, st.bits)
+				} else {
+					n.traceBits = append(n.traceBits, st.bits)
+				}
+			}
+			if st.halted {
+				anyHalted = true
+			}
+		}
+	}
+	if acc != nil {
+		acc.deferred = deferred
+	} else {
+		n.roundDeferred += deferred
 	}
 	return messages, totalBits, maxBits, anyHalted
 }

@@ -119,6 +119,20 @@ type ShardObserver interface {
 	ShardRound(round, shard int, recvUS, sendUS int64)
 }
 
+// LatencyObserver is an optional extension a Tracer can implement to
+// receive the discrete-event scheduler's per-round deferral count: how
+// many of the round's delivered sends drew a latency beyond the next
+// round and so missed the synchronous deadline. It fires after the send
+// step of any round with a nonzero count when Config.Latency is enabled
+// (never on zero, so a zero-spread async run emits exactly the
+// synchronous run's call sequence). Unlike ShardObserver's wall times
+// the count is a pure function
+// of the seed — deterministic at any -procs/-shards — so it is safe in
+// byte-compared artifacts.
+type LatencyObserver interface {
+	RoundDeferred(round, deferred int)
+}
+
 // RoundSampler is an optional extension a Tracer can implement to
 // receive the raw per-node samples of each round — the delivered inbox
 // sizes and sent+received bits across alive nodes — before any
@@ -145,6 +159,7 @@ func (n *Network) SetTracer(t Tracer) {
 	n.shardObs, _ = t.(ShardObserver)
 	n.faultObs, _ = t.(FaultObserver)
 	n.sampleObs, _ = t.(RoundSampler)
+	n.latObs, _ = t.(LatencyObserver)
 }
 
 // traceRoundStart counts blocked members in spawn order, emits the

@@ -78,6 +78,114 @@ func TestByteIdenticalAcrossShards(t *testing.T) {
 	}
 }
 
+// TestDeliveryGateDisablesDirectPath mirrors the supernode test: the
+// §6 fast path must be off exactly when a non-nil delivery gate —
+// injector, partition window, or latency deadline — exists, and the
+// zero-spec / zero-spread configurations must leave an untyped nil
+// (the typed-nil interface trap).
+func TestDeliveryGateDisablesDirectPath(t *testing.T) {
+	nw := New(Config{Seed: 1, N0: 512, Shards: 1})
+	defer nw.Close()
+	if nw.inj != nil {
+		t.Fatal("fresh network has a delivery gate")
+	}
+	nw.SetFaults(fault.Spec{Seed: 3, Crash: 0.1})
+	if nw.inj != nil {
+		t.Fatal("message-fault-free spec produced a gate (typed-nil trap)")
+	}
+	nw.SetFaults(fault.Spec{Seed: 3, PartK: 2, PartFrom: 2, PartWin: 4})
+	if nw.inj == nil {
+		t.Fatal("partition window left no gate")
+	}
+	nw.SetFaults(fault.Spec{})
+	nw.SetLatency(sim.Latency{Kind: sim.LatencyConst, A: 1})
+	if nw.inj != nil {
+		t.Fatal("zero-spread latency (never late) must compose to no gate")
+	}
+	nw.SetLatency(sim.Latency{Kind: sim.LatencyUniform, A: 0.5, B: 2})
+	if nw.inj == nil {
+		t.Fatal("latency with spread > 1 round left no gate")
+	}
+	nw.Step(nil)
+	if nw.direct {
+		t.Fatal("direct fast path stayed on with a latency gate attached")
+	}
+	nw.SetLatency(sim.Latency{})
+	nw.Step(nil)
+	if !nw.direct {
+		t.Fatal("direct fast path did not re-engage after the gate detached")
+	}
+}
+
+// gateDigest fingerprints a run under one delivery-gate configuration
+// (see supernode's gateDigest) for the fast-path × faults × latency ×
+// observability byte-identity matrix.
+func gateDigest(shards int, withObs bool, spec fault.Spec, lat sim.Latency, corrupt bool) string {
+	nw := New(Config{Seed: 42, N0: 1024, MeasureEvery: 2, Shards: shards})
+	defer nw.Close()
+	if withObs {
+		reg := obs.NewRegistry(1)
+		nw.SetMetrics(reg.StackMetrics("splitmerge"))
+		nw.SetAudit(audit.NewEngine("gate-identity", 9, 3, nil))
+	}
+	nw.SetFaults(spec)
+	nw.SetLatency(lat)
+	adv := &dos.Random{Fraction: 0.1, R: rng.New(7), IDs: nw.Members}
+	buf := &dos.Buffer{Lateness: 2}
+	var b strings.Builder
+	for _, rep := range nw.Run(adv, buf, nw.EpochRounds()+3) {
+		fmt.Fprintf(&b, "%+v\n", rep)
+	}
+	if corrupt {
+		fmt.Fprintf(&b, "corrupt: %s\n", nw.CorruptState(12345))
+	}
+	for _, rep := range nw.Run(adv, buf, nw.EpochRounds()) {
+		fmt.Fprintf(&b, "%+v\n", rep)
+	}
+	fmt.Fprintf(&b, "%+v\n%v\n%v\n", nw.StatsSnapshot(), nw.Labels(), nw.GroupSizes())
+	return b.String()
+}
+
+// TestDirectPathGatingMatrix mirrors the supernode matrix: every gate
+// axis compared across single-worker (direct when the gate is nil) and
+// shards=8, with and without metrics+audit, plus §6-level
+// sync-equivalence of the zero-spread latency model.
+func TestDirectPathGatingMatrix(t *testing.T) {
+	uni := sim.Latency{Kind: sim.LatencyUniform, A: 0.5, B: 2}
+	cases := []struct {
+		name    string
+		spec    fault.Spec
+		lat     sim.Latency
+		corrupt bool
+	}{
+		{name: "partition-only", spec: fault.Spec{Seed: 11, PartK: 2, PartFrom: 5, PartWin: 6}},
+		{name: "dropdup-only", spec: fault.Spec{Seed: 11, Drop: 0.03, Dup: 0.02}},
+		{name: "latency-only", lat: uni},
+		{name: "latency+faults", spec: fault.Spec{Seed: 11, Drop: 0.02, Dup: 0.01}, lat: uni},
+		{name: "corrupt-direct", corrupt: true},
+	}
+	for _, c := range cases {
+		want := gateDigest(1, false, c.spec, c.lat, c.corrupt)
+		if got := gateDigest(8, false, c.spec, c.lat, c.corrupt); got != want {
+			t.Fatalf("%s: shards=8 diverges from the single-worker execution", c.name)
+		}
+		if got := gateDigest(4, true, c.spec, c.lat, c.corrupt); got != want {
+			t.Fatalf("%s: attaching metrics+audit perturbed the results", c.name)
+		}
+	}
+	base := gateDigest(1, false, fault.Spec{}, sim.Latency{}, false)
+	zero := sim.Latency{Kind: sim.LatencyConst, A: 1}
+	if got := gateDigest(1, false, fault.Spec{}, zero, false); got != base {
+		t.Fatal("const:1 latency changed the direct-path bytes")
+	}
+	if got := gateDigest(8, false, fault.Spec{}, zero, false); got != base {
+		t.Fatal("const:1 latency changed the sharded-pipeline bytes")
+	}
+	if got := gateDigest(1, false, fault.Spec{}, uni, false); got == base {
+		t.Fatal("latency gate with spread had no observable effect")
+	}
+}
+
 // TestBlockedMapNotAliased verifies Step copies the caller's blocked
 // map into owned storage: mutating or reusing the map after Step
 // returns must not rewrite the two-round blocked history it feeds.

@@ -224,13 +224,17 @@ type Network struct {
 	// supernode for the crash-as-blocked composition semantics.
 	audit      *audit.Engine
 	faults     fault.Spec
-	inj        *fault.Injector
+	inj        fault.Gate // composed injector + latency deadline; nil = nothing can touch delivery
+	lat        sim.Latency
 	wasCrashed sim.Bitset
 
-	// direct: single-worker fast path (see supernode.Network.direct).
-	// With one shard and no injector, sampling messages append straight
+	// direct: single-worker fast path (see supernode.Network.direct,
+	// including the gating proof — it applies verbatim here). With one
+	// shard and a nil delivery gate, sampling messages append straight
 	// to the target virtual vertices at generation time — identical
-	// results, no outbox write-read-scatter pass. Recomputed each Step.
+	// results, no outbox write-read-scatter pass. Recomputed each Step;
+	// a second worker or ANY non-nil gate (injector, partition window,
+	// latency deadline) forces the outbox pipeline.
 	direct bool
 }
 
@@ -472,10 +476,24 @@ func (nw *Network) SetAudit(e *audit.Engine) {
 // queues; the crash schedule composes into every round's blocked set.
 func (nw *Network) SetFaults(spec fault.Spec) {
 	nw.faults = spec
-	nw.inj = spec.Injector()
+	nw.inj = fault.ComposeGate(spec.Injector(), nw.lat, nw.cfg.Seed)
 	if spec.Crash > 0 && nw.wasCrashed == nil {
 		nw.wasCrashed = sim.GrowBitset(nil, len(nw.nodeR))
 	}
+}
+
+// SetLatency attaches the discrete-event latency model in virtual-round
+// form (see supernode.Network.SetLatency): messages whose sampled delay
+// exceeds one virtual round are dropped via fault.ComposeGate rather
+// than re-ordered. A model that can never miss the deadline composes to
+// the bare injector, leaving the run bit-for-bit unchanged. The zero
+// value detaches.
+func (nw *Network) SetLatency(lat sim.Latency) {
+	if err := lat.Validate(); err != nil {
+		panic("splitmerge: " + err.Error())
+	}
+	nw.lat = lat
+	nw.inj = fault.ComposeGate(nw.faults.Injector(), lat, nw.cfg.Seed)
 }
 
 func (nw *Network) crashedNow(id sim.NodeID) bool {
@@ -824,6 +842,8 @@ func (nw *Network) Step(blocked map[sim.NodeID]bool) RoundReport {
 
 	rep := RoundReport{Round: nw.round, Epoch: nw.epoch, Blocked: count, Connected: true}
 
+	// Single worker and untyped-nil delivery gate only (see the direct
+	// field's doc and supernode's gating proof).
 	nw.direct = nw.shards == 1 && nw.inj == nil
 
 	if cap(nw.leaders) < len(nw.supers) {

@@ -64,6 +64,125 @@ func TestByteIdenticalAcrossShards(t *testing.T) {
 	}
 }
 
+// TestDeliveryGateDisablesDirectPath pins the direct fast path's gating
+// invariant: nw.inj must be untyped nil exactly when nothing can touch
+// delivery, and any active injector, partition window, or latency
+// deadline must force the outbox pipeline. The zero-spec and
+// zero-spread cases guard the typed-nil interface trap — a *fault.
+// Injector nil wrapped in a non-nil fault.Gate would disable the fast
+// path forever (or, composed the other way, keep it on with faults
+// attached).
+func TestDeliveryGateDisablesDirectPath(t *testing.T) {
+	nw := New(Config{Seed: 1, N: 512, Shards: 1})
+	defer nw.Close()
+	if nw.inj != nil {
+		t.Fatal("fresh network has a delivery gate")
+	}
+	nw.SetFaults(fault.Spec{Seed: 3, Crash: 0.1}) // crash-only: acts pre-generation, no gate
+	if nw.inj != nil {
+		t.Fatal("message-fault-free spec produced a gate (typed-nil trap)")
+	}
+	nw.SetFaults(fault.Spec{Seed: 3, PartK: 2, PartFrom: 2, PartWin: 4})
+	if nw.inj == nil {
+		t.Fatal("partition window left no gate; direct path would reorder/deliver cut messages")
+	}
+	nw.SetFaults(fault.Spec{})
+	nw.SetLatency(sim.Latency{Kind: sim.LatencyConst, A: 1})
+	if nw.inj != nil {
+		t.Fatal("zero-spread latency (never late) must compose to no gate")
+	}
+	nw.SetLatency(sim.Latency{Kind: sim.LatencyUniform, A: 0.5, B: 2})
+	if nw.inj == nil {
+		t.Fatal("latency with spread > 1 round left no gate")
+	}
+	nw.Step(nil)
+	if nw.direct {
+		t.Fatal("direct fast path stayed on with a latency gate attached")
+	}
+	nw.SetLatency(sim.Latency{})
+	nw.Step(nil)
+	if !nw.direct {
+		t.Fatal("direct fast path did not re-engage after the gate detached")
+	}
+}
+
+// gateDigest fingerprints a run under one delivery-gate configuration,
+// optionally with metrics+audit attached and a mid-run state
+// corruption, for the fast-path × faults × latency × observability
+// byte-identity matrix.
+func gateDigest(shards int, withObs bool, spec fault.Spec, lat sim.Latency, corrupt bool) string {
+	nw := New(Config{Seed: 42, N: 1024, MeasureEvery: 2, Shards: shards})
+	defer nw.Close()
+	if withObs {
+		reg := obs.NewRegistry(1)
+		nw.SetMetrics(reg.StackMetrics("supernode"))
+		nw.SetAudit(audit.NewEngine("gate-identity", 9, 3, nil))
+	}
+	nw.SetFaults(spec)
+	nw.SetLatency(lat)
+	adv := &dos.GroupIsolate{Fraction: 0.2, R: rng.New(7)}
+	buf := &dos.Buffer{Lateness: nw.EpochRounds()}
+	var b strings.Builder
+	for _, rep := range nw.Run(adv, buf, nw.EpochRounds()+3) {
+		fmt.Fprintf(&b, "%+v\n", rep)
+	}
+	if corrupt {
+		fmt.Fprintf(&b, "corrupt: %s\n", nw.CorruptState(12345))
+	}
+	for _, rep := range nw.Run(adv, buf, nw.EpochRounds()) {
+		fmt.Fprintf(&b, "%+v\n", rep)
+	}
+	fmt.Fprintf(&b, "%+v\n%v\n", nw.StatsSnapshot(), nw.GroupSizes())
+	return b.String()
+}
+
+// TestDirectPathGatingMatrix runs every gate axis — partition-only,
+// drop/dup, latency deadline, latency composed with faults, and state
+// corruption (which is gate-free by design and must stay byte-identical
+// ON the direct path) — comparing the single-worker execution against
+// shards=8, with and without metrics+audit. It also pins §5-level
+// sync-equivalence: a zero-spread latency model must not change a
+// single byte relative to no latency model at all.
+func TestDirectPathGatingMatrix(t *testing.T) {
+	uni := sim.Latency{Kind: sim.LatencyUniform, A: 0.5, B: 2}
+	cases := []struct {
+		name    string
+		spec    fault.Spec
+		lat     sim.Latency
+		corrupt bool
+	}{
+		{name: "partition-only", spec: fault.Spec{Seed: 11, PartK: 2, PartFrom: 5, PartWin: 6}},
+		{name: "dropdup-only", spec: fault.Spec{Seed: 11, Drop: 0.03, Dup: 0.02}},
+		{name: "latency-only", lat: uni},
+		{name: "latency+faults", spec: fault.Spec{Seed: 11, Drop: 0.02, Dup: 0.01}, lat: uni},
+		{name: "corrupt-direct", corrupt: true},
+	}
+	for _, c := range cases {
+		want := gateDigest(1, false, c.spec, c.lat, c.corrupt)
+		if got := gateDigest(8, false, c.spec, c.lat, c.corrupt); got != want {
+			t.Fatalf("%s: shards=8 diverges from the single-worker execution", c.name)
+		}
+		if got := gateDigest(4, true, c.spec, c.lat, c.corrupt); got != want {
+			t.Fatalf("%s: attaching metrics+audit perturbed the results", c.name)
+		}
+	}
+	// Zero-spread latency composes away entirely: same bytes as no
+	// latency model, on the direct path and the sharded pipeline alike.
+	base := gateDigest(1, false, fault.Spec{}, sim.Latency{}, false)
+	zero := sim.Latency{Kind: sim.LatencyConst, A: 1}
+	if got := gateDigest(1, false, fault.Spec{}, zero, false); got != base {
+		t.Fatal("const:1 latency changed the direct-path bytes")
+	}
+	if got := gateDigest(8, false, fault.Spec{}, zero, false); got != base {
+		t.Fatal("const:1 latency changed the sharded-pipeline bytes")
+	}
+	// And a latency model with spread must actually change behavior,
+	// otherwise the gate is vacuous.
+	if got := gateDigest(1, false, fault.Spec{}, uni, false); got == base {
+		t.Fatal("latency gate with spread had no observable effect")
+	}
+}
+
 // TestBlockedMapNotAliased verifies Step copies the caller's blocked
 // map into owned storage: mutating or reusing the map after Step
 // returns must not rewrite the two-round blocked history it feeds.

@@ -246,16 +246,33 @@ type Network struct {
 	// broadcast). wasCrashed tracks restart counting only.
 	audit      *audit.Engine
 	faults     fault.Spec
-	inj        *fault.Injector
+	inj        fault.Gate // composed injector + latency deadline; nil = nothing can touch delivery
+	lat        sim.Latency
 	wasCrashed sim.Bitset
 
-	// direct: single-worker fast path. With one shard and no fault
-	// injector, requests and responses append straight to the target
-	// queues at generation time — the generation order of the lone
-	// worker IS the serial per-target arrival order, so results are
-	// byte-identical to the outbox path while skipping a full
+	// direct: single-worker fast path. With one shard and a nil
+	// delivery gate, requests and responses append straight to the
+	// target queues at generation time — the generation order of the
+	// lone worker IS the serial per-target arrival order, so results
+	// are byte-identical to the outbox path while skipping a full
 	// write-read-scatter pass over every message. Recomputed each Step;
-	// any injector or a second worker falls back to the outboxes.
+	// a second worker or ANY non-nil gate falls back to the outboxes.
+	//
+	// Gating proof: the fast path changes only the mechanics of
+	// delivery, never its outcome, and that equivalence holds exactly
+	// when every generated message is delivered, once, in generation
+	// order. Everything that can violate that premise flows through
+	// nw.inj: message drop/dup and partition windows via
+	// fault.Spec.Injector (Spec.Injector returns non-nil iff
+	// Drop, Dup, or PartWin is set), and the latency deadline via
+	// fault.ComposeGate — and fault.ComposeGate returns an untyped nil
+	// only when none of those are active (never a non-nil interface
+	// around a nil *Injector, which would silently keep direct mode on
+	// with faults attached). Crash faults and state corruption act on
+	// the blocked set and node state before generation, so they change
+	// which messages are generated, not how generated messages travel,
+	// and are safe under direct delivery; TestByteIdenticalAcrossShards
+	// pins direct-vs-outbox byte-identity for each gate axis.
 	direct bool
 }
 
@@ -476,10 +493,26 @@ func (nw *Network) SetAudit(e *audit.Engine) {
 // The zero spec detaches.
 func (nw *Network) SetFaults(spec fault.Spec) {
 	nw.faults = spec
-	nw.inj = spec.Injector()
+	nw.inj = fault.ComposeGate(spec.Injector(), nw.lat, nw.cfg.Seed)
 	if spec.Crash > 0 && nw.wasCrashed == nil {
 		nw.wasCrashed = sim.GrowBitset(nil, nw.cfg.N)
 	}
+}
+
+// SetLatency attaches the discrete-event latency model in virtual-round
+// form: supernode epochs are fixed sequences of synchronous phases, so
+// instead of re-ordering deliveries the model drops any message whose
+// sampled delay (the same pure (seed, round, edge) hash the sim kernel
+// uses) exceeds one round — see fault.ComposeGate. A model that can
+// never miss the deadline (sync, or zero spread with delay <= 1)
+// composes to the bare injector and the run is bit-for-bit unchanged.
+// The zero value detaches.
+func (nw *Network) SetLatency(lat sim.Latency) {
+	if err := lat.Validate(); err != nil {
+		panic("supernode: " + err.Error())
+	}
+	nw.lat = lat
+	nw.inj = fault.ComposeGate(nw.faults.Injector(), lat, nw.cfg.Seed)
 }
 
 // crashedNow reports whether node id is down in the current epoch: the
@@ -718,6 +751,10 @@ func (nw *Network) Step(blocked map[sim.NodeID]bool) RoundReport {
 
 	rep := RoundReport{Round: nw.round, Epoch: nw.epoch, Blocked: count, Connected: true}
 
+	// Single worker and nothing gating delivery (nw.inj is untyped nil
+	// iff no injector, partition window, or latency deadline is active;
+	// see the field's gating proof) — only then may messages bypass the
+	// outbox pipeline.
 	nw.direct = nw.shards == 1 && nw.inj == nil
 
 	// Identify per-group leaders for this round and count stalls.

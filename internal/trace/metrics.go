@@ -23,7 +23,11 @@ type kernelMetrics struct {
 	violations *obs.Counter
 	recoveries *obs.Counter
 	dupExtra   *obs.Counter
-	drops      [sim.NumDropReasons]*obs.Counter
+	// asyncDeferred tracks messages the discrete-event scheduler parked
+	// past the synchronous deadline (deterministic; see
+	// Counters.AsyncDeferred).
+	asyncDeferred *obs.Counter
+	drops         [sim.NumDropReasons]*obs.Counter
 
 	alive *obs.Gauge
 
@@ -50,6 +54,8 @@ func newKernelMetrics(reg *obs.Registry) *kernelMetrics {
 		violations: reg.Counter("overlaynet_violations_total", "invariant-audit violations"),
 		recoveries: reg.Counter("overlaynet_recoveries_total", "closed recovery episodes"),
 		dupExtra:   reg.Counter("overlaynet_dup_extra_copies_total", "extra inbox copies from injected duplication"),
+
+		asyncDeferred: reg.Counter("overlaynet_async_deferred_total", "messages deferred past round+1 by the event scheduler"),
 
 		alive: reg.Gauge("overlaynet_alive_nodes", "alive nodes at last round start"),
 
@@ -131,6 +137,8 @@ func kindID(kind string) uint64 {
 		return 6
 	case "dup":
 		return 7
+	case "sched_deferred":
+		return 8
 	default:
 		return 63
 	}

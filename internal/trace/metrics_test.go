@@ -133,6 +133,77 @@ func TestFlightRecorderDeterministicAcrossShards(t *testing.T) {
 	}
 }
 
+// TestWallClockConfinedToDocumentedFields pins the wall-clock
+// confinement contract: sharded runs measure per-shard phase times
+// (ShardObserver), but those measurements surface ONLY in the two
+// documented Counters fields (ShardRecvUS/ShardSendUS) and in
+// shard_round events under full retention — never in the flight ring,
+// and never in any other counter. Everything else the recorder exposes,
+// including the async scheduler's sched_deferred events and the
+// AsyncDeferred total, must be byte-identical across worker layouts
+// once event timestamps are masked.
+func TestWallClockConfinedToDocumentedFields(t *testing.T) {
+	capture := func(shards int) ([]Event, Counters) {
+		rec := New().FlightRecorder(99, 0.5, 4096)
+		net := sim.NewNetwork(sim.Config{Seed: 1234, Shards: shards,
+			Latency: sim.Latency{Kind: sim.LatencyUniform, A: 0.5, B: 2.5}})
+		net.SetTracer(rec.Tracer("confine"))
+		const n, fanout = 64, 3
+		h := sim.HandlerFunc(func(ctx *sim.Ctx, _ []sim.Message) bool {
+			self := int(ctx.ID()) - 1
+			for j := 1; j <= fanout; j++ {
+				ctx.Send(sim.NodeID((self+j)%n+1), "f", 64)
+			}
+			return true
+		})
+		for i := 0; i < n; i++ {
+			net.SpawnHandler(sim.NodeID(i+1), h)
+		}
+		net.Run(8)
+		net.Shutdown()
+		return maskTS(rec.FlightEvents()), rec.Counters()
+	}
+
+	f2, c2 := capture(2)
+	f4, c4 := capture(4)
+
+	// The wall clock was genuinely measured: both runs saw shard timing.
+	if len(c2.ShardRecvUS) != 2 || len(c4.ShardRecvUS) != 4 {
+		t.Fatalf("shard timing not recorded: %d/%d entries", len(c2.ShardRecvUS), len(c4.ShardRecvUS))
+	}
+	// ...but none of it reached the flight ring.
+	deferredEvents := 0
+	for _, evs := range [][]Event{f2, f4} {
+		for _, ev := range evs {
+			if ev.Kind == "shard_round" {
+				t.Fatal("wall-clock shard_round event leaked into the flight ring")
+			}
+			if ev.Kind == "sched_deferred" {
+				deferredEvents++
+			}
+		}
+	}
+	// The scheduler's deferral telemetry is deterministic and must be
+	// present (latency spread 0.5–2.5 rounds defers messages every round).
+	if deferredEvents == 0 || c2.AsyncDeferred == 0 {
+		t.Fatalf("no sched_deferred telemetry (events %d, counter %d)", deferredEvents, c2.AsyncDeferred)
+	}
+	// Masked flight streams and shard-timing-stripped counters are
+	// byte-identical across worker layouts.
+	fa, _ := json.Marshal(f2)
+	fb, _ := json.Marshal(f4)
+	if !bytes.Equal(fa, fb) {
+		t.Fatalf("flight streams differ across shard counts (%d vs %d events)", len(f2), len(f4))
+	}
+	c2.ShardRecvUS, c2.ShardSendUS = nil, nil
+	c4.ShardRecvUS, c4.ShardSendUS = nil, nil
+	ca, _ := json.Marshal(c2)
+	cb, _ := json.Marshal(c4)
+	if !bytes.Equal(ca, cb) {
+		t.Fatalf("counters differ beyond the documented wall-clock fields:\n%s\n%s", ca, cb)
+	}
+}
+
 // TestFlightRecorderBoundedAndKeepsViolations checks the two retention
 // rules: the ring never exceeds its capacity however long the run, and
 // violation/recovery reports always enter it regardless of the sample

@@ -69,6 +69,12 @@ type Event struct {
 	Shard  int   `json:"shard,omitempty"`
 	RecvUS int64 `json:"recv_us,omitempty"`
 	SendUS int64 `json:"send_us,omitempty"`
+	// Deferred, on sched_deferred events only: how many messages the
+	// discrete-event scheduler parked past round+1 this round. Unlike the
+	// shard timings it is a deterministic count — a pure function of the
+	// seed and the latency model — so it participates in byte-compared
+	// output.
+	Deferred int `json:"deferred,omitempty"`
 }
 
 // Span is one timed region: an experiment, one sweep cell of its
@@ -119,10 +125,17 @@ type Counters struct {
 	// run's mean time to recover in rounds.
 	Recoveries     uint64 `json:"recoveries,omitempty"`
 	RecoveryRounds uint64 `json:"recovery_rounds,omitempty"`
+	// AsyncDeferred counts messages the discrete-event scheduler parked
+	// past the synchronous round+1 deadline (async mode with latency
+	// spread only — zero in every synchronous or zero-spread run). It is
+	// deterministic: safe for manifests and byte-compared tables.
+	AsyncDeferred uint64 `json:"async_deferred,omitempty"`
 	// Per-shard busy time (µs) in the simulator's receive and send
 	// phases, indexed by shard id — populated only when a sharded
 	// network ran under this recorder. The imbalance between entries
-	// is the delivery skew cmd/tracestats reports.
+	// is the delivery skew cmd/tracestats reports. These two slices are
+	// the ONLY wall-clock-derived fields in Counters; everything a
+	// byte-compared artifact consumes must come from the other fields.
 	ShardRecvUS []uint64 `json:"shard_recv_us,omitempty"`
 	ShardSendUS []uint64 `json:"shard_send_us,omitempty"`
 }
@@ -139,6 +152,7 @@ type Recorder struct {
 	drops                 [sim.NumDropReasons]atomic.Uint64
 	dupExtra, violations  atomic.Uint64
 	recoveries, mttr      atomic.Uint64
+	deferred              atomic.Uint64
 
 	// Per-shard phase busy time; maxTraceShards matches the simulator's
 	// shard cap. shardsSeen is the high-water shard count observed.
@@ -302,6 +316,7 @@ func (r *Recorder) Counters() Counters {
 		c.Drops[sim.DropReason(i).String()] = r.drops[i].Load()
 	}
 	c.DupExtraCopies = r.dupExtra.Load()
+	c.AsyncDeferred = r.deferred.Load()
 	c.Violations = r.violations.Load()
 	c.Recoveries = r.recoveries.Load()
 	c.RecoveryRounds = r.mttr.Load()
@@ -567,6 +582,24 @@ func (t *simTracer) ShardRound(round, shard int, recvUS, sendUS int64) {
 	if t.rec.wantsEvents() {
 		t.rec.emit(Event{TSMicros: t.now(), Kind: "shard_round", Scope: t.scope,
 			Round: round, Shard: shard, RecvUS: recvUS, SendUS: sendUS})
+	}
+}
+
+// RoundDeferred implements sim.LatencyObserver: the discrete-event
+// scheduler reports each round's count of messages parked past the
+// synchronous round+1 deadline. The kernel only calls it for nonzero
+// counts, so a zero-spread async run produces the exact synchronous
+// callback sequence, and — unlike ShardRound — the count is a pure
+// function of (seed, latency model): sched_deferred events and the
+// AsyncDeferred counter are deterministic output, safe to byte-compare.
+func (t *simTracer) RoundDeferred(round, deferred int) {
+	t.rec.deferred.Add(uint64(deferred))
+	if km := t.rec.km; km != nil {
+		km.asyncDeferred.Add(t.lane, uint64(deferred))
+	}
+	if t.rec.wantsEvents() {
+		t.rec.emit(Event{TSMicros: t.now(), Kind: "sched_deferred", Scope: t.scope,
+			Round: round, Deferred: deferred})
 	}
 }
 
