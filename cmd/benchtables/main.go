@@ -6,6 +6,7 @@
 //	benchtables [-quick] [-seed N] [-only E8[,E9,…]] [-recover] [-procs N]
 //	           [-shards N] [-list] [-audit] [-audit-every N]
 //	           [-faults drop=0.01,dup=0.001,crash=0.05,restart=2]
+//	           [-latency uniform:0.5,2.5] [-reliable on]
 //	           [-cell-timeout D] [-cpuprofile F] [-trace F] [-events F]
 //	           [-manifest F] [-progress] [-http ADDR]
 //
@@ -85,6 +86,7 @@ import (
 	"overlaynet/internal/exp"
 	"overlaynet/internal/fault"
 	"overlaynet/internal/obs"
+	"overlaynet/internal/reliable"
 	"overlaynet/internal/sim"
 	"overlaynet/internal/trace"
 )
@@ -103,6 +105,7 @@ type manifest struct {
 	Audit        bool                 `json:"audit,omitempty"`
 	Faults       string               `json:"faults,omitempty"`
 	Latency      string               `json:"latency,omitempty"`
+	Reliable     string               `json:"reliable,omitempty"`
 	GOMAXPROCS   int                  `json:"gomaxprocs"`
 	NumCPU       int                  `json:"num_cpu"`
 	TotalSeconds float64              `json:"total_seconds"`
@@ -180,6 +183,34 @@ func latencyString(l sim.Latency) string {
 	return l.String()
 }
 
+// reliableString renders the reliable-delivery config for the manifest
+// ("" when disabled, so the field is omitted).
+func reliableString(c reliable.Config) string {
+	if !c.Enabled() {
+		return ""
+	}
+	return c.String()
+}
+
+// parseSpecs validates the three structured-model flags. A malformed
+// value yields one error naming the flag and the offending token — the
+// caller turns it into a single usage line on stderr.
+func parseSpecs(faults, latency, rel string) (fault.Spec, sim.Latency, reliable.Config, error) {
+	fs, err := fault.ParseSpec(faults)
+	if err != nil {
+		return fault.Spec{}, sim.Latency{}, reliable.Config{}, fmt.Errorf("-faults: %v", err)
+	}
+	lat, err := sim.ParseLatency(latency)
+	if err != nil {
+		return fault.Spec{}, sim.Latency{}, reliable.Config{}, fmt.Errorf("-latency: %v", err)
+	}
+	cfg, err := reliable.ParseConfig(rel)
+	if err != nil {
+		return fault.Spec{}, sim.Latency{}, reliable.Config{}, fmt.Errorf("-reliable: %v", err)
+	}
+	return fs, lat, cfg, nil
+}
+
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "benchtables: "+format+"\n", args...)
 	os.Exit(1)
@@ -213,15 +244,18 @@ func main() {
 	// its own specs). Zero-spread specs ("const:1") produce tables
 	// byte-identical to the synchronous run — CI diffs exactly that.
 	latencyFlag := flag.String("latency", "", "per-edge latency model for sim-kernel networks: sync, const:D, uniform:LO,HI, lognorm:MU,SIGMA (rounds)")
+	// -reliable wraps every sim-kernel protocol handler in the
+	// ack/retransmit endpoints of internal/reliable. With a zero-spread
+	// model ("-latency const:1 -reliable on") the layer is provably
+	// silent and the tables stay byte-identical to the synchronous run —
+	// CI diffs exactly that. AS2 sweeps its own configs and ignores the
+	// global flag, like AS1 does for -latency.
+	reliableFlag := flag.String("reliable", "", "reliable delivery for sim-kernel networks: off, on, or rto=3,backoff=2,budget=5,stretch=0")
 	flag.Parse()
 
-	faultSpec, err := fault.ParseSpec(*faultsFlag)
+	faultSpec, latency, reliableCfg, err := parseSpecs(*faultsFlag, *latencyFlag, *reliableFlag)
 	if err != nil {
-		fatalf("-faults: %v", err)
-	}
-	latency, err := sim.ParseLatency(*latencyFlag)
-	if err != nil {
-		fatalf("-latency: %v", err)
+		fatalf("%v", err)
 	}
 
 	if *cpuprofile != "" {
@@ -256,7 +290,7 @@ func main() {
 
 	opts := exp.Options{Seed: *seed, Quick: *quick, Procs: *procs, Shards: *shards,
 		Audit: *auditOn, AuditEvery: *auditEvery, Faults: faultSpec, Latency: latency,
-		CellTimeout: *cellTimeout}
+		Reliable: reliableCfg, CellTimeout: *cellTimeout}
 
 	// Telemetry wiring. A single recorder spans every experiment; it
 	// aggregates counters and spans (full event retention stays off — a
@@ -395,6 +429,7 @@ func main() {
 			Audit:       *auditOn,
 			Faults:      faultsString(faultSpec),
 			Latency:     latencyString(latency),
+			Reliable:    reliableString(reliableCfg),
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			NumCPU:      runtime.NumCPU(),
 		}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSpecs covers the structured-model flag triple: well-formed
+// values parse, and every malformed value fails with one error that
+// names the flag and the offending token — the single usage line the
+// user sees instead of a stack of Go error wrapping.
+func TestParseSpecs(t *testing.T) {
+	cases := []struct {
+		name                        string
+		faults, latency, rel        string
+		wantErr                     bool
+		wantFlag, wantToken         string
+		wantFault, wantLat, wantRel bool // Active()/Enabled() after a good parse
+	}{
+		{name: "all empty"},
+		{name: "good faults", faults: "drop=0.01,dup=0.001", wantFault: true},
+		{name: "good latency", latency: "uniform:0.5,2.5", wantLat: true},
+		{name: "good reliable on", rel: "on", wantRel: true},
+		{name: "good reliable kv", rel: "rto=4,budget=6", wantRel: true},
+		{name: "reliable off", rel: "off"},
+		{name: "everything", faults: "drop=0.05", latency: "lognorm:0,0.6", rel: "on",
+			wantFault: true, wantLat: true, wantRel: true},
+
+		{name: "faults bad key", faults: "drip=0.01",
+			wantErr: true, wantFlag: "-faults:", wantToken: "drip"},
+		{name: "faults bad value", faults: "drop=lots",
+			wantErr: true, wantFlag: "-faults:", wantToken: "lots"},
+		{name: "latency bad kind", latency: "gamma:1,2",
+			wantErr: true, wantFlag: "-latency:", wantToken: "gamma"},
+		{name: "latency bad param", latency: "const:fast",
+			wantErr: true, wantFlag: "-latency:", wantToken: "fast"},
+		{name: "reliable bad key", rel: "rot=3",
+			wantErr: true, wantFlag: "-reliable:", wantToken: "rot"},
+		{name: "reliable not kv", rel: "rto",
+			wantErr: true, wantFlag: "-reliable:", wantToken: "rto"},
+		{name: "reliable bad value", rel: "budget=many",
+			wantErr: true, wantFlag: "-reliable:", wantToken: "budget"},
+		{name: "reliable invalid rto", rel: "rto=1",
+			wantErr: true, wantFlag: "-reliable:", wantToken: "rto=1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs, lat, cfg, err := parseSpecs(tc.faults, tc.latency, tc.rel)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("parseSpecs(%q, %q, %q) = nil error, want failure",
+						tc.faults, tc.latency, tc.rel)
+				}
+				msg := err.Error()
+				if !strings.HasPrefix(msg, tc.wantFlag) {
+					t.Errorf("error %q does not name the flag %q", msg, tc.wantFlag)
+				}
+				if !strings.Contains(msg, tc.wantToken) {
+					t.Errorf("error %q does not name the bad token %q", msg, tc.wantToken)
+				}
+				if strings.ContainsRune(msg, '\n') {
+					t.Errorf("error %q spans multiple lines; want a single usage line", msg)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseSpecs(%q, %q, %q): %v", tc.faults, tc.latency, tc.rel, err)
+			}
+			if fs.Active() != tc.wantFault || lat.Enabled() != tc.wantLat || cfg.Enabled() != tc.wantRel {
+				t.Errorf("parsed activity = faults %v latency %v reliable %v, want %v/%v/%v",
+					fs.Active(), lat.Enabled(), cfg.Enabled(), tc.wantFault, tc.wantLat, tc.wantRel)
+			}
+		})
+	}
+}
+
+// TestReliableStringRoundTrip pins the manifest rendering: the flag
+// value the user passed comes back out of the manifest in canonical
+// form, and a disabled config renders empty so the field is omitted.
+func TestReliableStringRoundTrip(t *testing.T) {
+	for spec, want := range map[string]string{
+		"":                 "",
+		"off":              "",
+		"on":               "on",
+		"rto=3,backoff=2":  "on", // defaults collapse
+		"rto=4,stretch=16": "rto=4,stretch=16",
+	} {
+		fs, lat, cfg, err := parseSpecs("", "", spec)
+		if err != nil {
+			t.Fatalf("parseSpecs reliable=%q: %v", spec, err)
+		}
+		_, _ = fs, lat
+		if got := reliableString(cfg); got != want {
+			t.Errorf("reliableString(%q) = %q, want %q", spec, got, want)
+		}
+	}
+}

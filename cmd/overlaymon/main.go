@@ -13,9 +13,11 @@
 //
 // Each refresh scrapes /metrics (Prometheus text format), derives
 // rates from the previous scrape, and redraws: rounds/sec, msgs/sec,
-// drops by reason, churn and DoS activity, audit violations,
-// recoveries with mean MTTR, and histogram quantiles (round duration,
-// inbox depth) reconstructed from the scraped buckets.
+// drops by reason, the async/reliability lane (scheduler deferrals,
+// retransmit and ack traffic, budget-exhausted losses), churn and DoS
+// activity, audit violations, recoveries with mean MTTR, and histogram
+// quantiles (round duration, inbox depth, ack delay) reconstructed
+// from the scraped buckets.
 //
 // -once prints a single snapshot without ANSI redraw (no rates — they
 // need two scrapes) and exits; the exit status is non-zero if either
@@ -138,6 +140,20 @@ func render(w *strings.Builder, addr string, cur, prev map[string]float64, dt fl
 		}
 	}
 
+	// Async/reliability lane: scheduler deferrals plus the control-plane
+	// traffic of reliable endpoints. Shown only once any of it moves, so
+	// plain synchronous runs keep the compact frame.
+	if cur["overlaynet_async_deferred_total"] > 0 || cur["overlaynet_retransmits_total"] > 0 ||
+		cur["overlaynet_acks_total"] > 0 || cur["overlaynet_delivery_failures_total"] > 0 ||
+		cur["overlaynet_stale_deliveries_total"] > 0 {
+		fmt.Fprintf(w, "\nasync / reliability\n")
+		line("deferred", "overlaynet_async_deferred_total")
+		line("retransmits", "overlaynet_retransmits_total")
+		line("acks", "overlaynet_acks_total")
+		line("lost (budget)", "overlaynet_delivery_failures_total")
+		line("stale discards", "overlaynet_stale_deliveries_total")
+	}
+
 	fmt.Fprintf(w, "\nhealth & recovery\n")
 	line("violations", "overlaynet_violations_total")
 	line("recoveries", "overlaynet_recoveries_total")
@@ -162,6 +178,7 @@ func render(w *strings.Builder, addr string, cur, prev map[string]float64, dt fl
 		{"overlaynet_inbox_depth", "inbox depth", ""},
 		{"overlaynet_node_bits", "node bits", "b"},
 		{"overlaynet_epoch_rounds", "epoch length", "r"},
+		{"overlaynet_ack_delay_rounds", "ack delay", "r"},
 	} {
 		if l := quantLine(cur, h.name, h.label, h.unit); l != "" {
 			hists = append(hists, l)

@@ -1,7 +1,9 @@
 // Command tracestats summarizes a telemetry file produced by
 // benchtables -trace (Chrome trace_events JSON) or -events (JSONL):
 // per-experiment wall time, the slowest sweep cells, drop-reason
-// totals, simulator round throughput, invariant-audit violations and
+// totals, simulator round throughput, the async/reliability lane
+// (deferred deliveries, retransmit and ack traffic, budget-exhausted
+// delivery failures, stale discards), invariant-audit violations and
 // recovery episodes (per-invariant MTTR), the metrics-registry
 // snapshot (streaming-histogram quantiles), and — when the run used a
 // sharded simulator kernel — the per-shard wall-time balance of the
@@ -208,6 +210,12 @@ type jsonlRecord struct {
 	RecCount  uint64            `json:"recoveries"`
 	RecRounds uint64            `json:"recovery_rounds"`
 	Drops     map[string]uint64 `json:"drops"`
+	// Async/reliability lane (event scheduler + internal/reliable).
+	AsyncDeferred    uint64 `json:"async_deferred"`
+	Retransmits      uint64 `json:"retransmits"`
+	AckCount         uint64 `json:"acks"`
+	DeliveryFailures uint64 `json:"delivery_failures"`
+	StaleDeliveries  uint64 `json:"stale_deliveries"`
 	// Per-shard phase busy time from sharded simulator rounds.
 	ShardRecvUS []uint64 `json:"shard_recv_us"`
 	ShardSendUS []uint64 `json:"shard_send_us"`
@@ -278,6 +286,11 @@ func loadJSONL(data []byte, s *summary) error {
 			s.counters["violations"] = rec.ViolCount
 			s.counters["recoveries"] = rec.RecCount
 			s.counters["recovery_rounds"] = rec.RecRounds
+			s.counters["async_deferred"] = rec.AsyncDeferred
+			s.counters["retransmits"] = rec.Retransmits
+			s.counters["acks"] = rec.AckCount
+			s.counters["delivery_failures"] = rec.DeliveryFailures
+			s.counters["stale_deliveries"] = rec.StaleDeliveries
 			for k, v := range rec.Drops {
 				s.counters["drop:"+k] = v
 			}
@@ -532,6 +545,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if dup := s.counters["dup_extra_copies"]; dup > 0 {
 		fmt.Fprintf(stdout, "  dup extras     %d fault-injected extra copies\n", dup)
+	}
+
+	// Async/reliability lane: deferred deliveries from the event
+	// scheduler plus the control-plane activity of reliable endpoints.
+	if s.counters["async_deferred"] > 0 {
+		fmt.Fprintf(stdout, "  async          %d deliveries deferred past round+1\n", s.counters["async_deferred"])
+	}
+	if s.counters["retransmits"] > 0 || s.counters["acks"] > 0 ||
+		s.counters["delivery_failures"] > 0 || s.counters["stale_deliveries"] > 0 {
+		fmt.Fprintf(stdout, "  reliable       %d retransmits, %d acks\n",
+			s.counters["retransmits"], s.counters["acks"])
+		if f, st := s.counters["delivery_failures"], s.counters["stale_deliveries"]; f > 0 || st > 0 {
+			fmt.Fprintf(stdout, "    %d budget-exhausted delivery failures, %d stale envelopes discarded\n", f, st)
+		}
 	}
 
 	// Invariant-audit verdict: the counter totals violations even when

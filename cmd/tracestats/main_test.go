@@ -22,7 +22,7 @@ const goodJSONL = `{"type":"span","kind":"cell","scope":"E1","cell":0,"start_us"
 {"type":"event","kind":"violation","scope":"E6","round":12,"reason":"cycle-cover","detail":"broken edge"}
 {"type":"event","kind":"recovery","scope":"E6","round":12,"reason":"cycle-cover","clean_round":15,"mttr_rounds":3}
 {"type":"metrics","metrics":{"overlaynet_rounds_total":40,"overlaynet_inbox_depth_count":100,"overlaynet_inbox_depth_p50":3,"overlaynet_inbox_depth_p95":7,"overlaynet_inbox_depth_max":9,"overlaynet_inbox_depth_sum":320}}
-{"type":"counters","rounds":40,"messages":1000,"delivered":990,"cells":2,"drops":{"target-dead":10}}
+{"type":"counters","rounds":40,"messages":1000,"delivered":990,"cells":2,"drops":{"target-dead":10},"async_deferred":7,"retransmits":120,"acks":900,"delivery_failures":2,"stale_deliveries":5}
 `
 
 func TestRunSummarizesJSONL(t *testing.T) {
@@ -39,6 +39,9 @@ func TestRunSummarizesJSONL(t *testing.T) {
 		"target-dead",
 		"violations     1",
 		"recoveries     1 closed break episodes",
+		"async          7 deliveries deferred past round+1",
+		"reliable       120 retransmits, 900 acks",
+		"2 budget-exhausted delivery failures, 5 stale envelopes discarded",
 		"overlaynet_inbox_depth",
 		"p50 3",
 	} {

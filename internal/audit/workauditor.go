@@ -26,6 +26,8 @@ type WorkAuditor struct {
 	shardFwd  sim.ShardObserver
 	faultFwd  sim.FaultObserver
 	sampleFwd sim.RoundSampler
+	latFwd    sim.LatencyObserver
+	relFwd    sim.ReliabilityObserver
 	rep       Reporter
 
 	haveRound  bool
@@ -52,6 +54,8 @@ func NewWorkAuditor(rep Reporter, next sim.Tracer) *WorkAuditor {
 	a.shardFwd, _ = next.(sim.ShardObserver)
 	a.faultFwd, _ = next.(sim.FaultObserver)
 	a.sampleFwd, _ = next.(sim.RoundSampler)
+	a.latFwd, _ = next.(sim.LatencyObserver)
+	a.relFwd, _ = next.(sim.ReliabilityObserver)
 	return a
 }
 
@@ -166,6 +170,26 @@ func (a *WorkAuditor) ExactRoundStats() bool {
 func (a *WorkAuditor) ShardRound(round, shard int, recvUS, sendUS int64) {
 	if a.shardFwd != nil {
 		a.shardFwd.ShardRound(round, shard, recvUS, sendUS)
+	}
+}
+
+// RoundDeferred implements sim.LatencyObserver by pure forwarding, so an
+// audit splice keeps the wrapped Recorder's async-deferral accounting.
+func (a *WorkAuditor) RoundDeferred(round, deferred int) {
+	if a.latFwd != nil {
+		a.latFwd.RoundDeferred(round, deferred)
+	}
+}
+
+// RoundReliability implements sim.ReliabilityObserver by pure
+// forwarding. The control-lane traffic it describes is deliberately
+// outside the work-conservation ledger (see the sim lane constants):
+// acks and retransmit copies are accounted in RoundWork.CtlMessages/
+// CtlBits, never in Messages or Delivered, so the ledger arithmetic
+// above stays exact with a reliable layer attached.
+func (a *WorkAuditor) RoundReliability(round int, stats sim.ReliabilityRoundStats) {
+	if a.relFwd != nil {
+		a.relFwd.RoundReliability(round, stats)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"overlaynet/internal/graph"
 	"overlaynet/internal/hgraph"
 	"overlaynet/internal/obs"
+	"overlaynet/internal/reliable"
 	"overlaynet/internal/rng"
 	"overlaynet/internal/sampling"
 	"overlaynet/internal/sim"
@@ -45,6 +46,16 @@ type Config struct {
 	// debugging aid (coroutine stacks show the protocol position),
 	// not as a performance option.
 	Coroutine bool
+	// Reliable layers the deterministic ack/retransmit/timeout endpoint
+	// (internal/reliable) around every protocol node: sends are enveloped
+	// and acked, losses retransmitted on a pure backoff schedule, and an
+	// exhausted budget surfaces as a FailDelivery failure instead of a
+	// silent loss. Epochs then take EpochRounds·stretch sim rounds, where
+	// the stretch is Reliable.EffectiveStretch(Latency) — 1 on a
+	// spread-free model, so zero-spread reliable epochs reproduce the
+	// legacy traces bit for bit. Incompatible with Coroutine (the
+	// endpoint wraps sim.Handler values).
+	Reliable reliable.Config
 }
 
 // Validate reports whether the configuration is usable. CLIs call it on
@@ -70,6 +81,12 @@ func (cfg Config) Validate() error {
 	}
 	if err := cfg.Latency.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
+	}
+	if err := cfg.Reliable.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if cfg.Reliable.Enabled() && cfg.Coroutine {
+		return fmt.Errorf("core: reliable delivery requires the event-driven node form (disable Coroutine)")
 	}
 	return nil
 }
@@ -139,6 +156,10 @@ const (
 	// FailAssign counts nodes that did not receive an assignment for
 	// every cycle.
 	FailAssign
+	// FailDelivery counts messages whose reliable-delivery retransmit
+	// budget ran out (nonzero only with Config.Reliable enabled): the
+	// sender was told its message is lost instead of never learning.
+	FailDelivery
 	numFailKinds
 )
 
@@ -230,6 +251,11 @@ type Network struct {
 	budget     *sampling.BudgetStats
 	lastWindow budgetWindow
 	faulty     bool
+
+	// stretch is the resolved phase stretch (sim rounds per protocol
+	// round): 1 without Config.Reliable, else
+	// Reliable.EffectiveStretch(Latency).
+	stretch int
 }
 
 // budgetWindow is one epoch's sampling-budget reconciliation window:
@@ -388,6 +414,10 @@ func NewNetwork(cfg Config) *Network {
 		curSucc: make(map[int][]int32),
 		curPred: make(map[int][]int32),
 		nextID:  cfg.N0,
+		stretch: 1,
+	}
+	if cfg.Reliable.Enabled() {
+		nw.stretch = cfg.Reliable.EffectiveStretch(cfg.Latency)
 	}
 	h := hgraph.Random(nw.r, cfg.N0, cfg.D)
 	nc := cfg.D / 2
@@ -429,6 +459,15 @@ func (nw *Network) NeighborsOf(id int) []int {
 
 func (nw *Network) idOf(v int) sim.NodeID { return sim.NodeID(v + 1) }
 
+// wrap layers the reliable-delivery endpoint around a protocol handler
+// when Config.Reliable is enabled; the identity otherwise.
+func (nw *Network) wrap(h sim.Handler) sim.Handler {
+	if !nw.cfg.Reliable.Enabled() {
+		return h
+	}
+	return reliable.Wrap(nw.cfg.Seed, nw.cfg.Reliable, nw.stretch, h)
+}
+
 // spawnMember starts the protocol node of a member that is already part
 // of the topology: an event-driven coreNode handler by default, or the
 // equivalent coroutine program under Config.Coroutine.
@@ -436,7 +475,7 @@ func (nw *Network) spawnMember(id int, succ, pred []int32) {
 	st := &slot{}
 	nw.slots[id] = st
 	if !nw.cfg.Coroutine {
-		nw.net.SpawnHandler(nw.idOf(id), &coreNode{nw: nw, id: id, st: st, succ: succ, pred: pred})
+		nw.net.SpawnHandler(nw.idOf(id), nw.wrap(&coreNode{nw: nw, id: id, st: st, succ: succ, pred: pred}))
 		return
 	}
 	nw.net.Spawn(nw.idOf(id), func(ctx *sim.Ctx) {
@@ -450,7 +489,7 @@ func (nw *Network) spawnJoiner(id, sponsor int) {
 	st := &slot{}
 	nw.slots[id] = st
 	if !nw.cfg.Coroutine {
-		nw.net.SpawnHandler(nw.idOf(id), &coreNode{nw: nw, id: id, st: st, joining: true, sponsor: sponsor})
+		nw.net.SpawnHandler(nw.idOf(id), nw.wrap(&coreNode{nw: nw, id: id, st: st, joining: true, sponsor: sponsor}))
 		return
 	}
 	nw.net.Spawn(nw.idOf(id), func(ctx *sim.Ctx) {
@@ -791,7 +830,11 @@ func (nw *Network) RunEpoch(joins []JoinSpec, leaves []int) (EpochReport, []int)
 		budgetPre = nw.budget.Snapshot()
 	}
 	workStart := len(nw.net.Work())
-	nw.net.Run(plan.rounds)
+	// With a reliable layer the epoch's protocol rounds are stretched:
+	// one protocol round per `stretch` sim rounds, the in-between rounds
+	// carrying acks and retransmissions. stretch is 1 otherwise, and on
+	// spread-free models, so legacy timing is untouched.
+	nw.net.Run(plan.rounds * nw.stretch)
 	if nw.budget != nil {
 		post := nw.budget.Snapshot()
 		w := budgetWindow{epoch: nw.epoch, valid: true}
@@ -806,7 +849,14 @@ func (nw *Network) RunEpoch(joins []JoinSpec, leaves []int) (EpochReport, []int)
 		// round 1, placements round 2T+2, so the sim-level message count
 		// over those rounds is exactly the batch count.
 		work := nw.net.Work()
-		if end := workStart + 1 + 2*params.T(); end <= len(work) {
+		if nw.stretch > 1 {
+			// Stretched epochs interleave the sampling batches with empty
+			// carrier rounds and shift every phase's sim-round index; the
+			// per-round message window below no longer delimits the
+			// sampling sub-phase, so the reconciliation is skipped (the
+			// batch counters themselves are still tallied and audited).
+			w.valid = false
+		} else if end := workStart + 1 + 2*params.T(); end <= len(work) {
 			for _, rw := range work[workStart+1 : end] {
 				w.messages += int64(rw.Messages)
 			}
@@ -1023,6 +1073,15 @@ func (nw *Network) Shutdown() { nw.net.Shutdown() }
 // discrete-event scheduler delivered after their synchronous round+1
 // deadline (zero unless Config.Latency has spread).
 func (nw *Network) DeferredMessages() int64 { return nw.net.DeferredMessages() }
+
+// ReliabilityStats returns the cumulative control-lane totals of the
+// reliable endpoints (all zero unless Config.Reliable is enabled).
+func (nw *Network) ReliabilityStats() sim.ReliabilityTotals { return nw.net.ReliabilityStats() }
+
+// Stretch returns the sim rounds per protocol round: 1 in the legacy
+// configuration, Config.Reliable's effective stretch otherwise. Every
+// epoch occupies EpochReport.Rounds × Stretch() simulator rounds.
+func (nw *Network) Stretch() int { return nw.stretch }
 
 // ResetWork truncates the underlying simulator's per-round work log.
 // Long-horizon drivers call it between epochs so the log stays bounded

@@ -84,6 +84,14 @@ func (m *coreNode) nextSample(ctx *sim.Ctx) int {
 	return m.samples[ctx.RNG().Intn(len(m.samples))]
 }
 
+// OnDeliveryFailure implements reliable.FailureHandler: an exhausted
+// retransmit budget is tallied as a FailDelivery protocol failure — the
+// graceful-degradation contract is that the node *knows* the message is
+// lost, and the epoch report shows it.
+func (m *coreNode) OnDeliveryFailure(to sim.NodeID) {
+	m.st.fails[FailDelivery]++
+}
+
 func (m *coreNode) OnRound(ctx *sim.Ctx, inbox []sim.Message) bool {
 	nw := m.nw
 	m.p++

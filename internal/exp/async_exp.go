@@ -8,6 +8,7 @@ import (
 	"overlaynet/internal/dos"
 	"overlaynet/internal/hgraph"
 	"overlaynet/internal/metrics"
+	"overlaynet/internal/reliable"
 	"overlaynet/internal/rng"
 	"overlaynet/internal/sampling"
 	"overlaynet/internal/sim"
@@ -89,6 +90,9 @@ func as1Sampling(o Options, lat sim.Latency) []string {
 	seed := cellSeed(o.Seed, 0xa5, uint64(n))
 	p := expParams(o, n)
 	p.Latency = lat
+	// AS1 measures the UNPROTECTED protocols (AS2 adds the reliable
+	// endpoints), so the global -reliable option does not apply here.
+	p.Reliable = reliable.Config{}
 	h := hgraph.Random(rng.New(seed), n, p.D)
 	res := sampling.RapidHGraph(seed^1, h, p)
 	counts := make([]int, n)
@@ -120,6 +124,7 @@ func as1Core(o Options, lat sim.Latency) []string {
 	seed := cellSeed(o.Seed, 0xa5, 0xc0, uint64(n))
 	cfg := coreConfig(o, seed, n)
 	cfg.Latency = lat
+	cfg.Reliable = reliable.Config{} // unprotected control; see as1Sampling
 	nw := core.NewNetwork(cfg)
 	defer nw.Shutdown()
 	nw.SetMetrics(o.stack("core"))

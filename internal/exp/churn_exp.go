@@ -13,7 +13,8 @@ import (
 // coreConfig returns the expander-network configuration used by the
 // churn experiments.
 func coreConfig(o Options, seed uint64, n int) core.Config {
-	return core.Config{Seed: seed, N0: n, D: 8, Alpha: 2, Epsilon: 1, Shards: o.Shards, Latency: o.Latency}
+	return core.Config{Seed: seed, N0: n, D: 8, Alpha: 2, Epsilon: 1,
+		Shards: o.Shards, Latency: o.Latency, Reliable: o.Reliable}
 }
 
 // E6ReconfigChurn measures Theorems 4 and 5: rounds per reconfiguration

@@ -13,6 +13,7 @@ import (
 	"overlaynet/internal/fault"
 	"overlaynet/internal/metrics"
 	"overlaynet/internal/obs"
+	"overlaynet/internal/reliable"
 	"overlaynet/internal/sim"
 	"overlaynet/internal/trace"
 )
@@ -45,6 +46,16 @@ type Options struct {
 	// sweeps exactly that. The §5/§6 overlay stacks translate the model
 	// into a per-virtual-round delivery deadline via SetLatency instead.
 	Latency sim.Latency
+	// Reliable is forwarded — like Latency — to the sampling and
+	// reconfiguration networks the drivers build (cmd/benchtables
+	// -reliable): when enabled, every protocol node runs behind the
+	// deterministic ack/retransmit endpoint of internal/reliable. On
+	// zero-spread latency models the endpoint's phase stretch resolves
+	// to 1 and the tables stay byte-identical to the unprotected run;
+	// experiment AS2 sweeps the layer explicitly (and, like AS1's
+	// latency sweep, ignores this global). The §5/§6 overlay stacks do
+	// not carry it (their virtual rounds already model whole phases).
+	Reliable reliable.Config
 	// CellTimeout, when positive, arms the runner's stall watchdog: a
 	// sweep cell that fails to finish within this wall-clock budget is
 	// abandoned and reported as an error (cmd/benchtables -cell-timeout).
@@ -175,5 +186,6 @@ func All() []Experiment {
 		{"F1", "Audit: which invariants survive which fault rates (drop/dup/crash sweep)", F1FaultMatrix},
 		{"R1", "Recovery: partition & state-corruption MTTR with degraded-mode service", R1Recovery},
 		{"AS1", "Async: event scheduler — zero spread reproduces the round model, spread degrades it", AS1AsyncLatency},
+		{"AS2", "Reliable: ack/retransmit endpoints win back §3/§4 under spread and drops", AS2ReliableDelivery},
 	}
 }

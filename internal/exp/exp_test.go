@@ -35,8 +35,8 @@ func TestExperimentIDsUnique(t *testing.T) {
 			t.Fatalf("%s has no claim", e.ID)
 		}
 	}
-	if len(seen) != 27 {
-		t.Fatalf("expected 27 experiments, have %d", len(seen))
+	if len(seen) != 28 {
+		t.Fatalf("expected 28 experiments, have %d", len(seen))
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"overlaynet/internal/dos"
 	"overlaynet/internal/fault"
 	"overlaynet/internal/metrics"
+	"overlaynet/internal/reliable"
 	"overlaynet/internal/rng"
 	"overlaynet/internal/sim"
 	"overlaynet/internal/splitmerge"
@@ -99,7 +100,13 @@ func f1Core(o Options, cell int, spec fault.Spec) [][]string {
 	}
 	eng := audit.NewEngine(scope, seed, every, rec)
 
-	nw := core.NewNetwork(coreConfig(o, seed, n))
+	// F1 measures the UNPROTECTED fault response (retransmitting
+	// endpoints would recover the very drops the matrix injects), so the
+	// global -reliable option does not apply here — which also keeps the
+	// CI byte-identity of `-latency const:1 -reliable on` runs intact.
+	cfg := coreConfig(o, seed, n)
+	cfg.Reliable = reliable.Config{}
+	nw := core.NewNetwork(cfg)
 	nw.SetMetrics(o.stack("core"))
 	nw.SetTrace(rec, scope)
 	nw.SetAudit(eng)

@@ -7,6 +7,7 @@ import (
 	"overlaynet/internal/core"
 	"overlaynet/internal/fault"
 	"overlaynet/internal/metrics"
+	"overlaynet/internal/reliable"
 	"overlaynet/internal/splitmerge"
 	"overlaynet/internal/supernode"
 	"overlaynet/internal/trace"
@@ -143,7 +144,11 @@ func r1Core(o Options, cell, n int, scen r1Scenario) []string {
 	spec := scen.spec.WithSeed(cellSeed(seed, 0x5a))
 	eng, rec := r1Engine(o, cell, seed)
 
-	nw := core.NewNetwork(coreConfig(o, seed, n))
+	// Unprotected control, like F1: R1 measures raw damage and repair,
+	// not what retransmitting endpoints would mask (see f1Core).
+	cfg := coreConfig(o, seed, n)
+	cfg.Reliable = reliable.Config{}
+	nw := core.NewNetwork(cfg)
 	nw.SetMetrics(o.stack("core"))
 	defer nw.Shutdown()
 	nw.SetTrace(rec, fmt.Sprintf("%s/cell%d", o.Exp, cell))

@@ -16,7 +16,8 @@ import (
 // ε = 1 and c·log n ≥ 2·log₂ n final budgets keeps the per-node
 // failure probability far below 1/n (Lemma 7) at every sweep size.
 func expParams(o Options, n int) sampling.HGraphParams {
-	return sampling.HGraphParams{N: n, D: 8, Alpha: 2, Epsilon: 1, C: 2, Shards: o.Shards, Latency: o.Latency}
+	return sampling.HGraphParams{N: n, D: 8, Alpha: 2, Epsilon: 1, C: 2,
+		Shards: o.Shards, Latency: o.Latency, Reliable: o.Reliable}
 }
 
 // E1RapidSamplingHGraph measures Theorem 2's claims on ℍ-graphs:

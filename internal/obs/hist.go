@@ -98,6 +98,25 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[bucketIndex(v)].Add(1)
 }
 
+// ObserveN records n identical observations of v with a constant
+// number of atomic ops, regardless of n. It is the path for
+// pre-bucketed counts (the reliable layer's ack-delay tallies arrive
+// as per-round bucket×count pairs, not sample vectors).
+func (h *Histogram) ObserveN(v int64, n uint64) {
+	if h == nil || n == 0 {
+		return
+	}
+	h.count.Add(n)
+	h.sum.Add(v * int64(n))
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bucketIndex(v)].Add(n)
+}
+
 // ObserveAll records every value of vals in one pass. It is the bulk
 // hot path for per-round sample vectors (one entry per alive node at
 // n up to 1M): count, sum, max, and the bucket tallies accumulate in

@@ -1,0 +1,91 @@
+package reliable
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRetransmitSchedule checks the retransmit/backoff derivation's
+// invariants for arbitrary identity tuples and configurations:
+// determinism (the schedule is a pure function — recomputation agrees),
+// bounds (every delay sits in [base, 3·base/2] with base capped at
+// maxAttemptDelay), monotonicity of the backoff base, and the
+// budget-bound deadline (the whole schedule, and therefore the failure
+// report, happens within (Budget+1)·3/2·maxAttemptDelay rounds).
+func FuzzRetransmitSchedule(f *testing.F) {
+	f.Add(uint64(1), 0, uint64(1), uint64(2), 3, 2, 5)
+	f.Add(uint64(42), 100, uint64(7), uint64(7), 3, 1, 0)
+	f.Add(^uint64(0), 1<<30, ^uint64(0), uint64(0), 64, 16, 32)
+	f.Fuzz(func(t *testing.T, seed uint64, round int, src, dst uint64, rto, backoff, budget int) {
+		if rto < 3 || rto > 64 || backoff < 1 || backoff > 16 || budget < 0 || budget > 32 {
+			t.Skip()
+		}
+		if round < 0 {
+			t.Skip()
+		}
+		cfg := Config{On: true, RTO: rto, Backoff: backoff, Budget: budget}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("in-range config invalid: %v", err)
+		}
+		prevBase := 0
+		total := 0
+		for a := 0; a <= budget; a++ {
+			d := AttemptDelay(cfg, seed, round, src, dst, a)
+			if d2 := AttemptDelay(cfg, seed, round, src, dst, a); d2 != d {
+				t.Fatalf("attempt %d: nondeterministic delay %d vs %d", a, d, d2)
+			}
+			base := rto
+			for i := 0; i < a && base < maxAttemptDelay; i++ {
+				base *= backoff
+			}
+			if base > maxAttemptDelay {
+				base = maxAttemptDelay
+			}
+			if base < prevBase {
+				t.Fatalf("attempt %d: backoff base shrank %d -> %d", a, prevBase, base)
+			}
+			prevBase = base
+			if d < base || d > base+base/2 {
+				t.Fatalf("attempt %d: delay %d outside [%d, %d]", a, d, base, base+base/2)
+			}
+			total += d
+		}
+		if dl := ScheduleDeadline(cfg, seed, round, src, dst); dl != total {
+			t.Fatalf("deadline %d != sum of delays %d", dl, total)
+		}
+		if bound := (budget + 1) * maxAttemptDelay * 3 / 2; total > bound {
+			t.Fatalf("schedule %d rounds exceeds budget bound %d", total, bound)
+		}
+	})
+}
+
+// FuzzParseConfig checks the -reliable spec parser never panics, that
+// accepted specs validate, and that String() round-trips through the
+// parser unchanged.
+func FuzzParseConfig(f *testing.F) {
+	f.Add("")
+	f.Add("on")
+	f.Add("off")
+	f.Add("rto=4,backoff=2,budget=3,stretch=16")
+	f.Add("rto=,=,x")
+	f.Add("stretch=9999999999999999999")
+	f.Fuzz(func(t *testing.T, s string) {
+		cfg, err := ParseConfig(s)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "reliable: ") {
+				t.Fatalf("error %q lacks package prefix", err)
+			}
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("ParseConfig(%q) accepted invalid config: %v", s, verr)
+		}
+		back, err := ParseConfig(cfg.String())
+		if err != nil {
+			t.Fatalf("String() %q does not re-parse: %v", cfg.String(), err)
+		}
+		if back != cfg {
+			t.Fatalf("round trip %q -> %+v -> %+v", s, cfg, back)
+		}
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 
+	"overlaynet/internal/fault"
+	"overlaynet/internal/reliable"
 	"overlaynet/internal/sim"
 )
 
@@ -43,6 +45,20 @@ type HGraphParams struct {
 	// (missed responses shrink the multisets, surfacing as extraction
 	// failures and TV-distance loss — experiment AS1 sweeps this).
 	Latency sim.Latency
+	// Faults attaches a deterministic message-fault injector (drop/dup)
+	// to the sampling run; the zero spec injects nothing. Lost batches
+	// shrink the multisets exactly like late ones — unless Reliable is
+	// enabled, which retransmits them.
+	Faults fault.Spec
+	// Reliable wraps every sampling node in the deterministic
+	// ack/retransmit endpoint (internal/reliable): protocol rounds are
+	// stretched by Reliable.EffectiveStretch(Latency) sim rounds, late
+	// or dropped batches are retransmitted with fresh latency and fault
+	// draws, and exhausted budgets surface in RapidResult.
+	// DeliveryFailures. Stretch 1 on spread-free models keeps the
+	// legacy tables bit-identical. Experiment AS2 sweeps this against
+	// the unprotected AS1 behavior.
+	Reliable reliable.Config
 }
 
 // DefaultHGraphParams returns the parameters used throughout the
@@ -67,6 +83,12 @@ func (p HGraphParams) Validate() error {
 	}
 	if p.C <= 0 {
 		return fmt.Errorf("sampling: c %v must be positive", p.C)
+	}
+	if err := p.Faults.Validate(); err != nil {
+		return fmt.Errorf("sampling: %w", err)
+	}
+	if err := p.Reliable.Validate(); err != nil {
+		return fmt.Errorf("sampling: %w", err)
 	}
 	return nil
 }

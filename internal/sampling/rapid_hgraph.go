@@ -2,6 +2,7 @@ package sampling
 
 import (
 	"overlaynet/internal/hgraph"
+	"overlaynet/internal/reliable"
 	"overlaynet/internal/sim"
 )
 
@@ -24,6 +25,13 @@ type RapidResult struct {
 	// after their synchronous round+1 deadline (zero unless the params
 	// carry a latency model with spread).
 	Deferred int64
+	// Retransmits and DeliveryFailures report the reliable layer's
+	// activity when HGraphParams.Reliable is enabled: control-lane
+	// retransmit copies sent, and messages whose budget ran out. Both
+	// zero otherwise (and on a perfect network, where the layer stays
+	// silent).
+	Retransmits      int64
+	DeliveryFailures int64
 }
 
 type reqBatch struct {
@@ -74,19 +82,34 @@ func RapidHGraph(seed uint64, h *hgraph.HGraph, p HGraphParams) *RapidResult {
 	}
 	n := h.N()
 	net := sim.NewNetwork(sim.Config{Seed: seed, Shards: p.Shards, Latency: p.Latency})
-	res := &RapidResult{Samples: make([][]int, n), Rounds: p.Rounds()}
+	if inj := p.Faults.Injector(); inj != nil {
+		net.SetInjector(inj)
+	}
+	stretch := 1
+	if p.Reliable.Enabled() {
+		stretch = p.Reliable.EffectiveStretch(p.Latency)
+	}
+	rounds := reliable.StretchedRounds(p.Rounds(), stretch)
+	res := &RapidResult{Samples: make([][]int, n), Rounds: rounds}
 	failures := make([]int, n)
 
 	idOf := func(v int) sim.NodeID { return sim.NodeID(v + 1) }
 
 	for v := 0; v < n; v++ {
-		net.SpawnHandler(idOf(v), &rapidNode{
+		var hnd sim.Handler = &rapidNode{
 			v: v, h: h, p: p, idOf: idOf, res: res, fail: &failures[v],
-		})
+		}
+		if p.Reliable.Enabled() {
+			hnd = reliable.Wrap(seed, p.Reliable, stretch, hnd)
+		}
+		net.SpawnHandler(idOf(v), hnd)
 	}
-	net.Run(p.Rounds())
+	net.Run(rounds)
 	net.Shutdown()
 	res.Deferred = net.DeferredMessages()
+	rel := net.ReliabilityStats()
+	res.Retransmits = rel.Retransmits
+	res.DeliveryFailures = rel.Failures
 	for _, w := range net.Work() {
 		if w.MaxNodeBits > res.MaxNodeBits {
 			res.MaxNodeBits = w.MaxNodeBits

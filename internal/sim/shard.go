@@ -63,6 +63,12 @@ type shardAcc struct {
 	// byte-compared artifacts.
 	deferred int64
 
+	// rel holds this worker's reliability activity (control-lane sends
+	// from its sender range, node reports from its compute range). All
+	// fields are sums, so merging the shard accumulators in any order
+	// reproduces the serial totals.
+	rel ReliabilityRoundStats
+
 	// Phase wall times, collected when a ShardObserver is attached.
 	// These are the only nondeterministic values a round produces; they
 	// reach tools solely through the ShardObserver hook and must never
@@ -84,6 +90,7 @@ func (a *shardAcc) reset() {
 	a.inboxSamples = a.inboxSamples[:0]
 	a.bitsSamples = a.bitsSamples[:0]
 	a.deferred = 0
+	a.rel = ReliabilityRoundStats{}
 	a.computeNS, a.sendNS = 0, 0
 }
 
@@ -194,6 +201,7 @@ func (n *Network) stepSharded() (messages int, totalBits, maxBits int64, anyHalt
 		}
 		anyHalted = anyHalted || a.anyHalted
 		n.roundDeferred += a.deferred
+		n.roundRel.add(&a.rel)
 	}
 	if tr != nil {
 		// Replay buffered tracer work in shard order. Shard ranges are

@@ -65,7 +65,23 @@ type Message struct {
 
 	seq  uint64 // per-sender send sequence, for canonical inbox order
 	slot int32  // receiver's dense slot, resolved at Send time; -1 = no such node
+	lane uint8  // laneProtocol, or a control lane (reliability traffic)
 }
+
+// Message lanes. Protocol-lane messages are the paper's messages and
+// feed RoundWork.Messages/TotalBits/MaxNodeBits, the Delivered count,
+// and the per-reason drop ledger. Control-lane messages carry the
+// reliable-delivery layer's traffic (acks and retransmit copies); they
+// ride the same delivery machinery — DoS blocking, fault injection, and
+// the event scheduler all apply — but are accounted separately
+// (RoundWork.CtlMessages/CtlBits, ReliabilityRoundStats) and never
+// enter the exact work-conservation ledger, so a run whose reliability
+// layer stays silent is byte-identical to one without it.
+const (
+	laneProtocol uint8 = iota
+	laneAck
+	laneRetransmit
+)
 
 // Handler is an event-driven node program: the kernel calls OnRound
 // once per round, inline, with the messages delivered to the node this
@@ -141,12 +157,70 @@ var envShards = func() func() int {
 // outbox once per shard, so very high counts cost more than they win.
 const maxShards = 64
 
-// RoundWork summarizes the communication work of one round.
+// RoundWork summarizes the communication work of one round. The
+// protocol-lane triple (Messages, TotalBits, MaxNodeBits) measures
+// exactly what the paper's theorems bound; control-lane traffic — the
+// reliable-delivery layer's acks and retransmit copies — is accounted
+// in its own pair so the overhead of reliability is visible without
+// perturbing the paper-semantics columns.
 type RoundWork struct {
 	Round       int
-	Messages    int   // messages actually sent (sender non-blocked)
-	TotalBits   int64 // sum over nodes of sent+received bits
-	MaxNodeBits int64 // maximum over nodes of sent+received bits
+	Messages    int   // protocol messages actually sent (sender non-blocked)
+	TotalBits   int64 // sum over nodes of sent+received protocol bits
+	MaxNodeBits int64 // maximum over nodes of sent+received protocol bits
+	CtlMessages int   // control-lane (ack + retransmit) messages sent
+	CtlBits     int64 // control-lane bits sent
+}
+
+// ackDelayBuckets sizes the log2 histogram of ack round trips: bucket
+// b counts acks whose send→ack delay was in [2^(b-1), 2^b) rounds
+// (bucket 0 is delay <= 1), with the last bucket absorbing the tail.
+const ackDelayBuckets = 8
+
+// ReliabilityRoundStats is one round's reliability-layer activity: the
+// control-lane traffic split by kind, the delivery failures endpoints
+// reported, stale deliveries they discarded, and the ack-delay
+// histogram. Every field is a pure function of the seed and the run
+// (sums over per-node deterministic state, merged in canonical order),
+// so the stats are identical at any -procs/-shards and safe in
+// byte-compared artifacts.
+type ReliabilityRoundStats struct {
+	Retransmits int // retransmit copies sent (control lane)
+	Acks        int // acks sent (control lane)
+	Failures    int // delivery failures reported via Ctx.ReportDeliveryFailure
+	Stale       int // stale deliveries discarded via Ctx.ReportStaleDelivery
+	CtlMessages int
+	CtlBits     int64
+	AckDelay    [ackDelayBuckets]int32
+}
+
+func (s *ReliabilityRoundStats) any() bool {
+	return s.Retransmits != 0 || s.Acks != 0 || s.Failures != 0 ||
+		s.Stale != 0 || s.CtlMessages != 0
+}
+
+func (s *ReliabilityRoundStats) add(o *ReliabilityRoundStats) {
+	s.Retransmits += o.Retransmits
+	s.Acks += o.Acks
+	s.Failures += o.Failures
+	s.Stale += o.Stale
+	s.CtlMessages += o.CtlMessages
+	s.CtlBits += o.CtlBits
+	for i := range s.AckDelay {
+		s.AckDelay[i] += o.AckDelay[i]
+	}
+}
+
+// ReliabilityTotals is the cumulative reliability-layer activity of a
+// network, for drivers' report columns (retransmit overhead, delivery
+// failures). Deterministic like the per-round stats.
+type ReliabilityTotals struct {
+	Retransmits int64
+	Acks        int64
+	Failures    int64
+	Stale       int64
+	CtlMessages int64
+	CtlBits     int64
 }
 
 type haltSignal struct{}
@@ -238,6 +312,16 @@ type Network struct {
 	deferred      int64
 	roundDeferred int64
 	latObs        LatencyObserver
+
+	// Reliability-layer accounting (see the lane constants). roundRel
+	// accumulates the serial path's per-round stats (the sharded path
+	// merges per-worker accumulators into it); relTotals is cumulative;
+	// relObs caches whether the tracer wants the per-round stats. All
+	// zero unless nodes actually use the control-lane sends, so a
+	// reliability-free run is untouched.
+	roundRel  ReliabilityRoundStats
+	relTotals ReliabilityTotals
+	relObs    ReliabilityObserver
 }
 
 // NewNetwork returns an empty network.
@@ -294,6 +378,12 @@ func (n *Network) Async() bool { return n.async }
 // so it is safe in byte-compared artifacts. Always 0 in synchronous
 // mode and in zero-spread configurations with delay <= 1 round.
 func (n *Network) DeferredMessages() int64 { return n.deferred }
+
+// ReliabilityStats returns the cumulative reliability-layer activity:
+// retransmit copies and acks sent over the control lane, delivery
+// failures and stale deliveries reported by endpoints. Deterministic at
+// any -procs/-shards; all zero when no node uses the reliable layer.
+func (n *Network) ReliabilityStats() ReliabilityTotals { return n.relTotals }
 
 // DisableWorkLog turns off per-round work summaries (useful for very
 // long runs where the slice would grow without bound).
@@ -470,6 +560,7 @@ func (n *Network) Step() {
 	var totalBits, maxBits int64
 	var anyHalted bool
 	n.roundDeferred = 0
+	n.roundRel = ReliabilityRoundStats{}
 
 	if n.shards > 1 {
 		messages, totalBits, maxBits, anyHalted = n.stepSharded()
@@ -504,6 +595,21 @@ func (n *Network) Step() {
 		}
 	}
 
+	// Reliability flush: totals accumulate, and the tracer extension
+	// fires only on rounds with activity — a run whose reliable layer
+	// stays silent produces exactly the pre-reliability call sequence.
+	if rel := &n.roundRel; rel.any() {
+		n.relTotals.Retransmits += int64(rel.Retransmits)
+		n.relTotals.Acks += int64(rel.Acks)
+		n.relTotals.Failures += int64(rel.Failures)
+		n.relTotals.Stale += int64(rel.Stale)
+		n.relTotals.CtlMessages += int64(rel.CtlMessages)
+		n.relTotals.CtlBits += rel.CtlBits
+		if n.relObs != nil {
+			n.relObs.RoundReliability(n.round, *rel)
+		}
+	}
+
 	if anyHalted {
 		n.reap()
 	}
@@ -517,6 +623,8 @@ func (n *Network) Step() {
 			Messages:    messages,
 			TotalBits:   totalBits,
 			MaxNodeBits: maxBits,
+			CtlMessages: n.roundRel.CtlMessages,
+			CtlBits:     n.roundRel.CtlBits,
 		})
 	}
 	if n.tracer != nil {
@@ -551,11 +659,16 @@ func (n *Network) computeRange(plo, phi int, acc *shardAcc) {
 			// drop) the calendar entries due this round.
 			box = n.asyncInbox(st, s, acc)
 		} else if anyB && blocked.Test(s) {
-			// Drop the pending inbox without delivering it.
+			// Drop the pending inbox without delivering it. Control-lane
+			// messages are lost the same way but stay out of the exact
+			// drop ledger (the reliable layer accounts them itself).
 			pend := st.inbox[st.fill]
 			if tr != nil {
 				if acc != nil {
 					for i := range pend {
+						if pend[i].lane != laneProtocol {
+							continue
+						}
 						acc.recvDrops = append(acc.recvDrops, dropEvent{
 							from: pend[i].From, to: st.id, bits: pend[i].Bits,
 							reason: DropBlockedReceiverDeliveryRound,
@@ -563,6 +676,9 @@ func (n *Network) computeRange(plo, phi int, acc *shardAcc) {
 					}
 				} else {
 					for i := range pend {
+						if pend[i].lane != laneProtocol {
+							continue
+						}
 						tr.MessageDropped(n.round, DropBlockedReceiverDeliveryRound,
 							pend[i].From, st.id, pend[i].Bits)
 					}
@@ -577,16 +693,23 @@ func (n *Network) computeRange(plo, phi int, acc *shardAcc) {
 			clear(next)
 			st.inbox[st.fill] = next[:0]
 		}
-		var bits int64
+		// Protocol-lane receive accounting: control-lane messages (acks,
+		// retransmit copies) are delivered but contribute neither to the
+		// node's bit footprint nor to the Delivered/inbox-depth samples,
+		// so the paper-semantics columns are unchanged by reliability.
+		var bits, nprot int64
 		for i := range box {
-			bits += int64(box[i].Bits)
+			if box[i].lane == laneProtocol {
+				bits += int64(box[i].Bits)
+				nprot++
+			}
 		}
 		st.bits = bits
 		if tr != nil {
 			if acc != nil {
-				acc.inboxSamples = append(acc.inboxSamples, int64(len(box)))
+				acc.inboxSamples = append(acc.inboxSamples, nprot)
 			} else {
-				n.traceInbox = append(n.traceInbox, int64(len(box)))
+				n.traceInbox = append(n.traceInbox, nprot)
 			}
 		}
 		// Compute: a killed node halts without running; otherwise the
@@ -599,6 +722,26 @@ func (n *Network) computeRange(plo, phi int, acc *shardAcc) {
 			st.halted = true
 		} else if !st.h.OnRound(st.ctx, box) {
 			st.halted = true
+		}
+		// Harvest the node's reliability reports (delivery failures,
+		// stale discards, ack delays) into the round accumulator. The
+		// dirty flag keeps this to one branch per node for the common
+		// case of no reliable layer.
+		if ctx := st.ctx; ctx.rel.dirty {
+			if acc != nil {
+				acc.rel.Failures += int(ctx.rel.failures)
+				acc.rel.Stale += int(ctx.rel.stale)
+				for b := range ctx.rel.ackDelay {
+					acc.rel.AckDelay[b] += ctx.rel.ackDelay[b]
+				}
+			} else {
+				n.roundRel.Failures += int(ctx.rel.failures)
+				n.roundRel.Stale += int(ctx.rel.stale)
+				for b := range ctx.rel.ackDelay {
+					n.roundRel.AckDelay[b] += ctx.rel.ackDelay[b]
+				}
+			}
+			ctx.rel = relNodeStats{}
 		}
 	}
 }
@@ -631,6 +774,9 @@ func (n *Network) asyncInbox(st *nodeState, s int32, acc *shardAcc) []Message {
 	if n.blockedAny && n.blocked.Test(s) {
 		if tr := n.tracer; tr != nil {
 			for i := range due {
+				if due[i].m.lane != laneProtocol {
+					continue // control lane stays out of the drop ledger
+				}
 				if acc != nil {
 					acc.recvDrops = append(acc.recvDrops, dropEvent{
 						from: due[i].m.From, to: st.id, bits: due[i].m.Bits,
@@ -676,15 +822,22 @@ func (n *Network) sendRange(plo, phi int, dlo, dhi int32, acc *shardAcc) (messag
 	inj := n.injector
 	slots := n.slots
 	blocked, anyB := n.blocked, n.blockedAny
+	var rel ReliabilityRoundStats
 	for p, norder := 0, len(n.order); p < norder; p++ {
 		s := n.order[p]
 		st := &slots[s]
 		mine := p >= plo && p < phi
 		out := st.outbox
+		nctl := 0
 		if anyB && blocked.Test(s) {
-			// Blocked sender: the whole outbox is discarded.
+			// Blocked sender: the whole outbox is discarded. Control-lane
+			// messages vanish uncounted, like the protocol sends (which
+			// never enter Messages either).
 			if mine && tr != nil {
 				for i := range out {
+					if out[i].lane != laneProtocol {
+						continue
+					}
 					if acc != nil {
 						acc.sendDrops = append(acc.sendDrops, dropEvent{
 							from: out[i].From, to: out[i].To, bits: out[i].Bits,
@@ -710,7 +863,7 @@ func (n *Network) sendRange(plo, phi int, dlo, dhi int32, acc *shardAcc) (messag
 						rcv := &slots[t]
 						rcv.inbox[rcv.fill] = append(rcv.inbox[rcv.fill], *m)
 					}
-				} else if mine && tr != nil {
+				} else if mine && tr != nil && m.lane == laneProtocol {
 					reason := DropBlockedReceiverSendRound
 					if t < 0 {
 						reason = DropDeadReceiver
@@ -724,11 +877,21 @@ func (n *Network) sendRange(plo, phi int, dlo, dhi int32, acc *shardAcc) (messag
 					}
 				}
 				if mine {
-					st.bits += int64(m.Bits)
+					if m.lane == laneProtocol {
+						st.bits += int64(m.Bits)
+					} else {
+						nctl++
+						rel.CtlBits += int64(m.Bits)
+						if m.lane == laneAck {
+							rel.Acks++
+						} else {
+							rel.Retransmits++
+						}
+					}
 				}
 			}
 			if mine {
-				messages += len(out)
+				messages += len(out) - nctl
 			}
 		} else {
 			for i := range out {
@@ -738,7 +901,9 @@ func (n *Network) sendRange(plo, phi int, dlo, dhi int32, acc *shardAcc) (messag
 					// Fault injection: the injector is a pure function
 					// of the message identity, so the delivering worker
 					// and the accounting worker (which may differ under
-					// sharding) reach the same decision.
+					// sharding) reach the same decision. Control-lane
+					// messages face the same faults but never enter the
+					// drop/dup ledger.
 					deliver := t >= dlo && t < dhi
 					if deliver || (mine && tr != nil) {
 						copies := inj.Deliveries(n.round, m.From, m.To, m.seq)
@@ -748,7 +913,7 @@ func (n *Network) sendRange(plo, phi int, dlo, dhi int32, acc *shardAcc) (messag
 								rcv.inbox[rcv.fill] = append(rcv.inbox[rcv.fill], *m)
 							}
 						}
-						if mine && tr != nil {
+						if mine && tr != nil && m.lane == laneProtocol {
 							if copies == 0 {
 								if acc != nil {
 									acc.sendDrops = append(acc.sendDrops, dropEvent{
@@ -771,7 +936,7 @@ func (n *Network) sendRange(plo, phi int, dlo, dhi int32, acc *shardAcc) (messag
 							}
 						}
 					}
-				} else if mine && tr != nil {
+				} else if mine && tr != nil && m.lane == laneProtocol {
 					reason := DropBlockedReceiverSendRound
 					if t < 0 {
 						reason = DropDeadReceiver
@@ -785,14 +950,25 @@ func (n *Network) sendRange(plo, phi int, dlo, dhi int32, acc *shardAcc) (messag
 					}
 				}
 				if mine {
-					st.bits += int64(m.Bits)
+					if m.lane == laneProtocol {
+						st.bits += int64(m.Bits)
+					} else {
+						nctl++
+						rel.CtlBits += int64(m.Bits)
+						if m.lane == laneAck {
+							rel.Acks++
+						} else {
+							rel.Retransmits++
+						}
+					}
 				}
 			}
 			if mine {
-				messages += len(out)
+				messages += len(out) - nctl
 			}
 		}
 		if mine {
+			rel.CtlMessages += nctl
 			totalBits += st.bits
 			if st.bits > maxBits {
 				maxBits = st.bits
@@ -807,6 +983,13 @@ func (n *Network) sendRange(plo, phi int, dlo, dhi int32, acc *shardAcc) (messag
 			if st.halted {
 				anyHalted = true
 			}
+		}
+	}
+	if rel.any() {
+		if acc != nil {
+			acc.rel.add(&rel)
+		} else {
+			n.roundRel.add(&rel)
 		}
 	}
 	return messages, totalBits, maxBits, anyHalted
@@ -832,15 +1015,20 @@ func (n *Network) sendRangeAsync(plo, phi int, dlo, dhi int32, acc *shardAcc) (m
 	round := n.round
 	rtick := uint64(round) * tickScale
 	var deferred int64
+	var rel ReliabilityRoundStats
 	for p, norder := 0, len(n.order); p < norder; p++ {
 		s := n.order[p]
 		st := &slots[s]
 		mine := p >= plo && p < phi
 		out := st.outbox
+		nctl := 0
 		if anyB && blocked.Test(s) {
 			// Blocked sender: the whole outbox is discarded.
 			if mine && tr != nil {
 				for i := range out {
+					if out[i].lane != laneProtocol {
+						continue
+					}
 					if acc != nil {
 						acc.sendDrops = append(acc.sendDrops, dropEvent{
 							from: out[i].From, to: out[i].To, bits: out[i].Bits,
@@ -876,11 +1064,11 @@ func (n *Network) sendRangeAsync(plo, phi int, dlo, dhi int32, acc *shardAcc) (m
 									rcv.future = append(rcv.future, pm)
 								}
 							}
-							if mine && ar > int32(round)+1 {
+							if mine && ar > int32(round)+1 && m.lane == laneProtocol {
 								deferred++
 							}
 						}
-						if mine && tr != nil {
+						if mine && tr != nil && m.lane == laneProtocol {
 							if copies == 0 {
 								if acc != nil {
 									acc.sendDrops = append(acc.sendDrops, dropEvent{
@@ -903,7 +1091,7 @@ func (n *Network) sendRangeAsync(plo, phi int, dlo, dhi int32, acc *shardAcc) (m
 							}
 						}
 					}
-				} else if mine && tr != nil {
+				} else if mine && tr != nil && m.lane == laneProtocol {
 					reason := DropBlockedReceiverSendRound
 					if t < 0 {
 						reason = DropDeadReceiver
@@ -917,14 +1105,25 @@ func (n *Network) sendRangeAsync(plo, phi int, dlo, dhi int32, acc *shardAcc) (m
 					}
 				}
 				if mine {
-					st.bits += int64(m.Bits)
+					if m.lane == laneProtocol {
+						st.bits += int64(m.Bits)
+					} else {
+						nctl++
+						rel.CtlBits += int64(m.Bits)
+						if m.lane == laneAck {
+							rel.Acks++
+						} else {
+							rel.Retransmits++
+						}
+					}
 				}
 			}
 			if mine {
-				messages += len(out)
+				messages += len(out) - nctl
 			}
 		}
 		if mine {
+			rel.CtlMessages += nctl
 			totalBits += st.bits
 			if st.bits > maxBits {
 				maxBits = st.bits
@@ -939,6 +1138,13 @@ func (n *Network) sendRangeAsync(plo, phi int, dlo, dhi int32, acc *shardAcc) (m
 			if st.halted {
 				anyHalted = true
 			}
+		}
+	}
+	if rel.any() {
+		if acc != nil {
+			acc.rel.add(&rel)
+		} else {
+			n.roundRel.add(&rel)
 		}
 	}
 	if acc != nil {
@@ -1020,6 +1226,25 @@ type Ctx struct {
 	// stale entry (the receiver departed and its slot was recycled)
 	// falls through to the map.
 	lookup [lookupEntries]lookupEntry
+	// sendHook, when set, intercepts Ctx.Send so a shim (the reliable-
+	// delivery endpoint) can wrap outgoing protocol messages. The hook
+	// runs on the node's own compute step and must itself use SendRaw/
+	// SendAck/SendRetransmit to reach the wire.
+	sendHook func(to NodeID, payload any, bits int)
+	// rel accumulates the node's reliability reports for the current
+	// round; the kernel harvests and clears it after OnRound.
+	rel relNodeStats
+}
+
+// relNodeStats is the per-node, per-round scratch for reliability
+// reports. The dirty flag lets the kernel skip the harvest entirely for
+// nodes that never report (every node, when no reliable layer is
+// attached).
+type relNodeStats struct {
+	dirty    bool
+	failures int32
+	stale    int32
+	ackDelay [ackDelayBuckets]int32
 }
 
 const lookupEntries = 8
@@ -1068,8 +1293,23 @@ func (c *Ctx) RNG() *rng.RNG { return &c.rng }
 func (c *Ctx) FirstInbox() []Message { return c.pendingFirst }
 
 // Send queues a message for delivery in the next round. bits is the
-// message size for communication-work accounting.
+// message size for communication-work accounting. When a send hook is
+// installed (SetSendHook) the message is handed to the hook instead,
+// so a reliable-delivery shim can envelope it.
 func (c *Ctx) Send(to NodeID, payload any, bits int) {
+	if c.sendHook != nil {
+		c.sendHook(to, payload, bits)
+		return
+	}
+	c.sendRaw(to, payload, bits, laneProtocol)
+}
+
+// sendRaw queues a message on an explicit lane, bypassing the send
+// hook. Every transmission — protocol envelope, ack, or retransmit
+// copy — goes through here so lane choice is the only difference
+// between them: all lanes share the same blocking, fault, and latency
+// machinery.
+func (c *Ctx) sendRaw(to NodeID, payload any, bits int, lane uint8) {
 	st := &c.net.slots[c.slot]
 	st.seq++
 	st.outbox = append(st.outbox, Message{
@@ -1079,7 +1319,65 @@ func (c *Ctx) Send(to NodeID, payload any, bits int) {
 		Bits:    bits,
 		seq:     st.seq,
 		slot:    c.resolve(to),
+		lane:    lane,
 	})
+}
+
+// SetSendHook installs (or, with nil, removes) an interceptor for
+// Ctx.Send. Intended for the reliable-delivery endpoint; the hook runs
+// inline on the node's compute step.
+func (c *Ctx) SetSendHook(h func(to NodeID, payload any, bits int)) { c.sendHook = h }
+
+// SendRaw queues a protocol-lane message bypassing any send hook. The
+// reliable endpoint uses it to emit envelopes that carry the wrapped
+// message's original bits.
+func (c *Ctx) SendRaw(to NodeID, payload any, bits int) {
+	c.sendRaw(to, payload, bits, laneProtocol)
+}
+
+// SendAck queues a control-lane acknowledgement. Acks ride the same
+// delivery machinery as protocol messages but are accounted separately
+// and never enter the exact work-conservation ledger.
+func (c *Ctx) SendAck(to NodeID, payload any, bits int) {
+	c.sendRaw(to, payload, bits, laneAck)
+}
+
+// SendRetransmit queues a control-lane retransmission copy of an
+// unacked envelope.
+func (c *Ctx) SendRetransmit(to NodeID, payload any, bits int) {
+	c.sendRaw(to, payload, bits, laneRetransmit)
+}
+
+// ReportDeliveryFailure records that the node's reliable layer
+// exhausted its retransmit budget for one message and surfaced the loss
+// to the protocol. Harvested into the round's reliability stats.
+func (c *Ctx) ReportDeliveryFailure() {
+	c.rel.dirty = true
+	c.rel.failures++
+}
+
+// ReportStaleDelivery records an envelope that arrived after its
+// protocol phase had already closed: it is acked (so the sender stops
+// retransmitting) but discarded rather than delivered.
+func (c *Ctx) ReportStaleDelivery() {
+	c.rel.dirty = true
+	c.rel.stale++
+}
+
+// ObserveAckDelay records the round-trip delay, in sim rounds, between
+// an envelope's first transmission and its acknowledgement. Delays are
+// bucketed by log2: bucket b covers [2^b, 2^(b+1)) rounds, with the
+// last bucket open-ended.
+func (c *Ctx) ObserveAckDelay(rounds int) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	b := 0
+	for v := rounds; v > 1 && b < ackDelayBuckets-1; v >>= 1 {
+		b++
+	}
+	c.rel.dirty = true
+	c.rel.ackDelay[b]++
 }
 
 // NextRound ends the node's current round and blocks until the next one

@@ -151,6 +151,20 @@ type RoundSampler interface {
 	ExactRoundStats() bool
 }
 
+// ReliabilityObserver is an optional extension a Tracer can implement
+// to receive the reliable-delivery layer's per-round activity: acks and
+// retransmit copies sent, delivery failures and stale discards
+// reported, control-lane traffic, and the ack-delay histogram. Like
+// RoundDeferred it fires at most once per round and never on an empty
+// round, so a run without a reliable layer — or a reliable run on a
+// perfect network, where the layer is silent — emits exactly the
+// legacy call sequence. The stats are sums of pure per-message
+// functions of the seed, so they are identical at any -procs/-shards
+// and safe in byte-compared artifacts.
+type ReliabilityObserver interface {
+	RoundReliability(round int, stats ReliabilityRoundStats)
+}
+
 // SetTracer attaches (or, with nil, detaches) a Tracer. Like the other
 // network methods it must be called from the driver goroutine between
 // rounds.
@@ -160,6 +174,7 @@ func (n *Network) SetTracer(t Tracer) {
 	n.faultObs, _ = t.(FaultObserver)
 	n.sampleObs, _ = t.(RoundSampler)
 	n.latObs, _ = t.(LatencyObserver)
+	n.relObs, _ = t.(ReliabilityObserver)
 }
 
 // traceRoundStart counts blocked members in spawn order, emits the

@@ -240,6 +240,13 @@ func flattenCounters(c Counters) map[string]uint64 {
 	for i := sim.DropReason(0); i < sim.NumDropReasons; i++ {
 		m["drop:"+i.String()] = c.Drops[i.String()]
 	}
+	// Async/reliability lane — deterministic, so safe in byte-compared
+	// exports; zero in every synchronous unprotected run.
+	m["async_deferred"] = c.AsyncDeferred
+	m["retransmits"] = c.Retransmits
+	m["acks"] = c.Acks
+	m["delivery_failures"] = c.DeliveryFailures
+	m["stale_deliveries"] = c.StaleDeliveries
 	for i, v := range c.ShardRecvUS {
 		m[fmt.Sprintf("shard:%d:recv_us", i)] = v
 	}

@@ -27,7 +27,12 @@ type kernelMetrics struct {
 	// past the synchronous deadline (deterministic; see
 	// Counters.AsyncDeferred).
 	asyncDeferred *obs.Counter
-	drops         [sim.NumDropReasons]*obs.Counter
+	// Reliability lane (deterministic; see Counters.Retransmits etc.).
+	retransmits     *obs.Counter
+	acks            *obs.Counter
+	relFailures     *obs.Counter
+	staleDeliveries *obs.Counter
+	drops           [sim.NumDropReasons]*obs.Counter
 
 	alive *obs.Gauge
 
@@ -37,6 +42,9 @@ type kernelMetrics struct {
 	epochRounds *obs.Histogram
 	mttrRounds  *obs.Histogram
 	cellDurUS   *obs.Histogram
+	// ackDelayRounds distributes the round-trip delay (in sim rounds,
+	// power-of-two bucketed at the kernel) of every acknowledged send.
+	ackDelayRounds *obs.Histogram
 }
 
 func newKernelMetrics(reg *obs.Registry) *kernelMetrics {
@@ -57,6 +65,11 @@ func newKernelMetrics(reg *obs.Registry) *kernelMetrics {
 
 		asyncDeferred: reg.Counter("overlaynet_async_deferred_total", "messages deferred past round+1 by the event scheduler"),
 
+		retransmits:     reg.Counter("overlaynet_retransmits_total", "retransmit copies sent by reliable endpoints"),
+		acks:            reg.Counter("overlaynet_acks_total", "acknowledgements sent by reliable endpoints"),
+		relFailures:     reg.Counter("overlaynet_delivery_failures_total", "messages whose retransmit budget ran out"),
+		staleDeliveries: reg.Counter("overlaynet_stale_deliveries_total", "envelopes discarded for arriving after their protocol round closed"),
+
 		alive: reg.Gauge("overlaynet_alive_nodes", "alive nodes at last round start"),
 
 		roundDurUS:  reg.Histogram("overlaynet_round_duration_us", "wall-clock round duration (microseconds)"),
@@ -65,6 +78,8 @@ func newKernelMetrics(reg *obs.Registry) *kernelMetrics {
 		epochRounds: reg.Histogram("overlaynet_epoch_rounds", "rounds per reconfiguration epoch"),
 		mttrRounds:  reg.Histogram("overlaynet_mttr_rounds", "rounds to recover per closed episode"),
 		cellDurUS:   reg.Histogram("overlaynet_cell_duration_us", "wall-clock sweep-cell duration (microseconds)"),
+
+		ackDelayRounds: reg.Histogram("overlaynet_ack_delay_rounds", "rounds from send to acknowledgement"),
 	}
 	for i := sim.DropReason(0); i < sim.NumDropReasons; i++ {
 		name := "overlaynet_drops_" + strings.ReplaceAll(i.String(), "-", "_") + "_total"
@@ -139,6 +154,8 @@ func kindID(kind string) uint64 {
 		return 7
 	case "sched_deferred":
 		return 8
+	case "reliable_round":
+		return 9
 	default:
 		return 63
 	}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"overlaynet/internal/obs"
+	"overlaynet/internal/sim"
+)
+
+// TestRoundReliabilityLane drives the reliability callback directly
+// and checks the whole export chain: recorder counter snapshot,
+// metrics-registry series (Prometheus names + ack-delay histogram),
+// retained events, and the flattened Chrome counter map tracestats
+// reads.
+func TestRoundReliabilityLane(t *testing.T) {
+	rec := New()
+	reg := obs.NewRegistry(0)
+	rec.WithMetrics(reg)
+	rec.RecordEvents(true)
+
+	tr := rec.Tracer("lane-test")
+	ro, ok := tr.(sim.ReliabilityObserver)
+	if !ok {
+		t.Fatal("Tracer does not implement sim.ReliabilityObserver")
+	}
+	var stats sim.ReliabilityRoundStats
+	stats.Retransmits = 4
+	stats.Acks = 9
+	stats.Failures = 2
+	stats.Stale = 3
+	stats.AckDelay[1] = 5 // five acks with delay in (1, 2] rounds
+	ro.RoundReliability(7, stats)
+	ro.RoundReliability(8, sim.ReliabilityRoundStats{Acks: 1})
+
+	c := rec.Counters()
+	if c.Retransmits != 4 || c.Acks != 10 || c.DeliveryFailures != 2 || c.StaleDeliveries != 3 {
+		t.Fatalf("counters = retx %d acks %d lost %d stale %d, want 4/10/2/3",
+			c.Retransmits, c.Acks, c.DeliveryFailures, c.StaleDeliveries)
+	}
+
+	snap := reg.FlatSnapshot()
+	for name, want := range map[string]float64{
+		"overlaynet_retransmits_total":       4,
+		"overlaynet_acks_total":              10,
+		"overlaynet_delivery_failures_total": 2,
+		"overlaynet_stale_deliveries_total":  3,
+		"overlaynet_ack_delay_rounds_count":  5,
+	} {
+		if snap[name] != want {
+			t.Errorf("metric %s = %v, want %v", name, snap[name], want)
+		}
+	}
+
+	events := rec.Events()
+	var lane []Event
+	for _, ev := range events {
+		if ev.Kind == "reliable_round" {
+			lane = append(lane, ev)
+		}
+	}
+	if len(lane) != 2 {
+		t.Fatalf("retained %d reliable_round events, want 2", len(lane))
+	}
+	if lane[0].Round != 7 || lane[0].Retransmits != 4 || lane[0].Acks != 9 ||
+		lane[0].RelFailures != 2 || lane[0].StaleArrived != 3 {
+		t.Fatalf("event fields wrong: %+v", lane[0])
+	}
+
+	flat := flattenCounters(c)
+	for key, want := range map[string]uint64{
+		"retransmits":       4,
+		"acks":              10,
+		"delivery_failures": 2,
+		"stale_deliveries":  3,
+	} {
+		if flat[key] != want {
+			t.Errorf("flattened counter %s = %d, want %d", key, flat[key], want)
+		}
+	}
+
+	// The JSONL export must carry the lane too, so tracestats can
+	// ingest it from an -events file.
+	var sb strings.Builder
+	if err := rec.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"kind":"reliable_round"`, `"retransmits":4`, `"delivery_failures":2`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSONL export missing %s", want)
+		}
+	}
+}

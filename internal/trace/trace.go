@@ -75,6 +75,14 @@ type Event struct {
 	// seed and the latency model — so it participates in byte-compared
 	// output.
 	Deferred int `json:"deferred,omitempty"`
+	// Reliability lane, on reliable_round events only: the round's
+	// control-plane activity from internal/reliable endpoints. Like
+	// Deferred these are deterministic counts (pure functions of seed,
+	// latency model, and fault spec), safe in byte-compared output.
+	Retransmits  int `json:"retransmits,omitempty"`
+	Acks         int `json:"acks,omitempty"`
+	RelFailures  int `json:"rel_failures,omitempty"`
+	StaleArrived int `json:"stale,omitempty"`
 }
 
 // Span is one timed region: an experiment, one sweep cell of its
@@ -130,6 +138,17 @@ type Counters struct {
 	// spread only — zero in every synchronous or zero-spread run). It is
 	// deterministic: safe for manifests and byte-compared tables.
 	AsyncDeferred uint64 `json:"async_deferred,omitempty"`
+	// Reliability lane (internal/reliable endpoints; all zero unless a
+	// traced stack enables reliable delivery). Retransmits counts
+	// control-lane retransmit copies, Acks the acknowledgements,
+	// DeliveryFailures the messages whose retransmit budget ran out,
+	// StaleDeliveries the envelopes that arrived after their protocol
+	// round closed (discarded, unacked). All deterministic, like
+	// AsyncDeferred.
+	Retransmits      uint64 `json:"retransmits,omitempty"`
+	Acks             uint64 `json:"acks,omitempty"`
+	DeliveryFailures uint64 `json:"delivery_failures,omitempty"`
+	StaleDeliveries  uint64 `json:"stale_deliveries,omitempty"`
 	// Per-shard busy time (µs) in the simulator's receive and send
 	// phases, indexed by shard id — populated only when a sharded
 	// network ran under this recorder. The imbalance between entries
@@ -153,6 +172,8 @@ type Recorder struct {
 	dupExtra, violations  atomic.Uint64
 	recoveries, mttr      atomic.Uint64
 	deferred              atomic.Uint64
+	retransmits, acks     atomic.Uint64
+	relFailures, stale    atomic.Uint64
 
 	// Per-shard phase busy time; maxTraceShards matches the simulator's
 	// shard cap. shardsSeen is the high-water shard count observed.
@@ -317,6 +338,10 @@ func (r *Recorder) Counters() Counters {
 	}
 	c.DupExtraCopies = r.dupExtra.Load()
 	c.AsyncDeferred = r.deferred.Load()
+	c.Retransmits = r.retransmits.Load()
+	c.Acks = r.acks.Load()
+	c.DeliveryFailures = r.relFailures.Load()
+	c.StaleDeliveries = r.stale.Load()
 	c.Violations = r.violations.Load()
 	c.Recoveries = r.recoveries.Load()
 	c.RecoveryRounds = r.mttr.Load()
@@ -600,6 +625,34 @@ func (t *simTracer) RoundDeferred(round, deferred int) {
 	if t.rec.wantsEvents() {
 		t.rec.emit(Event{TSMicros: t.now(), Kind: "sched_deferred", Scope: t.scope,
 			Round: round, Deferred: deferred})
+	}
+}
+
+// RoundReliability implements sim.ReliabilityObserver: the kernel
+// reports each round's control-lane activity (retransmits, acks,
+// exhausted budgets, stale arrivals) from reliable endpoints. Like
+// RoundDeferred it fires only on nonzero rounds — a run without the
+// reliable layer (or on a perfect network where only acks flow) keeps
+// the legacy callback cadence — and every count is a pure function of
+// (seed, latency model, fault spec), safe to byte-compare.
+func (t *simTracer) RoundReliability(round int, stats sim.ReliabilityRoundStats) {
+	t.rec.retransmits.Add(uint64(stats.Retransmits))
+	t.rec.acks.Add(uint64(stats.Acks))
+	t.rec.relFailures.Add(uint64(stats.Failures))
+	t.rec.stale.Add(uint64(stats.Stale))
+	if km := t.rec.km; km != nil {
+		km.retransmits.Add(t.lane, uint64(stats.Retransmits))
+		km.acks.Add(t.lane, uint64(stats.Acks))
+		km.relFailures.Add(t.lane, uint64(stats.Failures))
+		km.staleDeliveries.Add(t.lane, uint64(stats.Stale))
+		for b, c := range stats.AckDelay {
+			km.ackDelayRounds.ObserveN(int64(1)<<b, uint64(c))
+		}
+	}
+	if t.rec.wantsEvents() {
+		t.rec.emit(Event{TSMicros: t.now(), Kind: "reliable_round", Scope: t.scope,
+			Round: round, Retransmits: stats.Retransmits, Acks: stats.Acks,
+			RelFailures: stats.Failures, StaleArrived: stats.Stale})
 	}
 }
 
